@@ -1,0 +1,90 @@
+//! Confidential clients: the id/secret pairs workflows authenticate with.
+
+use crate::identity::IdentityId;
+use std::fmt;
+
+/// Public client identifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientId(pub String);
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The secret half of a client credential. Debug/Display never print the
+/// value — secrets leaking into CI logs is a real attack the paper's
+/// secret-handling discussion is about.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ClientSecret(pub(crate) String);
+
+impl ClientSecret {
+    pub fn new(raw: &str) -> Self {
+        ClientSecret(raw.to_string())
+    }
+
+    /// The raw secret value. Exists for the creation-time handoff only (a
+    /// real service shows the secret exactly once at registration so the
+    /// caller can store it in a secret manager); `Display`/`Debug` stay
+    /// redacted so the value cannot leak through logs.
+    pub fn expose_value(&self) -> &str {
+        &self.0
+    }
+
+    /// Constant-time-ish comparison (length leak is acceptable in a model).
+    pub(crate) fn matches(&self, other: &ClientSecret) -> bool {
+        if self.0.len() != other.0.len() {
+            return false;
+        }
+        let mut diff = 0u8;
+        for (a, b) in self.0.bytes().zip(other.0.bytes()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+impl fmt::Debug for ClientSecret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ClientSecret(***redacted***)")
+    }
+}
+
+impl fmt::Display for ClientSecret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "***redacted***")
+    }
+}
+
+/// A registered confidential client. The secret stored here is the service's
+/// copy; the caller-facing secret is returned exactly once at registration.
+#[derive(Debug, Clone)]
+pub struct ConfidentialClient {
+    pub id: ClientId,
+    pub(crate) secret: ClientSecret,
+    /// The single identity that owns this client (§5.2: "these secrets
+    /// belong to a single user").
+    pub owner: IdentityId,
+    pub display_name: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secret_never_prints() {
+        let s = ClientSecret::new("super-secret-value");
+        assert_eq!(format!("{s}"), "***redacted***");
+        assert!(!format!("{s:?}").contains("super-secret-value"));
+    }
+
+    #[test]
+    fn secret_comparison() {
+        let a = ClientSecret::new("abc");
+        assert!(a.matches(&ClientSecret::new("abc")));
+        assert!(!a.matches(&ClientSecret::new("abd")));
+        assert!(!a.matches(&ClientSecret::new("abcd")));
+    }
+}

@@ -1,0 +1,37 @@
+//! Auth error types.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthError {
+    /// Client id unknown or secret mismatch. Deliberately one variant: the
+    /// service must not reveal which part was wrong.
+    InvalidClientCredentials,
+    /// Token unknown, expired, or revoked.
+    InvalidToken,
+    /// Token lacks a required scope.
+    MissingScope(String),
+    /// Unknown identity.
+    UnknownIdentity(String),
+    /// No identity-mapping rule matched at the site.
+    NoMapping { identity: String, site: String },
+    /// Rejected by a high-assurance policy.
+    PolicyViolation(String),
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::InvalidClientCredentials => write!(f, "invalid client credentials"),
+            AuthError::InvalidToken => write!(f, "invalid, expired, or revoked token"),
+            AuthError::MissingScope(s) => write!(f, "token missing required scope: {s}"),
+            AuthError::UnknownIdentity(i) => write!(f, "unknown identity: {i}"),
+            AuthError::NoMapping { identity, site } => {
+                write!(f, "no identity mapping for {identity} at site {site}")
+            }
+            AuthError::PolicyViolation(why) => write!(f, "high-assurance policy violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}

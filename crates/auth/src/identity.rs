@@ -1,0 +1,77 @@
+//! Federated identities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque identity identifier (UUID-like, assigned by the auth service).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IdentityId(pub u64);
+
+impl fmt::Display for IdentityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render in a UUID-ish shape for log realism.
+        write!(f, "id-{:08x}-{:04x}", self.0, (self.0 >> 32) & 0xffff)
+    }
+}
+
+/// The institution that vouches for an identity (e.g. a university SSO).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IdentityProvider(pub String);
+
+impl IdentityProvider {
+    pub fn new(domain: &str) -> Self {
+        IdentityProvider(domain.to_string())
+    }
+}
+
+/// A federated identity: `username@provider`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Identity {
+    pub id: IdentityId,
+    /// Qualified username, e.g. `"vhayot@uchicago.edu"`.
+    pub username: String,
+    pub provider: IdentityProvider,
+    /// Virtual time (µs) of the identity's last interactive authentication —
+    /// high-assurance policies can require this to be recent.
+    pub last_authentication_us: u64,
+}
+
+impl Identity {
+    /// The local-part of the username (before `@`).
+    pub fn local_part(&self) -> &str {
+        self.username.split('@').next().unwrap_or(&self.username)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_part_extraction() {
+        let id = Identity {
+            id: IdentityId(1),
+            username: "vhayot@uchicago.edu".to_string(),
+            provider: IdentityProvider::new("uchicago.edu"),
+            last_authentication_us: 0,
+        };
+        assert_eq!(id.local_part(), "vhayot");
+    }
+
+    #[test]
+    fn local_part_without_domain() {
+        let id = Identity {
+            id: IdentityId(2),
+            username: "bare".to_string(),
+            provider: IdentityProvider::new("x"),
+            last_authentication_us: 0,
+        };
+        assert_eq!(id.local_part(), "bare");
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(IdentityId(7).to_string(), IdentityId(7).to_string());
+        assert_ne!(IdentityId(7).to_string(), IdentityId(8).to_string());
+    }
+}

@@ -1,0 +1,36 @@
+//! # hpcci-auth — OAuth2-style identity for the federation
+//!
+//! Models the Globus Auth layer CORRECT's security story rests on (§5.1–5.2):
+//!
+//! * [`identity::Identity`] — a federated identity (user\@institution) issued
+//!   by an identity provider;
+//! * [`client::ConfidentialClient`] — a client id + secret pair owned by a
+//!   single identity. These are the "Globus Compute secrets" stored in GitHub
+//!   environment secrets; *"these secrets belong to a single user and can be
+//!   used to authenticate to all sites to which that user has access"*;
+//! * [`token::AccessToken`] — scoped bearer tokens with expiry and
+//!   revocation;
+//! * [`service::AuthService`] — registration, the client-credentials grant,
+//!   token introspection and revocation;
+//! * [`mapping::IdentityMapping`] — per-site mapping from federated identity
+//!   to the local account (the Globus-Connect-Server-style mapping MEPs use)
+//!   — HPC security invariant (i): *the identity used to run the code matches
+//!   the user who intended to launch it*;
+//! * [`policy::HighAssurancePolicy`] — endpoint-side restrictions: allowed
+//!   identity providers, session recency, identity allowlists (§5.1).
+
+pub mod client;
+pub mod error;
+pub mod identity;
+pub mod mapping;
+pub mod policy;
+pub mod service;
+pub mod token;
+
+pub use client::{ClientId, ClientSecret, ConfidentialClient};
+pub use error::AuthError;
+pub use identity::{Identity, IdentityId, IdentityProvider};
+pub use mapping::IdentityMapping;
+pub use policy::HighAssurancePolicy;
+pub use service::AuthService;
+pub use token::{AccessToken, Scope, TokenInfo};

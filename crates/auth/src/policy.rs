@@ -1,0 +1,147 @@
+//! High-assurance endpoint policies.
+//!
+//! "MEPs can be configured with different types of high assurance policies,
+//! for example, requiring specific identity providers, enforcing sessions,
+//! and restricting the functions that can be executed" (§5.1). Function
+//! restriction lives in the FaaS layer; identity-provider and session
+//! requirements are evaluated here.
+
+use crate::error::AuthError;
+use crate::identity::Identity;
+use hpcci_sim::{SimDuration, SimTime};
+
+/// Endpoint-side identity requirements, all of which must pass.
+#[derive(Debug, Clone, Default)]
+pub struct HighAssurancePolicy {
+    /// If non-empty, the identity's provider must be one of these domains.
+    pub allowed_providers: Vec<String>,
+    /// If set, the identity's last interactive authentication must be within
+    /// this window (session enforcement).
+    pub max_session_age: Option<SimDuration>,
+    /// If non-empty, only these exact federated usernames are admitted.
+    pub allowed_identities: Vec<String>,
+}
+
+impl HighAssurancePolicy {
+    /// A policy that admits everyone (the non-HA default).
+    pub fn permissive() -> Self {
+        HighAssurancePolicy::default()
+    }
+
+    pub fn require_provider(mut self, domain: &str) -> Self {
+        self.allowed_providers.push(domain.to_string());
+        self
+    }
+
+    pub fn require_session_within(mut self, d: SimDuration) -> Self {
+        self.max_session_age = Some(d);
+        self
+    }
+
+    pub fn allow_identity(mut self, username: &str) -> Self {
+        self.allowed_identities.push(username.to_string());
+        self
+    }
+
+    /// Evaluate the policy for `identity` at `now`.
+    pub fn check(&self, identity: &Identity, now: SimTime) -> Result<(), AuthError> {
+        if !self.allowed_providers.is_empty()
+            && !self.allowed_providers.iter().any(|p| *p == identity.provider.0)
+        {
+            return Err(AuthError::PolicyViolation(format!(
+                "identity provider {} not allowed",
+                identity.provider.0
+            )));
+        }
+        if let Some(max_age) = self.max_session_age {
+            let last = SimTime::from_micros(identity.last_authentication_us);
+            if now.since(last) > max_age {
+                return Err(AuthError::PolicyViolation(
+                    "session too old; re-authentication required".to_string(),
+                ));
+            }
+        }
+        if !self.allowed_identities.is_empty()
+            && !self.allowed_identities.iter().any(|u| *u == identity.username)
+        {
+            return Err(AuthError::PolicyViolation(format!(
+                "identity {} not in endpoint allowlist",
+                identity.username
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::{IdentityId, IdentityProvider};
+
+    fn identity(username: &str, provider: &str, last_auth: SimTime) -> Identity {
+        Identity {
+            id: IdentityId(1),
+            username: username.to_string(),
+            provider: IdentityProvider::new(provider),
+            last_authentication_us: last_auth.as_micros(),
+        }
+    }
+
+    #[test]
+    fn permissive_admits_anyone() {
+        let p = HighAssurancePolicy::permissive();
+        assert!(p
+            .check(&identity("a@b.c", "b.c", SimTime::ZERO), SimTime::from_hours_ish())
+            .is_ok());
+    }
+
+    trait H {
+        fn from_hours_ish() -> SimTime;
+    }
+    impl H for SimTime {
+        fn from_hours_ish() -> SimTime {
+            SimTime::from_secs(999_999)
+        }
+    }
+
+    #[test]
+    fn provider_restriction() {
+        let p = HighAssurancePolicy::permissive().require_provider("access-ci.org");
+        assert!(p
+            .check(&identity("a@access-ci.org", "access-ci.org", SimTime::ZERO), SimTime::ZERO)
+            .is_ok());
+        assert!(matches!(
+            p.check(&identity("a@gmail.com", "gmail.com", SimTime::ZERO), SimTime::ZERO),
+            Err(AuthError::PolicyViolation(_))
+        ));
+    }
+
+    #[test]
+    fn session_enforcement() {
+        let p = HighAssurancePolicy::permissive().require_session_within(SimDuration::from_hours(1));
+        let id = identity("a@b.c", "b.c", SimTime::from_secs(0));
+        assert!(p.check(&id, SimTime::from_secs(3599)).is_ok());
+        assert!(p.check(&id, SimTime::from_secs(3601)).is_err());
+    }
+
+    #[test]
+    fn identity_allowlist() {
+        let p = HighAssurancePolicy::permissive().allow_identity("vhayot@uchicago.edu");
+        assert!(p
+            .check(&identity("vhayot@uchicago.edu", "uchicago.edu", SimTime::ZERO), SimTime::ZERO)
+            .is_ok());
+        assert!(p
+            .check(&identity("mallory@uchicago.edu", "uchicago.edu", SimTime::ZERO), SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn all_conditions_compose() {
+        let p = HighAssurancePolicy::permissive()
+            .require_provider("uchicago.edu")
+            .require_session_within(SimDuration::from_hours(24))
+            .allow_identity("vhayot@uchicago.edu");
+        let good = identity("vhayot@uchicago.edu", "uchicago.edu", SimTime::from_secs(0));
+        assert!(p.check(&good, SimTime::from_secs(100)).is_ok());
+    }
+}

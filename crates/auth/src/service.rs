@@ -1,0 +1,282 @@
+//! The auth service: registration, client-credentials grant, introspection.
+
+use crate::client::{ClientId, ClientSecret, ConfidentialClient};
+use crate::error::AuthError;
+use crate::identity::{Identity, IdentityId, IdentityProvider};
+use crate::token::{AccessToken, Scope, TokenInfo};
+use hpcci_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Default token lifetime (Globus tokens live ~48h; the exact figure is not
+/// behaviourally relevant, expiry enforcement is).
+const TOKEN_TTL: SimDuration = SimDuration::from_hours(48);
+
+struct IssuedToken {
+    info: TokenInfo,
+    revoked: bool,
+}
+
+/// The central OAuth-like service.
+#[derive(Default)]
+pub struct AuthService {
+    identities: BTreeMap<IdentityId, Identity>,
+    clients: BTreeMap<ClientId, ConfidentialClient>,
+    tokens: BTreeMap<String, IssuedToken>,
+    next_identity: u64,
+    next_serial: u64,
+}
+
+impl AuthService {
+    pub fn new() -> Self {
+        AuthService::default()
+    }
+
+    /// Register a federated identity and return it.
+    pub fn register_identity(&mut self, username: &str, provider: &str, now: SimTime) -> Identity {
+        self.next_identity += 1;
+        let identity = Identity {
+            id: IdentityId(self.next_identity),
+            username: username.to_string(),
+            provider: IdentityProvider::new(provider),
+            last_authentication_us: now.as_micros(),
+        };
+        self.identities.insert(identity.id, identity.clone());
+        identity
+    }
+
+    /// Record a fresh interactive login (for session-recency policies).
+    pub fn refresh_session(&mut self, id: IdentityId, now: SimTime) -> Result<(), AuthError> {
+        let identity = self
+            .identities
+            .get_mut(&id)
+            .ok_or_else(|| AuthError::UnknownIdentity(format!("{id}")))?;
+        identity.last_authentication_us = now.as_micros();
+        Ok(())
+    }
+
+    pub fn identity(&self, id: IdentityId) -> Result<&Identity, AuthError> {
+        self.identities
+            .get(&id)
+            .ok_or_else(|| AuthError::UnknownIdentity(format!("{id}")))
+    }
+
+    /// Create a confidential client owned by `owner`. The returned secret is
+    /// shown exactly once — the caller must store it (in a CI secret store).
+    pub fn create_client(
+        &mut self,
+        owner: IdentityId,
+        display_name: &str,
+    ) -> Result<(ClientId, ClientSecret), AuthError> {
+        self.identity(owner)?;
+        self.next_serial += 1;
+        let id = ClientId(format!("client-{:06}", self.next_serial));
+        // A deterministic but unguessable-in-spirit secret.
+        let secret = ClientSecret::new(&format!(
+            "gcs-{:016x}",
+            fnv(&format!("{}:{}:{}", id.0, owner.0, display_name))
+        ));
+        self.clients.insert(
+            id.clone(),
+            ConfidentialClient {
+                id: id.clone(),
+                secret: secret.clone(),
+                owner,
+                display_name: display_name.to_string(),
+            },
+        );
+        Ok((id, secret))
+    }
+
+    /// OAuth2 client-credentials grant: exchange id+secret for a scoped
+    /// bearer token acting as the client's owning identity.
+    pub fn authenticate(
+        &mut self,
+        client_id: &ClientId,
+        secret: &ClientSecret,
+        scopes: Vec<Scope>,
+        now: SimTime,
+    ) -> Result<AccessToken, AuthError> {
+        let client = self
+            .clients
+            .get(client_id)
+            .ok_or(AuthError::InvalidClientCredentials)?;
+        if !client.secret.matches(secret) {
+            return Err(AuthError::InvalidClientCredentials);
+        }
+        self.next_serial += 1;
+        let raw = format!(
+            "tok-{:016x}",
+            fnv(&format!("{}:{}:{}", client_id.0, self.next_serial, now.as_micros()))
+        );
+        self.tokens.insert(
+            raw.clone(),
+            IssuedToken {
+                info: TokenInfo {
+                    identity: client.owner,
+                    scopes,
+                    issued_at: now,
+                    expires_at: now + TOKEN_TTL,
+                },
+                revoked: false,
+            },
+        );
+        Ok(AccessToken::new(raw))
+    }
+
+    /// Validate a token and reveal its claims.
+    pub fn introspect(&self, token: &AccessToken, now: SimTime) -> Result<TokenInfo, AuthError> {
+        let issued = self.tokens.get(&token.0).ok_or(AuthError::InvalidToken)?;
+        if issued.revoked || now >= issued.info.expires_at {
+            return Err(AuthError::InvalidToken);
+        }
+        Ok(issued.info.clone())
+    }
+
+    /// Validate a token *and* require a scope — the common service check.
+    pub fn require_scope(
+        &self,
+        token: &AccessToken,
+        scope: &Scope,
+        now: SimTime,
+    ) -> Result<TokenInfo, AuthError> {
+        let info = self.introspect(token, now)?;
+        if !info.has_scope(scope) {
+            return Err(AuthError::MissingScope(scope.0.clone()));
+        }
+        Ok(info)
+    }
+
+    /// Revoke a token immediately.
+    pub fn revoke(&mut self, token: &AccessToken) -> Result<(), AuthError> {
+        let issued = self.tokens.get_mut(&token.0).ok_or(AuthError::InvalidToken)?;
+        issued.revoked = true;
+        Ok(())
+    }
+
+    pub fn identity_count(&self) -> usize {
+        self.identities.len()
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (AuthService, IdentityId, ClientId, ClientSecret) {
+        let mut svc = AuthService::new();
+        let identity = svc.register_identity("vhayot@uchicago.edu", "uchicago.edu", SimTime::ZERO);
+        let (cid, secret) = svc.create_client(identity.id, "correct-ci").unwrap();
+        (svc, identity.id, cid, secret)
+    }
+
+    #[test]
+    fn client_credentials_grant_succeeds() {
+        let (mut svc, owner, cid, secret) = setup();
+        let token = svc
+            .authenticate(&cid, &secret, vec![Scope::compute_api()], SimTime::ZERO)
+            .unwrap();
+        let info = svc.introspect(&token, SimTime::from_secs(60)).unwrap();
+        assert_eq!(info.identity, owner);
+        assert!(info.has_scope(&Scope::compute_api()));
+    }
+
+    #[test]
+    fn wrong_secret_rejected_without_detail() {
+        let (mut svc, _, cid, _) = setup();
+        let err = svc
+            .authenticate(
+                &cid,
+                &ClientSecret::new("wrong"),
+                vec![Scope::compute_api()],
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, AuthError::InvalidClientCredentials);
+        // Unknown client yields the indistinguishable error.
+        let err2 = svc
+            .authenticate(
+                &ClientId("client-999999".to_string()),
+                &ClientSecret::new("x"),
+                vec![],
+                SimTime::ZERO,
+            )
+            .unwrap_err();
+        assert_eq!(err, err2);
+    }
+
+    #[test]
+    fn tokens_expire() {
+        let (mut svc, _, cid, secret) = setup();
+        let token = svc.authenticate(&cid, &secret, vec![], SimTime::ZERO).unwrap();
+        assert!(svc.introspect(&token, SimTime::from_hours_48_minus_1()).is_ok());
+        assert_eq!(
+            svc.introspect(&token, SimTime::from_secs(48 * 3600)).unwrap_err(),
+            AuthError::InvalidToken
+        );
+    }
+
+    // Helper for readability above.
+    trait Almost {
+        fn from_hours_48_minus_1() -> SimTime;
+    }
+    impl Almost for SimTime {
+        fn from_hours_48_minus_1() -> SimTime {
+            SimTime::from_secs(48 * 3600 - 1)
+        }
+    }
+
+    #[test]
+    fn revocation_invalidates_immediately() {
+        let (mut svc, _, cid, secret) = setup();
+        let token = svc.authenticate(&cid, &secret, vec![], SimTime::ZERO).unwrap();
+        svc.revoke(&token).unwrap();
+        assert_eq!(
+            svc.introspect(&token, SimTime::from_secs(1)).unwrap_err(),
+            AuthError::InvalidToken
+        );
+    }
+
+    #[test]
+    fn scope_enforcement() {
+        let (mut svc, _, cid, secret) = setup();
+        let token = svc
+            .authenticate(&cid, &secret, vec![Scope::compute_api()], SimTime::ZERO)
+            .unwrap();
+        assert!(svc
+            .require_scope(&token, &Scope::compute_api(), SimTime::from_secs(1))
+            .is_ok());
+        assert_eq!(
+            svc.require_scope(&token, &Scope::endpoint_manage(), SimTime::from_secs(1))
+                .unwrap_err(),
+            AuthError::MissingScope("endpoint.manage".to_string())
+        );
+    }
+
+    #[test]
+    fn distinct_tokens_per_grant() {
+        let (mut svc, _, cid, secret) = setup();
+        let t1 = svc.authenticate(&cid, &secret, vec![], SimTime::ZERO).unwrap();
+        let t2 = svc.authenticate(&cid, &secret, vec![], SimTime::ZERO).unwrap();
+        assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn session_refresh_updates_identity() {
+        let (mut svc, owner, _, _) = setup();
+        svc.refresh_session(owner, SimTime::from_secs(100)).unwrap();
+        assert_eq!(
+            svc.identity(owner).unwrap().last_authentication_us,
+            SimTime::from_secs(100).as_micros()
+        );
+        assert!(svc.refresh_session(IdentityId(999), SimTime::ZERO).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Scoped bearer tokens.
+
+use crate::identity::IdentityId;
+use hpcci_sim::SimTime;
+use std::fmt;
+
+/// An OAuth scope string, e.g. `"compute.api"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Scope(pub String);
+
+impl Scope {
+    /// Scope required to submit tasks to the FaaS service.
+    pub fn compute_api() -> Scope {
+        Scope("compute.api".to_string())
+    }
+
+    /// Scope required to manage (register/configure) endpoints.
+    pub fn endpoint_manage() -> Scope {
+        Scope("endpoint.manage".to_string())
+    }
+}
+
+/// A bearer token value. Like [`crate::client::ClientSecret`], never printed.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccessToken(pub(crate) String);
+
+impl AccessToken {
+    pub(crate) fn new(raw: String) -> Self {
+        AccessToken(raw)
+    }
+}
+
+impl fmt::Debug for AccessToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AccessToken(***redacted***)")
+    }
+}
+
+/// What introspection reveals about a valid token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenInfo {
+    pub identity: IdentityId,
+    pub scopes: Vec<Scope>,
+    pub issued_at: SimTime,
+    pub expires_at: SimTime,
+}
+
+impl TokenInfo {
+    pub fn has_scope(&self, scope: &Scope) -> bool {
+        self.scopes.contains(scope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_debug_is_redacted() {
+        let t = AccessToken::new("tok-abc123".to_string());
+        assert!(!format!("{t:?}").contains("abc123"));
+    }
+
+    #[test]
+    fn scope_helpers() {
+        assert_eq!(Scope::compute_api().0, "compute.api");
+        let info = TokenInfo {
+            identity: IdentityId(1),
+            scopes: vec![Scope::compute_api()],
+            issued_at: SimTime::ZERO,
+            expires_at: SimTime::from_secs(3600),
+        };
+        assert!(info.has_scope(&Scope::compute_api()));
+        assert!(!info.has_scope(&Scope::endpoint_manage()));
+    }
+}

@@ -1,0 +1,358 @@
+//! Behavioral models of the HPC CI frameworks (§4.4, Table 4).
+
+use hpcci_ci::requirements::HpcCiCompliance;
+
+/// What one triggered CI run looks like under a framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineRun {
+    /// Local account the tests execute as.
+    pub ran_as: String,
+    /// Where the runner process lives.
+    pub runner_location: String,
+    /// Whether the submitting identity was verified to map to `ran_as`.
+    pub identity_mapped: bool,
+    /// Whether a permanent service occupies shared resources for this run.
+    pub permanent_service: bool,
+}
+
+/// A framework model: the Table 4 columns plus executable trigger semantics.
+pub trait FrameworkModel {
+    fn name(&self) -> &'static str;
+    /// Table 4 "CI Platform".
+    fn ci_platform(&self) -> &'static str;
+    /// Table 4 "Authentication".
+    fn authentication(&self) -> &'static str;
+    /// Table 4 "Site-Specific Execution".
+    fn site_specific_execution(&self) -> bool;
+    /// Table 4 "Containerization".
+    fn containerization(&self) -> &'static str;
+    /// How many sites one deployment covers.
+    fn sites_per_deployment(&self) -> u32;
+    /// Table 3 compliance, derived from behaviour.
+    fn compliance(&self) -> HpcCiCompliance;
+    /// Simulate a CI run triggered by `author` (a federated identity) at a
+    /// site where the deploying admin/user account is `deployer`.
+    fn trigger(&self, author: &str, deployer: &str) -> BaselineRun;
+}
+
+/// Jacamar CI (§4.4.1): GitLab runner on the login node with JWT-verified
+/// identity mapping. Secure and site-specific, but external collaboration
+/// needs per-site repository mirrors.
+pub struct JacamarCi;
+
+impl FrameworkModel for JacamarCi {
+    fn name(&self) -> &'static str {
+        "Jacamar CI"
+    }
+    fn ci_platform(&self) -> &'static str {
+        "GitLab"
+    }
+    fn authentication(&self) -> &'static str {
+        "Site-Specific Auth."
+    }
+    fn site_specific_execution(&self) -> bool {
+        true
+    }
+    fn containerization(&self) -> &'static str {
+        "Apptainer, Podman, CharlieCloud"
+    }
+    fn sites_per_deployment(&self) -> u32 {
+        1
+    }
+    fn compliance(&self) -> HpcCiCompliance {
+        HpcCiCompliance {
+            // Mirrors per site burden external collaboration.
+            collaborative: false,
+            // JWT identity mapping + permission restriction.
+            secure: true,
+            // Shared runner on the login node is a persistent service.
+            lightweight: false,
+        }
+    }
+    fn trigger(&self, author: &str, _deployer: &str) -> BaselineRun {
+        BaselineRun {
+            // The JWT maps the GitLab identity to the matching local user.
+            ran_as: format!("site-account({author})"),
+            runner_location: "login node".to_string(),
+            identity_mapped: true,
+            permanent_service: true,
+        }
+    }
+}
+
+/// CI with Tapis at TACC (§4.4.2): GitHub Actions + Tapis Jobs API, with a
+/// self-hosted runner on Jetstream.
+pub struct TapisCi;
+
+impl FrameworkModel for TapisCi {
+    fn name(&self) -> &'static str {
+        "TACC"
+    }
+    fn ci_platform(&self) -> &'static str {
+        "GitHub"
+    }
+    fn authentication(&self) -> &'static str {
+        "Tapis Security Kernel"
+    }
+    fn site_specific_execution(&self) -> bool {
+        false
+    }
+    fn containerization(&self) -> &'static str {
+        "Singularity"
+    }
+    fn sites_per_deployment(&self) -> u32 {
+        1
+    }
+    fn compliance(&self) -> HpcCiCompliance {
+        HpcCiCompliance {
+            collaborative: true,
+            // The security kernel authenticates, but runs charge the Tapis
+            // application's service account rather than the author.
+            secure: false,
+            // Self-hosted runner stays up on Jetstream.
+            lightweight: false,
+        }
+    }
+    fn trigger(&self, _author: &str, deployer: &str) -> BaselineRun {
+        BaselineRun {
+            ran_as: format!("tapis-app({deployer})"),
+            runner_location: "Jetstream VM".to_string(),
+            identity_mapped: false,
+            permanent_service: true,
+        }
+    }
+}
+
+/// RMACC Summit (§4.4.3): Jenkins polling + Singularity image builds.
+pub struct RmaccSummit;
+
+impl FrameworkModel for RmaccSummit {
+    fn name(&self) -> &'static str {
+        "RMACC Summit"
+    }
+    fn ci_platform(&self) -> &'static str {
+        "Jenkins"
+    }
+    fn authentication(&self) -> &'static str {
+        "Site-Specific Auth."
+    }
+    fn site_specific_execution(&self) -> bool {
+        true
+    }
+    fn containerization(&self) -> &'static str {
+        "Singularity"
+    }
+    fn sites_per_deployment(&self) -> u32 {
+        1
+    }
+    fn compliance(&self) -> HpcCiCompliance {
+        HpcCiCompliance {
+            collaborative: false,
+            secure: true,
+            lightweight: false,
+        }
+    }
+    fn trigger(&self, _author: &str, deployer: &str) -> BaselineRun {
+        BaselineRun {
+            ran_as: deployer.to_string(),
+            runner_location: "site Jenkins (Docker compose)".to_string(),
+            identity_mapped: false,
+            permanent_service: true,
+        }
+    }
+}
+
+/// OSC (§4.4.4): admin-run install scripts + ReFrame + cron-collected results.
+pub struct OscReframe;
+
+impl FrameworkModel for OscReframe {
+    fn name(&self) -> &'static str {
+        "OSC"
+    }
+    fn ci_platform(&self) -> &'static str {
+        "Reframe"
+    }
+    fn authentication(&self) -> &'static str {
+        "Site-Specific Auth."
+    }
+    fn site_specific_execution(&self) -> bool {
+        true
+    }
+    fn containerization(&self) -> &'static str {
+        "None"
+    }
+    fn sites_per_deployment(&self) -> u32 {
+        1
+    }
+    fn compliance(&self) -> HpcCiCompliance {
+        HpcCiCompliance {
+            // Internal GitLab + admin-executed steps: single-site by design.
+            collaborative: false,
+            // ReFrame tests run with user-level permissions.
+            secure: true,
+            // Webhook + cron, no runner daemon on shared nodes.
+            lightweight: true,
+        }
+    }
+    fn trigger(&self, _author: &str, deployer: &str) -> BaselineRun {
+        BaselineRun {
+            ran_as: format!("admin({deployer})"),
+            runner_location: "site cron + webhook".to_string(),
+            identity_mapped: false,
+            permanent_service: false,
+        }
+    }
+}
+
+/// Stanford HPCC (§4.4.5): scaled-down Jacamar — a GitLab runner service on
+/// an unprivileged account submitting to SLURM.
+pub struct StanfordHpcc;
+
+impl FrameworkModel for StanfordHpcc {
+    fn name(&self) -> &'static str {
+        "Stanford HPCC"
+    }
+    fn ci_platform(&self) -> &'static str {
+        "GitLab"
+    }
+    fn authentication(&self) -> &'static str {
+        "Site-Specific Auth."
+    }
+    fn site_specific_execution(&self) -> bool {
+        true
+    }
+    fn containerization(&self) -> &'static str {
+        "Unknown"
+    }
+    fn sites_per_deployment(&self) -> u32 {
+        1
+    }
+    fn compliance(&self) -> HpcCiCompliance {
+        HpcCiCompliance {
+            collaborative: false,
+            // Everything runs as the single unprivileged runner account.
+            secure: false,
+            lightweight: false,
+        }
+    }
+    fn trigger(&self, _author: &str, deployer: &str) -> BaselineRun {
+        BaselineRun {
+            ran_as: deployer.to_string(),
+            runner_location: "unprivileged login-node account".to_string(),
+            identity_mapped: false,
+            permanent_service: true,
+        }
+    }
+}
+
+/// CORRECT itself (§5), for the comparison row: hosted runners only, Globus
+/// Auth identity mapping through the MEP, multi-site by construction.
+pub struct CorrectModel;
+
+impl FrameworkModel for CorrectModel {
+    fn name(&self) -> &'static str {
+        "CORRECT"
+    }
+    fn ci_platform(&self) -> &'static str {
+        "GitHub"
+    }
+    fn authentication(&self) -> &'static str {
+        "Globus Auth"
+    }
+    fn site_specific_execution(&self) -> bool {
+        true
+    }
+    fn containerization(&self) -> &'static str {
+        "Endpoint-configurable"
+    }
+    fn sites_per_deployment(&self) -> u32 {
+        // One workflow reaches every site with a registered endpoint.
+        u32::MAX
+    }
+    fn compliance(&self) -> HpcCiCompliance {
+        HpcCiCompliance::all()
+    }
+    fn trigger(&self, author: &str, _deployer: &str) -> BaselineRun {
+        BaselineRun {
+            ran_as: format!("mapped-account({author})"),
+            runner_location: "GitHub-hosted VM (tasks via FaaS)".to_string(),
+            identity_mapped: true,
+            permanent_service: false,
+        }
+    }
+}
+
+/// Every Table 4 framework plus CORRECT, in row order.
+pub fn all_frameworks() -> Vec<Box<dyn FrameworkModel>> {
+    vec![
+        Box::new(JacamarCi),
+        Box::new(TapisCi),
+        Box::new(RmaccSummit),
+        Box::new(OscReframe),
+        Box::new(StanfordHpcc),
+        Box::new(CorrectModel),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_rows_match_paper() {
+        let frameworks = all_frameworks();
+        assert_eq!(frameworks.len(), 6);
+        let jacamar = &frameworks[0];
+        assert_eq!(jacamar.ci_platform(), "GitLab");
+        assert!(jacamar.site_specific_execution());
+        let tapis = &frameworks[1];
+        assert_eq!(tapis.authentication(), "Tapis Security Kernel");
+        assert!(!tapis.site_specific_execution(), "Table 4: TACC row says No");
+        let osc = &frameworks[3];
+        assert_eq!(osc.containerization(), "None");
+    }
+
+    #[test]
+    fn only_correct_meets_all_three_requirements() {
+        let full: Vec<&'static str> = all_frameworks()
+            .iter()
+            .filter(|f| f.compliance().score() == 3)
+            .map(|f| f.name())
+            .collect();
+        assert_eq!(full, vec!["CORRECT"]);
+    }
+
+    #[test]
+    fn identity_mapping_distinguishes_frameworks() {
+        let mapped: Vec<&'static str> = all_frameworks()
+            .iter()
+            .filter(|f| f.trigger("alice@uchicago.edu", "svc-account").identity_mapped)
+            .map(|f| f.name())
+            .collect();
+        // Only Jacamar (JWT mapping) and CORRECT (Globus Auth + MEP mapping)
+        // tie the run to the triggering author's local account.
+        assert_eq!(mapped, vec!["Jacamar CI", "CORRECT"]);
+
+        for f in all_frameworks() {
+            let run = f.trigger("alice@uchicago.edu", "svc-account");
+            if f.name() == "CORRECT" {
+                assert!(run.ran_as.contains("alice"));
+                assert!(!run.permanent_service, "no standing service on the site");
+            }
+            if f.name() == "Stanford HPCC" {
+                assert_eq!(run.ran_as, "svc-account", "author identity lost");
+            }
+        }
+    }
+
+    #[test]
+    fn correct_is_the_only_multi_site_deployment() {
+        for f in all_frameworks() {
+            if f.name() == "CORRECT" {
+                assert!(f.sites_per_deployment() > 1);
+            } else {
+                assert_eq!(f.sites_per_deployment(), 1, "{}", f.name());
+            }
+        }
+    }
+}

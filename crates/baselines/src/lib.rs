@@ -1,0 +1,25 @@
+//! # hpcci-baselines — the CI frameworks the paper compares against
+//!
+//! Executable models of the systems in Tables 2 and 4, implementing a common
+//! trait so the tables are *computed from behaviour* rather than hard-coded:
+//!
+//! * [`framework`] — the HPC CI frameworks of §4.4 (Jacamar CI, TACC/Tapis,
+//!   RMACC Summit's Jenkins, OSC's ReFrame flow, Stanford HPCC) plus CORRECT
+//!   itself, each modelling where its runner lives, how identity is handled,
+//!   whether it is single- or multi-site, and what a triggered CI run looks
+//!   like;
+//! * [`sciapps`] — the scientific-application CI deployments of §4.3
+//!   (GNSS-SDR, ATLAS, AMBER, NeuroCI) behind Table 2;
+//! * [`tables`] — renderers that regenerate Tables 2, 3 and 4 from the
+//!   models.
+
+pub mod framework;
+pub mod sciapps;
+pub mod tables;
+
+pub use framework::{
+    all_frameworks, BaselineRun, CorrectModel, FrameworkModel, JacamarCi, OscReframe,
+    RmaccSummit, StanfordHpcc, TapisCi,
+};
+pub use sciapps::{all_sciapps, SciAppCi};
+pub use tables::{render_table1, render_table2, render_table3, render_table4};

@@ -1,0 +1,79 @@
+//! The scientific-application CI deployments of §4.3 (Table 2).
+
+/// One Table 2 column: how a large scientific project runs CI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SciAppCi {
+    pub name: &'static str,
+    pub ci_framework: &'static str,
+    pub compute_resource: &'static str,
+    pub objective: &'static str,
+    pub visualization: &'static str,
+    /// Does the deployment gather result/provenance data usable for
+    /// reproducibility evaluation (vs plain regression testing)?
+    pub reproducibility_oriented: bool,
+}
+
+/// The four §4.3 case studies, in Table 2 column order.
+pub fn all_sciapps() -> Vec<SciAppCi> {
+    vec![
+        SciAppCi {
+            name: "GNSS-SDR",
+            ci_framework: "GitLab",
+            compute_resource: "Cloud",
+            objective: "Reproducibility",
+            visualization: "Stored artifacts",
+            reproducibility_oriented: true,
+        },
+        SciAppCi {
+            name: "ATLAS",
+            ci_framework: "Jenkins",
+            compute_resource: "Internal HPC cluster",
+            objective: "CI",
+            visualization: "Monitoring Dashboard",
+            reproducibility_oriented: false,
+        },
+        SciAppCi {
+            name: "AMBER",
+            ci_framework: "Cruise Control",
+            compute_resource: "Workstation",
+            objective: "CI",
+            visualization: "GNUPlot performance plots",
+            reproducibility_oriented: false,
+        },
+        SciAppCi {
+            name: "NeuroCI",
+            ci_framework: "CircleCI",
+            compute_resource: "Distributed HPC clusters",
+            objective: "Reproducibility",
+            visualization: "Scatter/Distribution plots",
+            reproducibility_oriented: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_columns_match_paper() {
+        let apps = all_sciapps();
+        assert_eq!(apps.len(), 4);
+        assert_eq!(apps[0].name, "GNSS-SDR");
+        assert_eq!(apps[1].ci_framework, "Jenkins");
+        assert_eq!(apps[2].compute_resource, "Workstation");
+        assert_eq!(apps[3].visualization, "Scatter/Distribution plots");
+    }
+
+    #[test]
+    fn reproducibility_objective_is_consistent() {
+        for app in all_sciapps() {
+            assert_eq!(
+                app.reproducibility_oriented,
+                app.objective == "Reproducibility",
+                "{}",
+                app.name
+            );
+        }
+    }
+}

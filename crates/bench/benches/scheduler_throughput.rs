@@ -1,0 +1,59 @@
+//! Harness-performance bench: batch-scheduler event throughput under both
+//! policies — the substrate must stay fast enough that Fig.-4-scale
+//! experiments are instant and badge-cohort sweeps are cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcci::cluster::{NodeId, Uid};
+use hpcci::scheduler::{
+    BatchScheduler, JobPayload, JobSpec, Partition, SchedulerConfig, SchedulingPolicy,
+};
+use hpcci::sim::{Advance, DetRng, SimDuration, SimTime};
+
+fn run_workload(policy: SchedulingPolicy, jobs: usize) {
+    let mut s = BatchScheduler::new(SchedulerConfig { policy });
+    s.add_partition(Partition::new("compute", (0..16).map(NodeId).collect(), 32));
+    let mut rng = DetRng::seed_from_u64(9);
+    let mut at = SimTime::ZERO;
+    for i in 0..jobs {
+        at = at + SimDuration::from_secs(rng.range_u64(1, 30));
+        let spec = JobSpec {
+            name: format!("j{i}"),
+            user: Uid(1),
+            allocation: "a".to_string(),
+            partition: "compute".to_string(),
+            nodes: rng.range_u64(1, 4) as u32,
+            cores_per_node: 32,
+            walltime: SimDuration::from_mins(rng.range_u64(5, 120)),
+            payload: JobPayload::Fixed {
+                duration: SimDuration::from_secs(rng.range_u64(30, 3000)),
+                success: true,
+            },
+        };
+        let _ = s.submit(spec, at);
+    }
+    while let Some(t) = s.next_event() {
+        s.advance_to(t);
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler_500_jobs");
+    for (label, policy) in [
+        ("fifo", SchedulingPolicy::Fifo),
+        ("easy_backfill", SchedulingPolicy::EasyBackfill),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            b.iter(|| run_workload(policy, 500))
+        });
+    }
+    group.finish();
+}
+
+fn bench_badge_cohort(c: &mut Criterion) {
+    c.bench_function("fig1_full_series", |b| {
+        b.iter(|| hpcci::provenance::badges::fig1_series(1234))
+    });
+}
+
+criterion_group!(benches, bench_policies, bench_badge_cohort);
+criterion_main!(benches);

@@ -1,0 +1,163 @@
+//! Ablation: the pilot-job model vs per-task batch allocation (§7.3 —
+//! "Globus Compute relies on a pilot job model and thus tasks can be
+//! executed on the pilot rather than requesting an allocation for each
+//! task").
+//!
+//! A CI suite is a *stream*: task `i+1` is submitted when task `i` finishes.
+//! Under per-task allocation every submission re-enters the batch queue
+//! behind freshly arrived competing jobs; under the pilot model the suite
+//! pays one queue wait and then owns its allocation. On a contended machine
+//! the difference is dramatic — which is why endpoints use pilots.
+
+use hpcci::cluster::{NodeId, Uid};
+use hpcci::scheduler::{
+    BatchScheduler, JobPayload, JobSpec, Partition, SchedulerConfig, SchedulingPolicy,
+};
+use hpcci::sim::{Advance, SimDuration, SimTime};
+
+const TASKS: usize = 20;
+const TASK_SECS: u64 = 30;
+const NODES: u32 = 8;
+/// A competing 600s job arrives every 75s — slightly above the machine's
+/// drain rate, so the queue stays populated (a normal busy day).
+const BG_PERIOD_SECS: u64 = 75;
+const BG_RUN_SECS: u64 = 600;
+const HORIZON_SECS: u64 = 6 * 3600;
+
+fn scheduler() -> BatchScheduler {
+    let mut s = BatchScheduler::new(SchedulerConfig {
+        policy: SchedulingPolicy::Fifo,
+    });
+    s.add_partition(Partition::new("compute", (0..NODES).map(NodeId).collect(), 32));
+    // Initial load: every node busy for the first BG_RUN_SECS.
+    for i in 0..NODES {
+        s.submit(bg_spec(i as usize), SimTime::ZERO).unwrap();
+    }
+    s
+}
+
+fn bg_spec(i: usize) -> JobSpec {
+    JobSpec {
+        name: format!("bg{i}"),
+        user: Uid(99),
+        allocation: "bg".to_string(),
+        partition: "compute".to_string(),
+        nodes: 1,
+        cores_per_node: 32,
+        walltime: SimDuration::from_secs(BG_RUN_SECS + 60),
+        payload: JobPayload::Fixed {
+            duration: SimDuration::from_secs(BG_RUN_SECS),
+            success: true,
+        },
+    }
+}
+
+fn ci_task(i: usize) -> JobSpec {
+    JobSpec {
+        name: format!("ci{i}"),
+        user: Uid(1),
+        allocation: "ci".to_string(),
+        partition: "compute".to_string(),
+        nodes: 1,
+        cores_per_node: 32,
+        walltime: SimDuration::from_secs(TASK_SECS * 4),
+        payload: JobPayload::Fixed {
+            duration: SimDuration::from_secs(TASK_SECS),
+            success: true,
+        },
+    }
+}
+
+/// Advance the scheduler to `target`, injecting background arrivals on the
+/// way. Returns the updated next-arrival counter.
+fn advance_with_arrivals(s: &mut BatchScheduler, target: SimTime, next_bg: &mut u64) {
+    loop {
+        let arrival = SimTime::from_secs(*next_bg * BG_PERIOD_SECS);
+        let step = match s.next_event() {
+            Some(e) => e.min(target).min(arrival),
+            None => target.min(arrival),
+        };
+        if arrival <= step && arrival <= target {
+            s.advance_to(arrival);
+            let id = *next_bg as usize;
+            let _ = s.submit(bg_spec(1000 + id), arrival);
+            *next_bg += 1;
+            continue;
+        }
+        s.advance_to(step);
+        if step >= target {
+            return;
+        }
+    }
+}
+
+/// Per-task allocation: sequential suite, one batch job per task.
+fn per_task() -> f64 {
+    let mut s = scheduler();
+    let mut next_bg = 1u64;
+    let mut now = SimTime::ZERO;
+    for i in 0..TASKS {
+        let id = s.submit(ci_task(i), now).unwrap();
+        // Drain (with arrivals) until this task completes.
+        loop {
+            if s.state(id).unwrap().is_terminal() {
+                break;
+            }
+            let step = s
+                .next_event()
+                .expect("work pending")
+                .min(SimTime::from_secs(next_bg * BG_PERIOD_SECS));
+            advance_with_arrivals(&mut s, step, &mut next_bg);
+            now = s.now();
+            if now > SimTime::from_secs(HORIZON_SECS) {
+                return HORIZON_SECS as f64; // saturated: report the horizon
+            }
+        }
+        now = s.now();
+    }
+    now.as_secs_f64()
+}
+
+/// Pilot model: one allocation, the sequential suite rides it.
+fn pilot() -> f64 {
+    let mut s = scheduler();
+    let mut next_bg = 1u64;
+    let pilot = s
+        .submit(
+            JobSpec::single_node("pilot", Uid(1), "ci", 32, SimDuration::from_hours(1)),
+            SimTime::ZERO,
+        )
+        .unwrap();
+    let started = loop {
+        if let hpcci::scheduler::JobState::Running { started, .. } = s.state(pilot).unwrap() {
+            break started;
+        }
+        let step = s
+            .next_event()
+            .expect("work pending")
+            .min(SimTime::from_secs(next_bg * BG_PERIOD_SECS));
+        advance_with_arrivals(&mut s, step, &mut next_bg);
+    };
+    // The suite runs back to back inside the allocation.
+    let finish = started + SimDuration::from_secs(TASK_SECS) * TASKS as u64;
+    advance_with_arrivals(&mut s, finish, &mut next_bg);
+    s.shutdown_pilot(pilot, true, finish).unwrap();
+    finish.as_secs_f64()
+}
+
+fn main() {
+    hpcci_bench::section(&format!(
+        "Ablation — pilot vs per-task allocation ({TASKS} sequential tasks x {TASK_SECS}s, contended machine)"
+    ));
+    let p = per_task();
+    let q = pilot();
+    println!("{:<26}{:>24}", "model", "suite finished (s)");
+    println!("{:<26}{:>24.0}", "per-task allocation", p);
+    println!("{:<26}{:>24.0}", "pilot (1 allocation)", q);
+    println!(
+        "\npilot completes the suite {:.1}x sooner: each per-task submission re-queues behind \
+         newly arrived jobs, while the pilot pays one queue wait — §7.3, quantified.",
+        p / q
+    );
+    assert!(q < p, "pilot must win on a contended machine");
+}

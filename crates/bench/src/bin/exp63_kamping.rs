@@ -1,0 +1,38 @@
+//! EXP63: reproduce §6.3 — the KaMPIng Artifact Evaluation experiments run
+//! through CORRECT on a Chameleon instance, inside the published container,
+//! with every experiment's stdout stored as a workflow artifact.
+
+use hpcci::scenarios::kamping_scenario;
+
+fn main() {
+    let mut s = kamping_scenario(63);
+    let run_id = s.dispatch_approve_run("vhayot");
+    let run = s.fed.engine.run(run_id).unwrap().clone();
+
+    hpcci_bench::section("§6.3 — KaMPIng artifact reproduction via CORRECT");
+    println!("workflow: {}  status: {:?}\n", run.workflow, run.status);
+
+    let now = s.fed.now();
+    let mut all_passed = true;
+    for name in hpcci::minimpi::KAMPING_ARTIFACTS {
+        match s.fed.engine.artifacts.fetch(run_id, name, now) {
+            Ok(artifact) => {
+                let text = artifact.text();
+                let passed = text.contains("PASSED");
+                all_passed &= passed;
+                println!("--- artifact `{name}` ---");
+                print!("{text}");
+                println!();
+            }
+            Err(e) => {
+                all_passed = false;
+                println!("--- artifact `{name}` MISSING: {e} ---");
+            }
+        }
+    }
+    println!(
+        "result: {} (paper: \"all the Artifact Evaluation experiments pass with CORRECT\")",
+        if all_passed { "ALL ARTIFACTS PASS" } else { "FAILURES PRESENT" }
+    );
+    assert!(all_passed);
+}

@@ -1,0 +1,49 @@
+//! FIG1: regenerate Fig. 1 — reproducibility badges awarded by SC over time
+//! — from the calibrated cohort generator, plus the ablation showing what
+//! CORRECT-style remote evidence does to the top badge.
+
+use hpcci::provenance::badges::{fig1_series, CohortParams, Reviewer};
+use hpcci::sim::DetRng;
+
+fn main() {
+    let seed = 1234;
+    hpcci_bench::section("Fig. 1 — reproducibility badges awarded by SC over time (synthesized)");
+    println!(
+        "{:>6}{:>13}{:>12}{:>12}{:>12}",
+        "year", "submissions", "available", "evaluated", "reproduced"
+    );
+    for y in fig1_series(seed) {
+        println!(
+            "{:>6}{:>13}{:>12}{:>12}{:>12}",
+            y.year, y.submissions, y.available, y.evaluated, y.reproduced
+        );
+    }
+
+    hpcci_bench::section("Ablation — 2024 cohort, share of hardware-gated artifacts with remote CI evidence");
+    println!("{:>26}{:>12}{:>12}{:>12}", "remote-evidence share", "available", "evaluated", "reproduced");
+    for share in [0.0, 0.12, 0.5, 1.0] {
+        let mut params = CohortParams::sc_year(2024);
+        params.remote_evidence_share = share;
+        let mut rng = DetRng::seed_from_u64(seed);
+        let reviewer = Reviewer::default();
+        let (mut available, mut evaluated, mut reproduced) = (0, 0, 0);
+        for artifact in params.generate(&mut rng) {
+            let outcome = reviewer.review(&artifact, &mut rng);
+            use hpcci::provenance::BadgeLevel::*;
+            if outcome.reached(ArtifactsAvailable) {
+                available += 1;
+            }
+            if outcome.reached(ArtifactsEvaluated) {
+                evaluated += 1;
+            }
+            if outcome.reached(ResultsReproduced) {
+                reproduced += 1;
+            }
+        }
+        println!("{share:>26.2}{available:>12}{evaluated:>12}{reproduced:>12}");
+    }
+    println!(
+        "\nShape check vs paper: availability rises steeply 2016->2024; evaluated tracks below it;\n\
+         results-reproduced remains the smallest share; remote evidence lifts only the top badge."
+    );
+}

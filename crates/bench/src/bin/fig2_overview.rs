@@ -1,0 +1,34 @@
+//! FIG2: the CORRECT system overview, regenerated as the actual message
+//! trace of one action invocation — every component and hop of Fig. 2,
+//! observed rather than drawn.
+
+use hpcci::scenarios::psij_scenario;
+
+fn main() {
+    let mut s = psij_scenario(2, false);
+    let runs = s.push_approve_run("vhayot");
+    let run = s.fed.engine.run(runs[0]).unwrap().clone();
+
+    hpcci_bench::section("Fig. 2 — CORRECT system overview (observed message trace)");
+    println!(
+        "actors: GitHub repo ({}) -> workflow runner -> CORRECT action -> Globus Auth ->\n\
+         Globus Compute cloud -> MEP at purdue-anvil -> UEP (x-vhayot) -> login node\n",
+        s.repo
+    );
+    let cloud = s.fed.cloud.lock();
+    print!("{}", cloud.trace.render());
+    drop(cloud);
+
+    hpcci_bench::section("resulting workflow run");
+    println!("status: {:?}", run.status);
+    for step in &run.steps {
+        println!(
+            "  step {}/{} [{}] {} -> {}",
+            step.job,
+            step.step,
+            if step.success { "ok" } else { "FAILED" },
+            step.started,
+            step.ended
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! FIG5: regenerate Fig. 5 — the PSI/J test invocation failure — showing
+//! both panes: the error surfaced in the CI UI (top) and the full execution
+//! stdout preserved in the workflow artifact (bottom).
+
+use hpcci::scenarios::psij_scenario;
+
+fn main() {
+    let mut s = psij_scenario(5, true); // inject the dependency fault
+    let runs = s.push_approve_run("vhayot");
+    let run = s.fed.engine.run(runs[0]).unwrap().clone();
+
+    hpcci_bench::section("Fig. 5 (top) — error reported back to the GitHub runner");
+    println!("run {} -> {:?}  {}", run.id, run.status, run.badge());
+    let step = run.step("run").expect("correct step");
+    for line in step.stderr.lines() {
+        println!("Error: {line}");
+    }
+
+    hpcci_bench::section("Fig. 5 (bottom) — execution stdout stored within a workflow artifact");
+    let now = s.fed.now();
+    let artifact = s
+        .fed
+        .engine
+        .artifacts
+        .fetch(runs[0], "pytest-output", now)
+        .expect("artifact stored regardless of failure");
+    for (ix, line) in artifact.text().lines().enumerate() {
+        println!("{:>4} {line}", ix + 247); // Fig. 5's log excerpt starts at line 247
+    }
+
+    hpcci_bench::section("recovery — same workflow after the dependency is fixed");
+    let mut fixed = psij_scenario(5, false);
+    let fixed_runs = fixed.push_approve_run("vhayot");
+    let fixed_run = fixed.fed.engine.run(fixed_runs[0]).unwrap();
+    println!("run {} -> {:?}  {}", fixed_run.id, fixed_run.status, fixed_run.badge());
+}

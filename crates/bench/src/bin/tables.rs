@@ -1,0 +1,37 @@
+//! TAB1–TAB4: regenerate the paper's tables from the live models.
+//!
+//! ```sh
+//! cargo run -p hpcci-bench --bin tables            # all four
+//! cargo run -p hpcci-bench --bin tables -- tab4    # one table
+//! ```
+
+use hpcci::baselines::{render_table1, render_table2, render_table3, render_table4};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut printed = false;
+    if which == "all" || which == "tab1" {
+        hpcci_bench::section("Table 1");
+        print!("{}", render_table1());
+        printed = true;
+    }
+    if which == "all" || which == "tab2" {
+        hpcci_bench::section("Table 2");
+        print!("{}", render_table2());
+        printed = true;
+    }
+    if which == "all" || which == "tab3" {
+        hpcci_bench::section("Table 3");
+        print!("{}", render_table3());
+        printed = true;
+    }
+    if which == "all" || which == "tab4" {
+        hpcci_bench::section("Table 4");
+        print!("{}", render_table4());
+        printed = true;
+    }
+    if !printed {
+        eprintln!("usage: tables [all|tab1|tab2|tab3|tab4]");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,24 @@
+//! # hpcci-bench — the experiment harness
+//!
+//! One binary per paper artifact (see `DESIGN.md` §3 for the index):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `fig1_badges` | Fig. 1 — badges awarded by SC over time |
+//! | `tables` | Tables 1–4 (`tables -- tab1..tab4` or `all`) |
+//! | `fig2_overview` | Fig. 2 — system overview as a message trace |
+//! | `fig4_parsldock` | Fig. 4 — ParslDock per-test runtimes per site |
+//! | `fig5_psij` | Fig. 5 — PSI/J failure reporting |
+//! | `exp63_kamping` | §6.3 — KaMPIng artifact reproduction |
+//! | `overhead` | §7.3 — CORRECT overhead vs direct execution |
+//! | `ablation_scheduler` | EASY backfill vs FIFO makespan |
+//! | `ablation_pilot` | pilot-job amortization vs per-task allocation |
+//!
+//! Criterion benches (`cargo bench`) measure the *real* compute claims
+//! (KaMPIng binding overhead, docking parallel speedup) and harness
+//! throughput (scheduler event rate, end-to-end CORRECT runs per second).
+
+/// Shared output helper: consistent section headers across binaries.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}

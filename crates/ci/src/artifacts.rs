@@ -1,0 +1,119 @@
+//! Workflow artifacts with retention.
+//!
+//! "GitHub artifacts remain available for only 90 days" (§7.4) — retention is
+//! modelled so the paper's recommendation (persist important artifacts to a
+//! permanent archive) is demonstrable: an expired artifact really disappears.
+
+use crate::error::CiError;
+use crate::run::RunId;
+use bytes::Bytes;
+use hpcci_sim::{SimDuration, SimTime};
+
+/// Default retention window.
+pub const RETENTION: SimDuration = SimDuration::from_hours(90 * 24);
+
+/// One stored artifact.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    pub run: RunId,
+    pub name: String,
+    pub content: Bytes,
+    pub uploaded_at: SimTime,
+    pub expires_at: SimTime,
+}
+
+impl Artifact {
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.content).into_owned()
+    }
+}
+
+/// The artifact store for the CI service.
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    artifacts: Vec<Artifact>,
+}
+
+impl ArtifactStore {
+    pub fn new() -> Self {
+        ArtifactStore::default()
+    }
+
+    pub fn upload(&mut self, run: RunId, name: &str, content: impl Into<Bytes>, now: SimTime) {
+        self.artifacts.push(Artifact {
+            run,
+            name: name.to_string(),
+            content: content.into(),
+            uploaded_at: now,
+            expires_at: now + RETENTION,
+        });
+    }
+
+    /// Fetch a live artifact by run and name.
+    pub fn fetch(&self, run: RunId, name: &str, now: SimTime) -> Result<&Artifact, CiError> {
+        self.artifacts
+            .iter()
+            .find(|a| a.run == run && a.name == name && now < a.expires_at)
+            .ok_or_else(|| CiError::UnknownArtifact(name.to_string()))
+    }
+
+    /// All live artifacts of a run.
+    pub fn of_run(&self, run: RunId, now: SimTime) -> Vec<&Artifact> {
+        self.artifacts
+            .iter()
+            .filter(|a| a.run == run && now < a.expires_at)
+            .collect()
+    }
+
+    /// Drop expired artifacts; returns how many were purged.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.artifacts.len();
+        self.artifacts.retain(|a| now < a.expires_at);
+        before - self.artifacts.len()
+    }
+
+    pub fn len(&self) -> usize {
+        self.artifacts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.artifacts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upload_and_fetch() {
+        let mut store = ArtifactStore::new();
+        store.upload(RunId(1), "stdout.txt", "test output", SimTime::ZERO);
+        let a = store.fetch(RunId(1), "stdout.txt", SimTime::from_secs(10)).unwrap();
+        assert_eq!(a.text(), "test output");
+        assert!(store.fetch(RunId(2), "stdout.txt", SimTime::ZERO).is_err());
+        assert!(store.fetch(RunId(1), "other", SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn artifacts_expire_after_90_days() {
+        let mut store = ArtifactStore::new();
+        store.upload(RunId(1), "log", "x", SimTime::ZERO);
+        let day89 = SimTime::from_secs(89 * 24 * 3600);
+        let day91 = SimTime::from_secs(91 * 24 * 3600);
+        assert!(store.fetch(RunId(1), "log", day89).is_ok());
+        assert!(store.fetch(RunId(1), "log", day91).is_err());
+        assert_eq!(store.purge_expired(day91), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn of_run_lists_only_that_run() {
+        let mut store = ArtifactStore::new();
+        store.upload(RunId(1), "a", "1", SimTime::ZERO);
+        store.upload(RunId(1), "b", "2", SimTime::ZERO);
+        store.upload(RunId(2), "c", "3", SimTime::ZERO);
+        assert_eq!(store.of_run(RunId(1), SimTime::from_secs(1)).len(), 2);
+        assert_eq!(store.of_run(RunId(2), SimTime::from_secs(1)).len(), 1);
+    }
+}

@@ -1,0 +1,804 @@
+//! The CI engine: event intake, approval gating, and run execution.
+
+use crate::action::{Action, StepContext, WorldDriver};
+use crate::artifacts::ArtifactStore;
+use crate::environment::Environment;
+use crate::error::CiError;
+use crate::run::{RunId, RunStatus, StepRun, WorkflowRun};
+use crate::runner::RunnerPool;
+use crate::secrets::{mask_secrets, SecretStore};
+use crate::workflow::{interpolate, StepAction, StepDef, TriggerEvent, WorkflowDef};
+use hpcci_sim::{SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// A recurring schedule derived from `on: schedule` triggers.
+#[derive(Debug, Clone)]
+struct Schedule {
+    repo: String,
+    workflow: String,
+    period: SimDuration,
+    next_fire: SimTime,
+}
+
+/// The CI service.
+pub struct CiEngine {
+    workflows: BTreeMap<String, Vec<WorkflowDef>>,
+    environments: BTreeMap<(String, String), Environment>,
+    env_vars: BTreeMap<String, BTreeMap<String, String>>,
+    pub secrets: SecretStore,
+    pub runners: RunnerPool,
+    pub artifacts: ArtifactStore,
+    actions: BTreeMap<String, Arc<dyn Action>>,
+    runs: BTreeMap<RunId, WorkflowRun>,
+    /// Runs ready to execute, with the earliest time execution may begin
+    /// (wait timers).
+    ready: VecDeque<(RunId, SimTime)>,
+    schedules: Vec<Schedule>,
+    next_run: u64,
+}
+
+impl Default for CiEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CiEngine {
+    pub fn new() -> Self {
+        CiEngine {
+            workflows: BTreeMap::new(),
+            environments: BTreeMap::new(),
+            env_vars: BTreeMap::new(),
+            secrets: SecretStore::new(),
+            runners: RunnerPool::with_hosted_defaults(),
+            artifacts: ArtifactStore::new(),
+            actions: BTreeMap::new(),
+            runs: BTreeMap::new(),
+            ready: VecDeque::new(),
+            schedules: Vec::new(),
+            next_run: 0,
+        }
+    }
+
+    /// Register a marketplace/custom action under its `uses:` name.
+    pub fn register_action(&mut self, name: &str, action: Arc<dyn Action>) {
+        self.actions.insert(name.to_string(), action);
+    }
+
+    /// Install a workflow file for a repository.
+    pub fn add_workflow(&mut self, repo: &str, workflow: WorkflowDef) {
+        for t in &workflow.on {
+            if let TriggerEvent::Schedule { period_secs } = t {
+                self.schedules.push(Schedule {
+                    repo: repo.to_string(),
+                    workflow: workflow.name.clone(),
+                    period: SimDuration::from_secs(*period_secs),
+                    next_fire: SimTime::ZERO + SimDuration::from_secs(*period_secs),
+                });
+            }
+        }
+        self.workflows.entry(repo.to_string()).or_default().push(workflow);
+    }
+
+    /// Define a deployment environment for a repository.
+    pub fn add_environment(&mut self, repo: &str, env: Environment) {
+        self.environments.insert((repo.to_string(), env.name.clone()), env);
+    }
+
+    pub fn environment(&self, repo: &str, name: &str) -> Result<&Environment, CiError> {
+        self.environments
+            .get(&(repo.to_string(), name.to_string()))
+            .ok_or_else(|| CiError::UnknownEnvironment(name.to_string()))
+    }
+
+    /// Repository-level env var (`env:` block).
+    pub fn set_env_var(&mut self, repo: &str, key: &str, value: &str) {
+        self.env_vars
+            .entry(repo.to_string())
+            .or_default()
+            .insert(key.to_string(), value.to_string());
+    }
+
+    pub fn run(&self, id: RunId) -> Result<&WorkflowRun, CiError> {
+        self.runs.get(&id).ok_or(CiError::UnknownRun(id))
+    }
+
+    pub fn runs(&self) -> impl Iterator<Item = &WorkflowRun> {
+        self.runs.values()
+    }
+
+    /// Runs currently blocked on an approval.
+    pub fn awaiting_approval(&self) -> Vec<RunId> {
+        self.runs
+            .values()
+            .filter(|r| r.status == RunStatus::AwaitingApproval)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Triggering
+    // ------------------------------------------------------------------
+
+    /// Handle a push webhook: instantiate a run for every workflow in the
+    /// repository with a matching push trigger.
+    pub fn on_push(
+        &mut self,
+        repo: &str,
+        branch: &str,
+        commit: &str,
+        now: SimTime,
+    ) -> Result<Vec<RunId>, CiError> {
+        let matching: Vec<String> = self
+            .workflows
+            .get(repo)
+            .map(|list| {
+                list.iter()
+                    .filter(|w| w.on.iter().any(|t| t.matches_push(branch)))
+                    .map(|w| w.name.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        matching
+            .into_iter()
+            .map(|w| self.instantiate(repo, &w, branch, commit, now))
+            .collect()
+    }
+
+    /// Handle a pull-request webhook.
+    pub fn on_pull_request(
+        &mut self,
+        repo: &str,
+        head_branch: &str,
+        commit: &str,
+        now: SimTime,
+    ) -> Result<Vec<RunId>, CiError> {
+        let matching: Vec<String> = self
+            .workflows
+            .get(repo)
+            .map(|list| {
+                list.iter()
+                    .filter(|w| w.on.iter().any(|t| matches!(t, TriggerEvent::PullRequest)))
+                    .map(|w| w.name.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        matching
+            .into_iter()
+            .map(|w| self.instantiate(repo, &w, head_branch, commit, now))
+            .collect()
+    }
+
+    /// Manual `workflow_dispatch`.
+    pub fn dispatch(
+        &mut self,
+        repo: &str,
+        workflow: &str,
+        branch: &str,
+        commit: &str,
+        now: SimTime,
+    ) -> Result<RunId, CiError> {
+        let exists = self
+            .workflows
+            .get(repo)
+            .map(|list| list.iter().any(|w| w.name == workflow))
+            .unwrap_or(false);
+        if !exists {
+            return Err(CiError::UnknownWorkflow {
+                repo: repo.to_string(),
+                workflow: workflow.to_string(),
+            });
+        }
+        self.instantiate(repo, workflow, branch, commit, now)
+    }
+
+    /// Fire due schedules; returns `(repo, workflow)` pairs the caller should
+    /// `dispatch` with the current head commit (the engine does not know the
+    /// repository contents).
+    pub fn due_schedules(&mut self, now: SimTime) -> Vec<(String, String)> {
+        let mut fired = Vec::new();
+        for s in &mut self.schedules {
+            while s.next_fire <= now {
+                fired.push((s.repo.clone(), s.workflow.clone()));
+                s.next_fire = s.next_fire + s.period;
+            }
+        }
+        fired
+    }
+
+    fn workflow_def(&self, repo: &str, name: &str) -> Result<&WorkflowDef, CiError> {
+        self.workflows
+            .get(repo)
+            .and_then(|list| list.iter().find(|w| w.name == name))
+            .ok_or_else(|| CiError::UnknownWorkflow {
+                repo: repo.to_string(),
+                workflow: name.to_string(),
+            })
+    }
+
+    fn instantiate(
+        &mut self,
+        repo: &str,
+        workflow: &str,
+        branch: &str,
+        commit: &str,
+        now: SimTime,
+    ) -> Result<RunId, CiError> {
+        let def = self.workflow_def(repo, workflow)?;
+        // Validate job graph and environment references up front.
+        def.job_order().map_err(|(job, needs)| CiError::BadJobDependency { job, needs })?;
+        let mut needs_approval = false;
+        for job in &def.jobs {
+            if let Some(env_name) = &job.environment {
+                let env = self
+                    .environments
+                    .get(&(repo.to_string(), env_name.clone()))
+                    .ok_or_else(|| CiError::UnknownEnvironment(env_name.clone()))?;
+                if !env.branch_allowed(branch) {
+                    return Err(CiError::BranchNotAllowed {
+                        environment: env_name.clone(),
+                        branch: branch.to_string(),
+                    });
+                }
+                needs_approval |= env.requires_approval();
+            }
+        }
+        self.next_run += 1;
+        let id = RunId(self.next_run);
+        let status = if needs_approval {
+            RunStatus::AwaitingApproval
+        } else {
+            RunStatus::Queued
+        };
+        self.runs.insert(
+            id,
+            WorkflowRun {
+                id,
+                repo: repo.to_string(),
+                workflow: workflow.to_string(),
+                branch: branch.to_string(),
+                commit: commit.to_string(),
+                status,
+                triggered_at: now,
+                started_at: None,
+                ended_at: None,
+                approved_by: None,
+                steps: Vec::new(),
+            },
+        );
+        if status == RunStatus::Queued {
+            self.ready.push_back((id, now));
+        }
+        Ok(id)
+    }
+
+    // ------------------------------------------------------------------
+    // Approval
+    // ------------------------------------------------------------------
+
+    /// Approve an awaiting run. `reviewer` must be a required reviewer of
+    /// *every* approval-gated environment the run's jobs target.
+    pub fn approve(&mut self, id: RunId, reviewer: &str, now: SimTime) -> Result<(), CiError> {
+        let run = self.runs.get(&id).ok_or(CiError::UnknownRun(id))?;
+        if run.status != RunStatus::AwaitingApproval {
+            return Err(CiError::NotAwaitingApproval(id));
+        }
+        let def = self.workflow_def(&run.repo, &run.workflow)?;
+        let mut max_wait = SimDuration::ZERO;
+        for job in &def.jobs {
+            if let Some(env_name) = &job.environment {
+                let env = self
+                    .environments
+                    .get(&(run.repo.clone(), env_name.clone()))
+                    .ok_or_else(|| CiError::UnknownEnvironment(env_name.clone()))?;
+                if env.requires_approval() && !env.is_required_reviewer(reviewer) {
+                    return Err(CiError::NotARequiredReviewer {
+                        run: id,
+                        user: reviewer.to_string(),
+                    });
+                }
+                max_wait = max_wait.max(env.wait_timer);
+            }
+        }
+        let run = self.runs.get_mut(&id).expect("looked up above");
+        run.status = RunStatus::Queued;
+        run.approved_by = Some(reviewer.to_string());
+        self.ready.push_back((id, now + max_wait));
+        Ok(())
+    }
+
+    /// Reject an awaiting run.
+    pub fn reject(&mut self, id: RunId, reviewer: &str) -> Result<(), CiError> {
+        let run = self.runs.get(&id).ok_or(CiError::UnknownRun(id))?;
+        if run.status != RunStatus::AwaitingApproval {
+            return Err(CiError::NotAwaitingApproval(id));
+        }
+        let def = self.workflow_def(&run.repo, &run.workflow)?;
+        for job in &def.jobs {
+            if let Some(env_name) = &job.environment {
+                if let Some(env) = self.environments.get(&(run.repo.clone(), env_name.clone())) {
+                    if env.requires_approval() && !env.is_required_reviewer(reviewer) {
+                        return Err(CiError::NotARequiredReviewer {
+                            run: id,
+                            user: reviewer.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let run = self.runs.get_mut(&id).expect("looked up above");
+        run.status = RunStatus::Rejected;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Execute every run whose earliest-start has arrived. Returns the ids
+    /// executed, in order.
+    pub fn execute_ready(&mut self, driver: &mut dyn WorldDriver) -> Vec<RunId> {
+        let mut executed = Vec::new();
+        while let Some((id, earliest)) = self.ready.pop_front() {
+            if driver.now() < earliest {
+                // Wait timer not yet elapsed: let virtual time pass.
+                driver.sleep(earliest.since(driver.now()));
+            }
+            self.execute_run(id, driver);
+            executed.push(id);
+        }
+        executed
+    }
+
+    fn execute_run(&mut self, id: RunId, driver: &mut dyn WorldDriver) {
+        let (repo, workflow, branch, commit) = {
+            let run = self.runs.get_mut(&id).expect("queued run exists");
+            run.status = RunStatus::Running;
+            run.started_at = Some(driver.now());
+            (
+                run.repo.clone(),
+                run.workflow.clone(),
+                run.branch.clone(),
+                run.commit.clone(),
+            )
+        };
+        let def = self
+            .workflow_def(&repo, &workflow)
+            .expect("validated at instantiation")
+            .clone();
+        let org = repo.split('/').next().unwrap_or(&repo).to_string();
+        let repo_env_vars = self.env_vars.get(&repo).cloned().unwrap_or_default();
+        let mask_values = self.secrets.all_values();
+
+        let order = def.job_order().expect("validated at instantiation");
+        let mut failed_jobs: Vec<String> = Vec::new();
+        let mut run_failed = false;
+        let mut steps_acc: Vec<StepRun> = Vec::new();
+
+        for job in order {
+            if job.needs.iter().any(|n| failed_jobs.contains(n)) {
+                failed_jobs.push(job.id.clone());
+                continue;
+            }
+            let runner = match self.runners.select(&job.runs_on) {
+                Ok(r) => r.clone(),
+                Err(e) => {
+                    run_failed = true;
+                    failed_jobs.push(job.id.clone());
+                    steps_acc.push(StepRun {
+                        job: job.id.clone(),
+                        step: "<runner>".to_string(),
+                        success: false,
+                        stdout: String::new(),
+                        stderr: e.to_string(),
+                        outputs: BTreeMap::new(),
+                        started: driver.now(),
+                        ended: driver.now(),
+                    });
+                    continue;
+                }
+            };
+            driver.sleep(runner.startup);
+            let secrets = self.secrets.resolve(&org, &repo, job.environment.as_deref());
+            let mut job_failed = false;
+            for step in &job.steps {
+                let started = driver.now();
+                let result = self.execute_step(
+                    step, &repo, &branch, &commit, &secrets, &repo_env_vars, &steps_acc, driver,
+                );
+                let ended = driver.now();
+                let success = result.success;
+                for (name, content) in result.artifacts {
+                    self.artifacts.upload(id, &name, content, ended);
+                }
+                steps_acc.push(StepRun {
+                    job: job.id.clone(),
+                    step: step.id.clone(),
+                    success,
+                    stdout: mask_secrets(&result.stdout, &mask_values),
+                    stderr: mask_secrets(&result.stderr, &mask_values),
+                    outputs: result.outputs,
+                    started,
+                    ended,
+                });
+                if !success {
+                    // Soft failure (`continue-on-error`): later steps still
+                    // run (so stdout/stderr artifacts upload regardless of
+                    // outcome, §6.2), but the run is reported failed either
+                    // way — the UI must show the red X of Fig. 5.
+                    run_failed = true;
+                    if !step.continue_on_error {
+                        job_failed = true;
+                        break;
+                    }
+                }
+            }
+            if job_failed {
+                failed_jobs.push(job.id.clone());
+                run_failed = true;
+            }
+        }
+
+        let run = self.runs.get_mut(&id).expect("still exists");
+        run.steps = steps_acc;
+        run.ended_at = Some(driver.now());
+        run.status = if run_failed { RunStatus::Failure } else { RunStatus::Success };
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_step(
+        &mut self,
+        step: &StepDef,
+        repo: &str,
+        branch: &str,
+        commit: &str,
+        secrets: &BTreeMap<String, String>,
+        env_vars: &BTreeMap<String, String>,
+        prior_steps: &[StepRun],
+        driver: &mut dyn WorldDriver,
+    ) -> crate::action::StepResult {
+        use crate::action::StepResult;
+        match &step.action {
+            StepAction::Run { command } => {
+                let cmd = interpolate(command, secrets, env_vars);
+                // The runner-side shell: commands cost a base latency and
+                // fail only when explicitly told to (tests exercise the
+                // control flow, not a shell implementation).
+                driver.sleep(SimDuration::from_millis(800));
+                if cmd.contains("exit 1") {
+                    StepResult::fail(format!("$ {cmd}\ncommand failed with exit code 1"))
+                } else {
+                    StepResult::ok(format!("$ {cmd}\nok"))
+                }
+            }
+            StepAction::Uses { action, with } => {
+                let Some(implementation) = self.actions.get(action).cloned() else {
+                    return StepResult::fail(format!("unknown action: {action}"));
+                };
+                let inputs: BTreeMap<String, String> = with
+                    .iter()
+                    .map(|(k, v)| (k.clone(), interpolate(v, secrets, env_vars)))
+                    .collect();
+                let mut ctx = StepContext {
+                    repo: repo.to_string(),
+                    branch: branch.to_string(),
+                    commit: commit.to_string(),
+                    inputs,
+                    env: env_vars.clone(),
+                    driver,
+                };
+                implementation.run(&mut ctx)
+            }
+            StepAction::UploadArtifact { name, from_step } => {
+                let Some(source) = prior_steps.iter().find(|s| s.step == *from_step) else {
+                    return StepResult::fail(format!("upload-artifact: no prior step `{from_step}`"));
+                };
+                let mut content = source.stdout.clone();
+                if !source.stderr.is_empty() {
+                    content.push_str("\n--- stderr ---\n");
+                    content.push_str(&source.stderr);
+                }
+                StepResult::ok(format!("uploaded artifact {name}"))
+                    .with_artifact(name, content)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::NullDriver;
+    use crate::environment::Environment;
+    use crate::secrets::{Secret, SecretScope};
+    use crate::workflow::{JobDef, StepDef, WorkflowDef};
+
+    fn engine_with_workflow(workflow: WorkflowDef) -> CiEngine {
+        let mut e = CiEngine::new();
+        e.add_workflow("globus-labs/app", workflow);
+        e
+    }
+
+    fn simple_workflow() -> WorkflowDef {
+        WorkflowDef::new("ci")
+            .on_event(TriggerEvent::push_any())
+            .with_job(
+                JobDef::new("test")
+                    .with_step(StepDef::run("install", "pip install -r requirements.txt"))
+                    .with_step(StepDef::run("pytest", "pytest -v")),
+            )
+    }
+
+    #[test]
+    fn push_triggers_and_run_succeeds() {
+        let mut e = engine_with_workflow(simple_workflow());
+        let runs = e
+            .on_push("globus-labs/app", "main", "abc123", SimTime::ZERO)
+            .unwrap();
+        assert_eq!(runs.len(), 1);
+        let mut driver = NullDriver::new();
+        let executed = e.execute_ready(&mut driver);
+        assert_eq!(executed, runs);
+        let run = e.run(runs[0]).unwrap();
+        assert_eq!(run.status, RunStatus::Success);
+        assert_eq!(run.steps.len(), 2);
+        assert!(run.badge().contains("passing"));
+        assert!(run.started_at.unwrap() < run.ended_at.unwrap());
+    }
+
+    #[test]
+    fn push_to_unmatched_branch_is_ignored() {
+        let wf = WorkflowDef::new("ci")
+            .on_event(TriggerEvent::push_to("main"))
+            .with_job(JobDef::new("j").with_step(StepDef::run("s", "true")));
+        let mut e = engine_with_workflow(wf);
+        let runs = e.on_push("globus-labs/app", "dev", "abc", SimTime::ZERO).unwrap();
+        assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn failing_step_fails_run_and_skips_rest() {
+        let wf = WorkflowDef::new("ci")
+            .on_event(TriggerEvent::push_any())
+            .with_job(
+                JobDef::new("test")
+                    .with_step(StepDef::run("boom", "bash -c 'exit 1'"))
+                    .with_step(StepDef::run("after", "echo unreachable")),
+            )
+            .with_job(JobDef::new("deploy").with_needs(&["test"]).with_step(StepDef::run("d", "deploy")));
+        let mut e = engine_with_workflow(wf);
+        let runs = e.on_push("globus-labs/app", "main", "abc", SimTime::ZERO).unwrap();
+        let mut driver = NullDriver::new();
+        e.execute_ready(&mut driver);
+        let run = e.run(runs[0]).unwrap();
+        assert_eq!(run.status, RunStatus::Failure);
+        // Only the failing step ran; `after` skipped; `deploy` job skipped.
+        assert_eq!(run.steps.len(), 1);
+        assert!(run.steps[0].stderr.contains("exit code 1") || run.steps[0].stdout.contains("exit"));
+    }
+
+    #[test]
+    fn continue_on_error_lets_artifact_upload_happen() {
+        // §6.2's pattern: store stdout/stderr artifacts regardless of outcome.
+        let wf = WorkflowDef::new("psij-ci")
+            .on_event(TriggerEvent::push_any())
+            .with_job(
+                JobDef::new("test")
+                    .with_step(StepDef::run("pytest", "bash -c 'exit 1'").allow_failure())
+                    .with_step(StepDef::upload_artifact("save", "pytest-output", "pytest")),
+            );
+        let mut e = engine_with_workflow(wf);
+        let runs = e.on_push("globus-labs/app", "main", "abc", SimTime::ZERO).unwrap();
+        let mut driver = NullDriver::new();
+        e.execute_ready(&mut driver);
+        let run = e.run(runs[0]).unwrap();
+        assert_eq!(run.steps.len(), 2, "upload ran despite failure");
+        let artifact = e
+            .artifacts
+            .fetch(runs[0], "pytest-output", driver.now())
+            .unwrap();
+        assert!(artifact.text().contains("exit code 1"));
+        // The run is still reported failed (Fig. 5's red X), even though the
+        // soft failure let the artifact upload proceed.
+        assert_eq!(run.status, RunStatus::Failure);
+    }
+
+    #[test]
+    fn environment_approval_gates_execution() {
+        let wf = WorkflowDef::new("hpc-ci")
+            .on_event(TriggerEvent::push_any())
+            .with_job(
+                JobDef::new("remote")
+                    .with_environment("anvil-vhayot")
+                    .with_step(StepDef::run("s", "run tests")),
+            );
+        let mut e = engine_with_workflow(wf);
+        e.add_environment(
+            "globus-labs/app",
+            Environment::new("anvil-vhayot").with_reviewer("vhayot"),
+        );
+        let runs = e.on_push("globus-labs/app", "main", "abc", SimTime::ZERO).unwrap();
+        let id = runs[0];
+        assert_eq!(e.run(id).unwrap().status, RunStatus::AwaitingApproval);
+
+        // Nothing executes before approval.
+        let mut driver = NullDriver::new();
+        assert!(e.execute_ready(&mut driver).is_empty());
+
+        // A non-reviewer cannot approve.
+        assert!(matches!(
+            e.approve(id, "mallory", SimTime::from_secs(5)),
+            Err(CiError::NotARequiredReviewer { .. })
+        ));
+
+        e.approve(id, "vhayot", SimTime::from_secs(10)).unwrap();
+        let executed = e.execute_ready(&mut driver);
+        assert_eq!(executed, vec![id]);
+        let run = e.run(id).unwrap();
+        assert_eq!(run.status, RunStatus::Success);
+        assert_eq!(run.approved_by.as_deref(), Some("vhayot"));
+    }
+
+    #[test]
+    fn rejection_terminates_run() {
+        let wf = WorkflowDef::new("hpc-ci")
+            .on_event(TriggerEvent::push_any())
+            .with_job(
+                JobDef::new("remote")
+                    .with_environment("e")
+                    .with_step(StepDef::run("s", "x")),
+            );
+        let mut e = engine_with_workflow(wf);
+        e.add_environment("globus-labs/app", Environment::new("e").with_reviewer("r"));
+        let id = e.on_push("globus-labs/app", "main", "c", SimTime::ZERO).unwrap()[0];
+        e.reject(id, "r").unwrap();
+        assert_eq!(e.run(id).unwrap().status, RunStatus::Rejected);
+        assert!(matches!(
+            e.approve(id, "r", SimTime::ZERO),
+            Err(CiError::NotAwaitingApproval(_))
+        ));
+    }
+
+    #[test]
+    fn branch_restriction_blocks_run_creation() {
+        let wf = WorkflowDef::new("hpc-ci")
+            .on_event(TriggerEvent::push_any())
+            .with_job(
+                JobDef::new("remote")
+                    .with_environment("prod")
+                    .with_step(StepDef::run("s", "x")),
+            );
+        let mut e = engine_with_workflow(wf);
+        e.add_environment(
+            "globus-labs/app",
+            Environment::new("prod").restrict_branch("main"),
+        );
+        assert!(matches!(
+            e.on_push("globus-labs/app", "evil-branch", "c", SimTime::ZERO),
+            Err(CiError::BranchNotAllowed { .. })
+        ));
+        assert!(e.on_push("globus-labs/app", "main", "c", SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn secrets_are_masked_in_logs() {
+        let mut e = CiEngine::new();
+        e.secrets.put(
+            SecretScope::Repository("globus-labs/app".into()),
+            Secret::new("TOKEN", "hunter2-value"),
+        );
+        e.add_workflow(
+            "globus-labs/app",
+            WorkflowDef::new("ci")
+                .on_event(TriggerEvent::push_any())
+                .with_job(
+                    JobDef::new("j")
+                        .with_step(StepDef::run("leak", "curl -H 'auth: ${{ secrets.TOKEN }}'")),
+                ),
+        );
+        let id = e.on_push("globus-labs/app", "main", "c", SimTime::ZERO).unwrap()[0];
+        let mut driver = NullDriver::new();
+        e.execute_ready(&mut driver);
+        let log = e.run(id).unwrap().full_log();
+        assert!(!log.contains("hunter2-value"), "secret leaked: {log}");
+        assert!(log.contains("***"));
+    }
+
+    #[test]
+    fn custom_action_via_registry() {
+        struct Probe;
+        impl Action for Probe {
+            fn run(&self, ctx: &mut StepContext<'_>) -> crate::action::StepResult {
+                crate::action::StepResult::ok(format!(
+                    "repo={} branch={} input={}",
+                    ctx.repo,
+                    ctx.branch,
+                    ctx.input("param").unwrap_or("-")
+                ))
+            }
+        }
+        let mut e = CiEngine::new();
+        e.register_action("acme/probe@v1", Arc::new(Probe));
+        e.set_env_var("o/r", "PARAM", "from-env");
+        e.add_workflow(
+            "o/r",
+            WorkflowDef::new("ci")
+                .on_event(TriggerEvent::push_any())
+                .with_job(
+                    JobDef::new("j").with_step(StepDef::uses(
+                        "probe",
+                        "acme/probe@v1",
+                        &[("param", "${{ env.PARAM }}")],
+                    )),
+                ),
+        );
+        let id = e.on_push("o/r", "main", "deadbeef", SimTime::ZERO).unwrap()[0];
+        let mut driver = NullDriver::new();
+        e.execute_ready(&mut driver);
+        let run = e.run(id).unwrap();
+        assert!(run.steps[0].stdout.contains("repo=o/r"));
+        assert!(run.steps[0].stdout.contains("input=from-env"));
+    }
+
+    #[test]
+    fn unknown_action_fails_step() {
+        let mut e = engine_with_workflow(
+            WorkflowDef::new("ci")
+                .on_event(TriggerEvent::push_any())
+                .with_job(JobDef::new("j").with_step(StepDef::uses("x", "ghost/action@v9", &[]))),
+        );
+        let id = e.on_push("globus-labs/app", "main", "c", SimTime::ZERO).unwrap()[0];
+        let mut driver = NullDriver::new();
+        e.execute_ready(&mut driver);
+        assert_eq!(e.run(id).unwrap().status, RunStatus::Failure);
+    }
+
+    #[test]
+    fn schedules_fire_periodically() {
+        let wf = WorkflowDef::new("nightly")
+            .on_event(TriggerEvent::Schedule { period_secs: 3600 })
+            .with_job(JobDef::new("j").with_step(StepDef::run("s", "x")));
+        let mut e = engine_with_workflow(wf);
+        assert!(e.due_schedules(SimTime::from_secs(3599)).is_empty());
+        let due = e.due_schedules(SimTime::from_secs(7200));
+        assert_eq!(due.len(), 2, "two periods elapsed");
+        assert_eq!(due[0], ("globus-labs/app".to_string(), "nightly".to_string()));
+        // Next poll fires nothing until the next period.
+        assert!(e.due_schedules(SimTime::from_secs(7200)).is_empty());
+    }
+
+    #[test]
+    fn dispatch_requires_known_workflow() {
+        let mut e = engine_with_workflow(simple_workflow());
+        assert!(e.dispatch("globus-labs/app", "ci", "main", "c", SimTime::ZERO).is_ok());
+        assert!(matches!(
+            e.dispatch("globus-labs/app", "ghost", "main", "c", SimTime::ZERO),
+            Err(CiError::UnknownWorkflow { .. })
+        ));
+    }
+
+    #[test]
+    fn wait_timer_delays_execution() {
+        let wf = WorkflowDef::new("hpc-ci")
+            .on_event(TriggerEvent::push_any())
+            .with_job(
+                JobDef::new("remote")
+                    .with_environment("gated")
+                    .with_step(StepDef::run("s", "x")),
+            );
+        let mut e = engine_with_workflow(wf);
+        e.add_environment(
+            "globus-labs/app",
+            Environment::new("gated")
+                .with_reviewer("r")
+                .with_wait_timer(SimDuration::from_secs(300)),
+        );
+        let id = e.on_push("globus-labs/app", "main", "c", SimTime::ZERO).unwrap()[0];
+        e.approve(id, "r", SimTime::from_secs(10)).unwrap();
+        let mut driver = NullDriver::new();
+        e.execute_ready(&mut driver);
+        let run = e.run(id).unwrap();
+        assert!(run.started_at.unwrap() >= SimTime::from_secs(310), "wait timer honored");
+    }
+}

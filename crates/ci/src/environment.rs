@@ -1,0 +1,110 @@
+//! Deployment environments: the approval gate.
+//!
+//! §5.2: "Using environment secrets, CI workflows will not be executed until
+//! they are approved by the environment reviewer. This ensures that the
+//! person authorizing the execution maps to a user at the site at which the
+//! code is executed. … it is strongly suggested that there is only one
+//! reviewer per environment."
+
+use hpcci_sim::SimDuration;
+
+/// One deployment environment of a repository.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Environment {
+    pub name: String,
+    /// Users who may approve runs into this environment. Empty = no approval
+    /// required (the environment only scopes secrets).
+    pub required_reviewers: Vec<String>,
+    /// Delay between approval and execution.
+    pub wait_timer: SimDuration,
+    /// Branches allowed to target this environment (empty = all).
+    pub allowed_branches: Vec<String>,
+}
+
+impl Environment {
+    pub fn new(name: &str) -> Environment {
+        Environment {
+            name: name.to_string(),
+            required_reviewers: Vec::new(),
+            wait_timer: SimDuration::ZERO,
+            allowed_branches: Vec::new(),
+        }
+    }
+
+    pub fn with_reviewer(mut self, user: &str) -> Environment {
+        self.required_reviewers.push(user.to_string());
+        self
+    }
+
+    pub fn with_wait_timer(mut self, d: SimDuration) -> Environment {
+        self.wait_timer = d;
+        self
+    }
+
+    pub fn restrict_branch(mut self, branch: &str) -> Environment {
+        self.allowed_branches.push(branch.to_string());
+        self
+    }
+
+    /// Does running from `branch` satisfy the branch restriction?
+    pub fn branch_allowed(&self, branch: &str) -> bool {
+        self.allowed_branches.is_empty() || self.allowed_branches.iter().any(|b| b == branch)
+    }
+
+    pub fn requires_approval(&self) -> bool {
+        !self.required_reviewers.is_empty()
+    }
+
+    pub fn is_required_reviewer(&self, user: &str) -> bool {
+        self.required_reviewers.iter().any(|r| r == user)
+    }
+
+    /// The paper's recommendation: exactly one reviewer, so the approver is
+    /// guaranteed to be the identity whose credentials the run uses. Returns
+    /// false for configurations that violate the recommendation.
+    pub fn follows_sole_reviewer_recommendation(&self) -> bool {
+        self.required_reviewers.len() == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approval_requirements() {
+        let open = Environment::new("cloud");
+        assert!(!open.requires_approval());
+
+        let gated = Environment::new("anvil-vhayot").with_reviewer("vhayot");
+        assert!(gated.requires_approval());
+        assert!(gated.is_required_reviewer("vhayot"));
+        assert!(!gated.is_required_reviewer("mallory"));
+    }
+
+    #[test]
+    fn sole_reviewer_recommendation() {
+        assert!(!Environment::new("e").follows_sole_reviewer_recommendation());
+        assert!(Environment::new("e")
+            .with_reviewer("a")
+            .follows_sole_reviewer_recommendation());
+        assert!(!Environment::new("e")
+            .with_reviewer("a")
+            .with_reviewer("b")
+            .follows_sole_reviewer_recommendation());
+    }
+
+    #[test]
+    fn branch_restrictions() {
+        let env = Environment::new("prod").restrict_branch("main");
+        assert!(env.branch_allowed("main"));
+        assert!(!env.branch_allowed("dev"));
+        assert!(Environment::new("any").branch_allowed("whatever"));
+    }
+
+    #[test]
+    fn wait_timer_builder() {
+        let env = Environment::new("slow").with_wait_timer(SimDuration::from_mins(5));
+        assert_eq!(env.wait_timer, SimDuration::from_mins(5));
+    }
+}

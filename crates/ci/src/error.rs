@@ -1,0 +1,52 @@
+//! CI engine errors.
+
+use crate::run::RunId;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CiError {
+    UnknownWorkflow { repo: String, workflow: String },
+    UnknownRun(RunId),
+    UnknownEnvironment(String),
+    UnknownAction(String),
+    UnknownSecret(String),
+    UnknownArtifact(String),
+    /// The run is not awaiting approval (already approved/executed/rejected).
+    NotAwaitingApproval(RunId),
+    /// The approving user is not a required reviewer of the environment.
+    NotARequiredReviewer { run: RunId, user: String },
+    /// The triggering branch is not allowed to use the environment.
+    BranchNotAllowed { environment: String, branch: String },
+    /// A job's `needs` reference a job id that does not exist.
+    BadJobDependency { job: String, needs: String },
+    /// No runner satisfies the job's `runs_on` selector.
+    NoRunnerAvailable(String),
+}
+
+impl fmt::Display for CiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CiError::UnknownWorkflow { repo, workflow } => {
+                write!(f, "unknown workflow {workflow} in {repo}")
+            }
+            CiError::UnknownRun(id) => write!(f, "unknown run {id}"),
+            CiError::UnknownEnvironment(e) => write!(f, "unknown environment {e}"),
+            CiError::UnknownAction(a) => write!(f, "unknown action {a}"),
+            CiError::UnknownSecret(s) => write!(f, "unknown secret {s}"),
+            CiError::UnknownArtifact(a) => write!(f, "unknown artifact {a}"),
+            CiError::NotAwaitingApproval(id) => write!(f, "run {id} is not awaiting approval"),
+            CiError::NotARequiredReviewer { run, user } => {
+                write!(f, "{user} is not a required reviewer for run {run}")
+            }
+            CiError::BranchNotAllowed { environment, branch } => {
+                write!(f, "branch {branch} may not deploy to environment {environment}")
+            }
+            CiError::BadJobDependency { job, needs } => {
+                write!(f, "job {job} needs unknown job {needs}")
+            }
+            CiError::NoRunnerAvailable(sel) => write!(f, "no runner matches selector {sel}"),
+        }
+    }
+}
+
+impl std::error::Error for CiError {}

@@ -1,0 +1,103 @@
+//! The paper's requirement taxonomies (Tables 1 and 3), encoded as data so
+//! the bench harness regenerates the tables and the baselines crate can
+//! evaluate frameworks against them.
+
+/// A named characteristic with its description — one row of Table 1 or 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Characteristic {
+    pub name: &'static str,
+    pub description: &'static str,
+}
+
+/// Table 1: science-application features important for CI.
+pub fn science_app_characteristics() -> Vec<Characteristic> {
+    vec![
+        Characteristic {
+            name: "Collaboration",
+            description: "Scientific software consists of multilayered code",
+        },
+        Characteristic {
+            name: "Computational requirements",
+            description: "Applications may process large volumes of data, require substantial \
+                          amounts of memory, and take a long time to test",
+        },
+        Characteristic {
+            name: "Visualization, Monitoring, Logging",
+            description: "It is important to be able to monitor execution, visualize changes, \
+                          and access historical information",
+        },
+        Characteristic {
+            name: "Reproducibility",
+            description: "Performance and accurate downstream results is important",
+        },
+    ]
+}
+
+/// Table 3: characteristics important for CI of HPC software.
+pub fn hpc_ci_characteristics() -> Vec<Characteristic> {
+    vec![
+        Characteristic {
+            name: "Collaborative",
+            description: "HPC software is developed by many research groups with access to \
+                          different infrastructure.",
+        },
+        Characteristic {
+            name: "Secure",
+            description: "User code executing on HPC should not gain elevated privileges and \
+                          must be linked to the appropriate user account.",
+        },
+        Characteristic {
+            name: "Lightweight",
+            description: "CI should be mindful of resource use.",
+        },
+    ]
+}
+
+/// The three Table-3 requirements as a checklist a CI framework either meets
+/// or does not — evaluated by the baselines crate per framework.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HpcCiCompliance {
+    /// Supports collaborators without local site accounts contributing and
+    /// observing CI across sites.
+    pub collaborative: bool,
+    /// Runs user code strictly as the mapped local user, no escalation.
+    pub secure: bool,
+    /// Avoids permanent services on shared resources / wasteful allocation.
+    pub lightweight: bool,
+}
+
+impl HpcCiCompliance {
+    pub fn all() -> Self {
+        HpcCiCompliance {
+            collaborative: true,
+            secure: true,
+            lightweight: true,
+        }
+    }
+
+    pub fn score(&self) -> u8 {
+        self.collaborative as u8 + self.secure as u8 + self.lightweight as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_paper_row_counts() {
+        assert_eq!(science_app_characteristics().len(), 4);
+        assert_eq!(hpc_ci_characteristics().len(), 3);
+    }
+
+    #[test]
+    fn compliance_scoring() {
+        assert_eq!(HpcCiCompliance::all().score(), 3);
+        assert_eq!(HpcCiCompliance::default().score(), 0);
+        let partial = HpcCiCompliance {
+            secure: true,
+            ..HpcCiCompliance::default()
+        };
+        assert_eq!(partial.score(), 1);
+    }
+}

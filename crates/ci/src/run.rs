@@ -1,0 +1,189 @@
+//! Workflow runs: instantiated workflows with per-step results and logs.
+
+use hpcci_sim::SimTime;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Run identifier, unique per CI service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunId(pub u64);
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run#{}", self.0)
+    }
+}
+
+/// Overall run status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Queued behind an environment approval gate.
+    AwaitingApproval,
+    /// Ready to execute (approved or no gate).
+    Queued,
+    Running,
+    Success,
+    Failure,
+    /// Rejected by a reviewer.
+    Rejected,
+}
+
+impl RunStatus {
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, RunStatus::Success | RunStatus::Failure | RunStatus::Rejected)
+    }
+}
+
+/// Result of one executed step.
+#[derive(Debug, Clone)]
+pub struct StepRun {
+    pub job: String,
+    pub step: String,
+    pub success: bool,
+    /// Secret-masked stdout.
+    pub stdout: String,
+    /// Secret-masked stderr.
+    pub stderr: String,
+    pub outputs: BTreeMap<String, String>,
+    pub started: SimTime,
+    pub ended: SimTime,
+}
+
+/// One instantiated workflow run.
+#[derive(Debug, Clone)]
+pub struct WorkflowRun {
+    pub id: RunId,
+    pub repo: String,
+    pub workflow: String,
+    pub branch: String,
+    pub commit: String,
+    pub status: RunStatus,
+    pub triggered_at: SimTime,
+    pub started_at: Option<SimTime>,
+    pub ended_at: Option<SimTime>,
+    pub approved_by: Option<String>,
+    pub steps: Vec<StepRun>,
+}
+
+impl WorkflowRun {
+    /// Find a completed step's record.
+    pub fn step(&self, step_id: &str) -> Option<&StepRun> {
+        self.steps.iter().find(|s| s.step == step_id)
+    }
+
+    /// The status badge string a README would embed — the visible outcome of
+    /// continuous reproducibility evaluation.
+    pub fn badge(&self) -> String {
+        let label = match self.status {
+            RunStatus::Success => "passing",
+            RunStatus::Failure => "failing",
+            RunStatus::Rejected => "rejected",
+            RunStatus::AwaitingApproval => "awaiting approval",
+            RunStatus::Queued | RunStatus::Running => "in progress",
+        };
+        format!("[{} | {}]", self.workflow, label)
+    }
+
+    /// Full run log: every step's stdout/stderr in order.
+    pub fn full_log(&self) -> String {
+        let mut out = String::new();
+        for s in &self.steps {
+            out.push_str(&format!(
+                "### {}/{} [{}]\n",
+                s.job,
+                s.step,
+                if s.success { "ok" } else { "FAILED" }
+            ));
+            if !s.stdout.is_empty() {
+                out.push_str(&s.stdout);
+                if !s.stdout.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+            if !s.stderr.is_empty() {
+                out.push_str("--- stderr ---\n");
+                out.push_str(&s.stderr);
+                if !s.stderr.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> WorkflowRun {
+        WorkflowRun {
+            id: RunId(1),
+            repo: "o/r".into(),
+            workflow: "ci".into(),
+            branch: "main".into(),
+            commit: "abc".into(),
+            status: RunStatus::Success,
+            triggered_at: SimTime::ZERO,
+            started_at: Some(SimTime::from_secs(1)),
+            ended_at: Some(SimTime::from_secs(5)),
+            approved_by: None,
+            steps: vec![
+                StepRun {
+                    job: "test".into(),
+                    step: "tox".into(),
+                    success: true,
+                    stdout: "4 passed".into(),
+                    stderr: String::new(),
+                    outputs: BTreeMap::new(),
+                    started: SimTime::from_secs(1),
+                    ended: SimTime::from_secs(4),
+                },
+                StepRun {
+                    job: "test".into(),
+                    step: "lint".into(),
+                    success: false,
+                    stdout: String::new(),
+                    stderr: "E501 line too long".into(),
+                    outputs: BTreeMap::new(),
+                    started: SimTime::from_secs(4),
+                    ended: SimTime::from_secs(5),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn badge_reflects_status() {
+        let mut r = run();
+        assert_eq!(r.badge(), "[ci | passing]");
+        r.status = RunStatus::Failure;
+        assert_eq!(r.badge(), "[ci | failing]");
+        r.status = RunStatus::AwaitingApproval;
+        assert!(r.badge().contains("awaiting approval"));
+    }
+
+    #[test]
+    fn full_log_includes_both_streams() {
+        let log = run().full_log();
+        assert!(log.contains("4 passed"));
+        assert!(log.contains("E501"));
+        assert!(log.contains("[FAILED]"));
+        assert!(log.contains("[ok]"));
+    }
+
+    #[test]
+    fn step_lookup() {
+        let r = run();
+        assert!(r.step("tox").unwrap().success);
+        assert!(r.step("missing").is_none());
+    }
+
+    #[test]
+    fn terminal_statuses() {
+        assert!(RunStatus::Success.is_terminal());
+        assert!(RunStatus::Rejected.is_terminal());
+        assert!(!RunStatus::Queued.is_terminal());
+        assert!(!RunStatus::AwaitingApproval.is_terminal());
+    }
+}

@@ -1,0 +1,216 @@
+//! Secret storage with organization / repository / environment scoping.
+//!
+//! §4.1: "secrets can be stored in the organization, repository, or in an
+//! environment for that repository. … environment secrets allow repository
+//! administrators to specify access permissions … Secrets cannot be specified
+//! per user" — the limitation CORRECT's environment-per-user recommendation
+//! works around (§5.2).
+
+use crate::error::CiError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Where a secret is stored; narrower scopes shadow broader ones.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SecretScope {
+    Organization(String),
+    Repository(String),
+    Environment { repo: String, environment: String },
+}
+
+/// A named secret. `Display`/`Debug` never reveal the value.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Secret {
+    pub name: String,
+    value: String,
+}
+
+impl Secret {
+    pub fn new(name: &str, value: &str) -> Secret {
+        Secret {
+            name: name.to_string(),
+            value: value.to_string(),
+        }
+    }
+
+    /// The engine (not user code) reads values during interpolation.
+    pub(crate) fn expose(&self) -> &str {
+        &self.value
+    }
+}
+
+impl fmt::Debug for Secret {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Secret({}=***)", self.name)
+    }
+}
+
+/// The secret store for the whole CI service.
+#[derive(Debug, Default)]
+pub struct SecretStore {
+    secrets: BTreeMap<SecretScope, Vec<Secret>>,
+}
+
+impl SecretStore {
+    pub fn new() -> Self {
+        SecretStore::default()
+    }
+
+    pub fn put(&mut self, scope: SecretScope, secret: Secret) {
+        let list = self.secrets.entry(scope).or_default();
+        list.retain(|s| s.name != secret.name);
+        list.push(secret);
+    }
+
+    /// Resolve the visible secrets for a job in `repo` (owned by `org`),
+    /// optionally inside `environment`. Environment secrets shadow repository
+    /// secrets, which shadow organization secrets. Environment secrets are
+    /// **only** visible when the job targets that environment.
+    pub fn resolve(
+        &self,
+        org: &str,
+        repo: &str,
+        environment: Option<&str>,
+    ) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        let mut layer = |scope: &SecretScope| {
+            if let Some(list) = self.secrets.get(scope) {
+                for s in list {
+                    out.insert(s.name.clone(), s.expose().to_string());
+                }
+            }
+        };
+        layer(&SecretScope::Organization(org.to_string()));
+        layer(&SecretScope::Repository(repo.to_string()));
+        if let Some(env) = environment {
+            layer(&SecretScope::Environment {
+                repo: repo.to_string(),
+                environment: env.to_string(),
+            });
+        }
+        out
+    }
+
+    /// Every secret value currently stored — used by the engine to mask logs.
+    pub fn all_values(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .secrets
+            .values()
+            .flatten()
+            .map(|s| s.expose().to_string())
+            .collect();
+        // Mask longest first so partial overlaps don't leave residue.
+        v.sort_by_key(|s| std::cmp::Reverse(s.len()));
+        v
+    }
+
+    /// Fetch one secret by exact scope and name (admin/test use).
+    pub fn get(&self, scope: &SecretScope, name: &str) -> Result<&Secret, CiError> {
+        self.secrets
+            .get(scope)
+            .and_then(|list| list.iter().find(|s| s.name == name))
+            .ok_or_else(|| CiError::UnknownSecret(name.to_string()))
+    }
+}
+
+/// Replace every secret value in `text` with `***`.
+pub fn mask_secrets(text: &str, values: &[String]) -> String {
+    let mut out = text.to_string();
+    for v in values {
+        if !v.is_empty() && out.contains(v.as_str()) {
+            out = out.replace(v.as_str(), "***");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SecretStore {
+        let mut s = SecretStore::new();
+        s.put(
+            SecretScope::Organization("globus-labs".into()),
+            Secret::new("ORG_TOKEN", "org-val"),
+        );
+        s.put(
+            SecretScope::Repository("globus-labs/app".into()),
+            Secret::new("GLOBUS_ID", "repo-client-id"),
+        );
+        s.put(
+            SecretScope::Environment {
+                repo: "globus-labs/app".into(),
+                environment: "anvil-vhayot".into(),
+            },
+            Secret::new("GLOBUS_SECRET", "env-secret-val"),
+        );
+        s
+    }
+
+    #[test]
+    fn scoping_and_shadowing() {
+        let s = store();
+        let no_env = s.resolve("globus-labs", "globus-labs/app", None);
+        assert_eq!(no_env.get("ORG_TOKEN").unwrap(), "org-val");
+        assert_eq!(no_env.get("GLOBUS_ID").unwrap(), "repo-client-id");
+        assert!(
+            !no_env.contains_key("GLOBUS_SECRET"),
+            "environment secrets hidden outside the environment"
+        );
+
+        let with_env = s.resolve("globus-labs", "globus-labs/app", Some("anvil-vhayot"));
+        assert_eq!(with_env.get("GLOBUS_SECRET").unwrap(), "env-secret-val");
+    }
+
+    #[test]
+    fn narrower_scope_shadows_broader() {
+        let mut s = store();
+        s.put(
+            SecretScope::Environment {
+                repo: "globus-labs/app".into(),
+                environment: "anvil-vhayot".into(),
+            },
+            Secret::new("GLOBUS_ID", "env-override"),
+        );
+        let resolved = s.resolve("globus-labs", "globus-labs/app", Some("anvil-vhayot"));
+        assert_eq!(resolved.get("GLOBUS_ID").unwrap(), "env-override");
+    }
+
+    #[test]
+    fn put_replaces_same_name() {
+        let mut s = store();
+        s.put(
+            SecretScope::Repository("globus-labs/app".into()),
+            Secret::new("GLOBUS_ID", "rotated"),
+        );
+        let resolved = s.resolve("globus-labs", "globus-labs/app", None);
+        assert_eq!(resolved.get("GLOBUS_ID").unwrap(), "rotated");
+    }
+
+    #[test]
+    fn masking_hides_all_values() {
+        let s = store();
+        let log = "auth with repo-client-id and env-secret-val done";
+        let masked = mask_secrets(log, &s.all_values());
+        assert_eq!(masked, "auth with *** and *** done");
+    }
+
+    #[test]
+    fn debug_never_prints_value() {
+        let secret = Secret::new("K", "visible-value");
+        assert!(!format!("{secret:?}").contains("visible-value"));
+    }
+
+    #[test]
+    fn get_by_scope() {
+        let s = store();
+        assert!(s
+            .get(&SecretScope::Organization("globus-labs".into()), "ORG_TOKEN")
+            .is_ok());
+        assert!(matches!(
+            s.get(&SecretScope::Organization("globus-labs".into()), "NOPE"),
+            Err(CiError::UnknownSecret(_))
+        ));
+    }
+}

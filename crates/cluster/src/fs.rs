@@ -1,0 +1,557 @@
+//! A permission-checked virtual filesystem, one per site.
+//!
+//! This is the substrate behind the paper's second HPC security invariant:
+//! *"users and/or processes launched by the CI cannot access or modify files
+//! or aspects of the system beyond their permission"* (§4.4.1, §5.2). Every
+//! read and write in the federation goes through [`VirtualFs`] with the
+//! credentials of the local account the task was identity-mapped onto, so the
+//! invariant is enforced — and testable — rather than assumed.
+//!
+//! The model is a classic Unix triad: owner / group / other, each with
+//! read / write / execute bits. Paths are normalized absolute strings.
+
+use crate::account::{Uid, UserAccount};
+use crate::error::ClusterError;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Unix-style permission bits (0o777 space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileMode(pub u16);
+
+impl FileMode {
+    /// rw-r--r--
+    pub const REGULAR: FileMode = FileMode(0o644);
+    /// rw-------
+    pub const PRIVATE: FileMode = FileMode(0o600);
+    /// rwxr-xr-x
+    pub const DIR: FileMode = FileMode(0o755);
+    /// rwx------
+    pub const PRIVATE_DIR: FileMode = FileMode(0o700);
+    /// rw-rw-r-- (group-writable, e.g. shared project space)
+    pub const GROUP_SHARED: FileMode = FileMode(0o664);
+
+    fn class_bits(self, class: u8) -> u16 {
+        // class: 0 = owner, 1 = group, 2 = other
+        (self.0 >> (6 - 3 * class as u16)) & 0o7
+    }
+}
+
+/// What a caller is allowed to do, derived from uid + group membership.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cred {
+    pub uid: Uid,
+    pub groups: Vec<String>,
+}
+
+impl Cred {
+    pub fn of(account: &UserAccount) -> Self {
+        Cred {
+            uid: account.uid,
+            groups: account.groups.clone(),
+        }
+    }
+
+    pub fn new(uid: Uid, groups: &[&str]) -> Self {
+        Cred {
+            uid,
+            groups: groups.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum NodeKind {
+    File(Bytes),
+    Dir,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct FsNode {
+    owner: Uid,
+    group: String,
+    mode: FileMode,
+    kind: NodeKind,
+}
+
+/// Access kind for permission checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Access {
+    Read = 0o4,
+    Write = 0o2,
+}
+
+/// The per-site filesystem.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualFs {
+    nodes: BTreeMap<String, FsNode>,
+}
+
+fn normalize(path: &str) -> String {
+    assert!(path.starts_with('/'), "paths must be absolute: {path}");
+    let mut parts: Vec<&str> = Vec::new();
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            s => parts.push(s),
+        }
+    }
+    if parts.is_empty() {
+        "/".to_string()
+    } else {
+        format!("/{}", parts.join("/"))
+    }
+}
+
+fn parent_of(path: &str) -> Option<String> {
+    if path == "/" {
+        return None;
+    }
+    match path.rfind('/') {
+        Some(0) => Some("/".to_string()),
+        Some(i) => Some(path[..i].to_string()),
+        None => None,
+    }
+}
+
+impl VirtualFs {
+    /// An empty filesystem with a world-readable root owned by root.
+    pub fn new() -> Self {
+        let mut fs = VirtualFs::default();
+        fs.nodes.insert(
+            "/".to_string(),
+            FsNode {
+                owner: crate::account::ROOT,
+                group: "root".to_string(),
+                mode: FileMode::DIR,
+                kind: NodeKind::Dir,
+            },
+        );
+        fs
+    }
+
+    fn check(&self, node: &FsNode, cred: &Cred, access: Access) -> bool {
+        let class = if cred.uid == node.owner {
+            0
+        } else if cred.groups.iter().any(|g| *g == node.group) {
+            1
+        } else {
+            2
+        };
+        node.mode.class_bits(class) & access as u16 != 0
+    }
+
+    fn get(&self, path: &str) -> Result<&FsNode, ClusterError> {
+        self.nodes
+            .get(path)
+            .ok_or_else(|| ClusterError::NotFound(path.to_string()))
+    }
+
+    /// Create a directory and any missing ancestors, all owned by `cred.uid`.
+    /// Existing directories are left untouched (like `mkdir -p`), but the
+    /// caller must hold write permission on the deepest existing ancestor.
+    pub fn mkdir_p(&mut self, path: &str, cred: &Cred, mode: FileMode) -> Result<(), ClusterError> {
+        let path = normalize(path);
+        if let Some(node) = self.nodes.get(&path) {
+            return match node.kind {
+                NodeKind::Dir => Ok(()),
+                NodeKind::File(_) => Err(ClusterError::WrongKind(path)),
+            };
+        }
+        // Find the deepest existing ancestor and require write on it.
+        let mut missing = vec![path.clone()];
+        let mut cursor = path.clone();
+        let anchor = loop {
+            let parent = parent_of(&cursor).ok_or_else(|| ClusterError::NoParent(cursor.clone()))?;
+            if let Some(node) = self.nodes.get(&parent) {
+                match node.kind {
+                    NodeKind::Dir => break parent,
+                    NodeKind::File(_) => return Err(ClusterError::WrongKind(parent)),
+                }
+            }
+            missing.push(parent.clone());
+            cursor = parent;
+        };
+        let anchor_node = self.get(&anchor)?;
+        if !self.check(anchor_node, cred, Access::Write) {
+            return Err(ClusterError::PermissionDenied {
+                uid: cred.uid,
+                op: "mkdir",
+                path: anchor,
+            });
+        }
+        let group = cred.groups.first().cloned().unwrap_or_else(|| "users".into());
+        for dir in missing.into_iter().rev() {
+            self.nodes.insert(
+                dir,
+                FsNode {
+                    owner: cred.uid,
+                    group: group.clone(),
+                    mode,
+                    kind: NodeKind::Dir,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Write (create or overwrite) a file. Creating requires write on the
+    /// parent directory; overwriting requires write on the file itself.
+    pub fn write(
+        &mut self,
+        path: &str,
+        cred: &Cred,
+        content: impl Into<Bytes>,
+        mode: FileMode,
+    ) -> Result<(), ClusterError> {
+        let path = normalize(path);
+        if let Some(existing) = self.nodes.get(&path) {
+            match existing.kind {
+                NodeKind::Dir => return Err(ClusterError::WrongKind(path)),
+                NodeKind::File(_) => {
+                    if !self.check(existing, cred, Access::Write) {
+                        return Err(ClusterError::PermissionDenied {
+                            uid: cred.uid,
+                            op: "write",
+                            path,
+                        });
+                    }
+                    let node = self.nodes.get_mut(&path).expect("checked above");
+                    node.kind = NodeKind::File(content.into());
+                    return Ok(());
+                }
+            }
+        }
+        let parent = parent_of(&path).ok_or_else(|| ClusterError::NoParent(path.clone()))?;
+        let parent_node = self.get(&parent)?;
+        match parent_node.kind {
+            NodeKind::Dir => {}
+            NodeKind::File(_) => return Err(ClusterError::WrongKind(parent)),
+        }
+        if !self.check(parent_node, cred, Access::Write) {
+            return Err(ClusterError::PermissionDenied {
+                uid: cred.uid,
+                op: "create",
+                path,
+            });
+        }
+        let group = cred.groups.first().cloned().unwrap_or_else(|| "users".into());
+        self.nodes.insert(
+            path,
+            FsNode {
+                owner: cred.uid,
+                group,
+                mode,
+                kind: NodeKind::File(content.into()),
+            },
+        );
+        Ok(())
+    }
+
+    /// Read a file's content.
+    pub fn read(&self, path: &str, cred: &Cred) -> Result<Bytes, ClusterError> {
+        let path = normalize(path);
+        let node = self.get(&path)?;
+        if !self.check(node, cred, Access::Read) {
+            return Err(ClusterError::PermissionDenied {
+                uid: cred.uid,
+                op: "read",
+                path,
+            });
+        }
+        match &node.kind {
+            NodeKind::File(b) => Ok(b.clone()),
+            NodeKind::Dir => Err(ClusterError::WrongKind(path)),
+        }
+    }
+
+    /// Read as UTF-8 text (convenience; lossy conversion).
+    pub fn read_text(&self, path: &str, cred: &Cred) -> Result<String, ClusterError> {
+        Ok(String::from_utf8_lossy(&self.read(path, cred)?).into_owned())
+    }
+
+    /// List immediate children of a directory (names only, sorted).
+    pub fn list(&self, path: &str, cred: &Cred) -> Result<Vec<String>, ClusterError> {
+        let path = normalize(path);
+        let node = self.get(&path)?;
+        if !self.check(node, cred, Access::Read) {
+            return Err(ClusterError::PermissionDenied {
+                uid: cred.uid,
+                op: "list",
+                path,
+            });
+        }
+        match node.kind {
+            NodeKind::Dir => {}
+            NodeKind::File(_) => return Err(ClusterError::WrongKind(path)),
+        }
+        let prefix = if path == "/" { "/".to_string() } else { format!("{path}/") };
+        let mut out: Vec<String> = self
+            .nodes
+            .range(prefix.clone()..)
+            .take_while(|(p, _)| p.starts_with(&prefix))
+            .filter(|(p, _)| !p[prefix.len()..].contains('/'))
+            .map(|(p, _)| p[prefix.len()..].to_string())
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+
+    /// Remove a file or (recursively) a directory. Requires write on parent.
+    pub fn remove(&mut self, path: &str, cred: &Cred) -> Result<(), ClusterError> {
+        let path = normalize(path);
+        if path == "/" {
+            return Err(ClusterError::PermissionDenied {
+                uid: cred.uid,
+                op: "remove",
+                path,
+            });
+        }
+        self.get(&path)?;
+        let parent = parent_of(&path).ok_or_else(|| ClusterError::NoParent(path.clone()))?;
+        let parent_node = self.get(&parent)?;
+        if !self.check(parent_node, cred, Access::Write) {
+            return Err(ClusterError::PermissionDenied {
+                uid: cred.uid,
+                op: "remove",
+                path,
+            });
+        }
+        let subtree_prefix = format!("{path}/");
+        let doomed: Vec<String> = self
+            .nodes
+            .keys()
+            .filter(|p| **p == path || p.starts_with(&subtree_prefix))
+            .cloned()
+            .collect();
+        for p in doomed {
+            self.nodes.remove(&p);
+        }
+        Ok(())
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(&normalize(path))
+    }
+
+    pub fn is_dir(&self, path: &str) -> bool {
+        matches!(
+            self.nodes.get(&normalize(path)),
+            Some(FsNode { kind: NodeKind::Dir, .. })
+        )
+    }
+
+    /// Size in bytes of a file (0 for directories).
+    pub fn size_of(&self, path: &str) -> Result<u64, ClusterError> {
+        match &self.get(&normalize(path))?.kind {
+            NodeKind::File(b) => Ok(b.len() as u64),
+            NodeKind::Dir => Ok(0),
+        }
+    }
+
+    /// Owner of a path.
+    pub fn owner_of(&self, path: &str) -> Result<Uid, ClusterError> {
+        Ok(self.get(&normalize(path))?.owner)
+    }
+
+    /// Change mode; only the owner may do this.
+    pub fn chmod(&mut self, path: &str, cred: &Cred, mode: FileMode) -> Result<(), ClusterError> {
+        let path = normalize(path);
+        let node = self
+            .nodes
+            .get_mut(&path)
+            .ok_or_else(|| ClusterError::NotFound(path.clone()))?;
+        if node.owner != cred.uid {
+            return Err(ClusterError::PermissionDenied {
+                uid: cred.uid,
+                op: "chmod",
+                path,
+            });
+        }
+        node.mode = mode;
+        Ok(())
+    }
+
+    /// Total number of filesystem entries (including `/`).
+    pub fn entry_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alice() -> Cred {
+        Cred::new(Uid(1001), &["proj1"])
+    }
+
+    fn bob() -> Cred {
+        Cred::new(Uid(1002), &["proj2"])
+    }
+
+    fn carol_same_group() -> Cred {
+        Cred::new(Uid(1003), &["proj1"])
+    }
+
+    fn fs_with_home() -> VirtualFs {
+        let mut fs = VirtualFs::new();
+        // root creates /home and /scratch world-writable-by-convention dirs
+        let root = Cred::new(Uid(0), &["root"]);
+        fs.mkdir_p("/home", &root, FileMode(0o777)).unwrap();
+        fs.mkdir_p("/scratch", &root, FileMode(0o777)).unwrap();
+        fs
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut fs = fs_with_home();
+        let a = alice();
+        fs.mkdir_p("/home/alice", &a, FileMode::PRIVATE_DIR).unwrap();
+        fs.write("/home/alice/x.txt", &a, "hello", FileMode::REGULAR)
+            .unwrap();
+        assert_eq!(fs.read_text("/home/alice/x.txt", &a).unwrap(), "hello");
+        assert_eq!(fs.size_of("/home/alice/x.txt").unwrap(), 5);
+    }
+
+    #[test]
+    fn private_dir_blocks_other_users() {
+        let mut fs = fs_with_home();
+        let a = alice();
+        fs.mkdir_p("/home/alice", &a, FileMode::PRIVATE_DIR).unwrap();
+        fs.write("/home/alice/secret", &a, "s3cret", FileMode::PRIVATE)
+            .unwrap();
+        // Bob cannot read the private file, nor create in alice's dir.
+        assert!(matches!(
+            fs.read("/home/alice/secret", &bob()),
+            Err(ClusterError::PermissionDenied { .. })
+        ));
+        assert!(matches!(
+            fs.write("/home/alice/evil", &bob(), "x", FileMode::REGULAR),
+            Err(ClusterError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn world_readable_file_in_private_dir_still_blocked_at_read_of_file_only() {
+        // Our model checks the file node itself (no path-walk x-bit check),
+        // so a REGULAR (world-readable) file is readable even in a private
+        // dir. Listing the private dir, however, is denied.
+        let mut fs = fs_with_home();
+        let a = alice();
+        fs.mkdir_p("/home/alice", &a, FileMode::PRIVATE_DIR).unwrap();
+        fs.write("/home/alice/pub.txt", &a, "hi", FileMode::REGULAR)
+            .unwrap();
+        assert_eq!(fs.read_text("/home/alice/pub.txt", &bob()).unwrap(), "hi");
+        assert!(fs.list("/home/alice", &bob()).is_err());
+    }
+
+    #[test]
+    fn group_sharing_works() {
+        let mut fs = fs_with_home();
+        let a = alice();
+        fs.mkdir_p("/scratch/proj1", &a, FileMode(0o770)).unwrap();
+        fs.write("/scratch/proj1/data", &a, "d", FileMode::GROUP_SHARED)
+            .unwrap();
+        // Carol shares proj1.
+        assert!(fs.read("/scratch/proj1/data", &carol_same_group()).is_ok());
+        // Carol may even write (group-writable).
+        assert!(fs
+            .write("/scratch/proj1/data", &carol_same_group(), "d2", FileMode::GROUP_SHARED)
+            .is_ok());
+        // Bob (different group) may not list or write.
+        assert!(fs.list("/scratch/proj1", &bob()).is_err());
+    }
+
+    #[test]
+    fn overwrite_requires_write_on_file() {
+        let mut fs = fs_with_home();
+        let a = alice();
+        fs.mkdir_p("/home/alice", &a, FileMode(0o777)).unwrap();
+        fs.write("/home/alice/ro", &a, "v1", FileMode(0o644)).unwrap();
+        // Bob can create siblings (dir is 777) but not overwrite alice's file.
+        assert!(fs.write("/home/alice/bobs", &bob(), "x", FileMode::REGULAR).is_ok());
+        assert!(matches!(
+            fs.write("/home/alice/ro", &bob(), "evil", FileMode::REGULAR),
+            Err(ClusterError::PermissionDenied { .. })
+        ));
+    }
+
+    #[test]
+    fn mkdir_p_creates_ancestors_and_is_idempotent() {
+        let mut fs = fs_with_home();
+        let a = alice();
+        fs.mkdir_p("/scratch/alice/a/b/c", &a, FileMode::DIR).unwrap();
+        assert!(fs.is_dir("/scratch/alice/a/b"));
+        fs.mkdir_p("/scratch/alice/a/b/c", &a, FileMode::DIR).unwrap();
+        // Can't mkdir over a file.
+        fs.write("/scratch/alice/f", &a, "x", FileMode::REGULAR).unwrap();
+        assert!(matches!(
+            fs.mkdir_p("/scratch/alice/f", &a, FileMode::DIR),
+            Err(ClusterError::WrongKind(_))
+        ));
+    }
+
+    #[test]
+    fn list_returns_immediate_children_sorted() {
+        let mut fs = fs_with_home();
+        let a = alice();
+        fs.mkdir_p("/scratch/alice/sub", &a, FileMode::DIR).unwrap();
+        fs.write("/scratch/alice/b.txt", &a, "b", FileMode::REGULAR).unwrap();
+        fs.write("/scratch/alice/a.txt", &a, "a", FileMode::REGULAR).unwrap();
+        fs.write("/scratch/alice/sub/deep.txt", &a, "d", FileMode::REGULAR)
+            .unwrap();
+        assert_eq!(
+            fs.list("/scratch/alice", &a).unwrap(),
+            vec!["a.txt", "b.txt", "sub"]
+        );
+    }
+
+    #[test]
+    fn remove_is_recursive_and_permission_checked() {
+        let mut fs = fs_with_home();
+        let a = alice();
+        fs.mkdir_p("/scratch/alice/tree/deep", &a, FileMode::PRIVATE_DIR)
+            .unwrap();
+        fs.write("/scratch/alice/tree/deep/f", &a, "x", FileMode::REGULAR)
+            .unwrap();
+        // Bob can't remove alice's tree (parent /scratch/alice is private... it's
+        // PRIVATE_DIR under /scratch which is 0o777; parent of tree is
+        // /scratch/alice owned by alice with 0o700).
+        assert!(fs.remove("/scratch/alice/tree", &bob()).is_err());
+        fs.remove("/scratch/alice/tree", &a).unwrap();
+        assert!(!fs.exists("/scratch/alice/tree/deep/f"));
+        assert!(!fs.exists("/scratch/alice/tree"));
+    }
+
+    #[test]
+    fn chmod_owner_only() {
+        let mut fs = fs_with_home();
+        let a = alice();
+        fs.mkdir_p("/scratch/alice", &a, FileMode::DIR).unwrap();
+        fs.write("/scratch/alice/f", &a, "x", FileMode::PRIVATE).unwrap();
+        assert!(fs.chmod("/scratch/alice/f", &bob(), FileMode::REGULAR).is_err());
+        fs.chmod("/scratch/alice/f", &a, FileMode::REGULAR).unwrap();
+        assert_eq!(fs.read_text("/scratch/alice/f", &bob()).unwrap(), "x");
+    }
+
+    #[test]
+    fn path_normalization() {
+        assert_eq!(normalize("/a//b/./c/../d"), "/a/b/d");
+        assert_eq!(normalize("/"), "/");
+        assert_eq!(normalize("/.."), "/");
+        assert_eq!(parent_of("/a/b"), Some("/a".to_string()));
+        assert_eq!(parent_of("/a"), Some("/".to_string()));
+        assert_eq!(parent_of("/"), None);
+    }
+
+    #[test]
+    fn root_cannot_be_removed() {
+        let mut fs = VirtualFs::new();
+        let root = Cred::new(Uid(0), &["root"]);
+        assert!(fs.remove("/", &root).is_err());
+    }
+}

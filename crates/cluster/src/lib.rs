@@ -1,0 +1,44 @@
+//! # hpcci-cluster — simulated computing sites
+//!
+//! Models the computing infrastructure the paper's evaluation ran on:
+//! a Chameleon Cloud instance and the ACCESS HPC systems TAMU FASTER,
+//! SDSC Expanse, and Purdue Anvil (§6), plus generic workstations.
+//!
+//! A [`site::Site`] bundles:
+//!
+//! * [`node::Node`]s — login and compute nodes with core counts, memory and a
+//!   relative CPU speed;
+//! * a [`perf::PerfModel`] — converts abstract work units into virtual
+//!   durations, with seeded run-to-run jitter (§2.1's "inherent systemic
+//!   variability");
+//! * a [`net::NetworkPolicy`] — crucially, whether *compute* nodes have
+//!   outbound internet access. FASTER and Expanse do not, which is exactly
+//!   why the paper needed Globus Compute multi-user endpoint templates with
+//!   separate providers for cloning (login node) and testing (compute nodes);
+//! * [`account::UserAccount`]s — local identities that remote identities must
+//!   map onto;
+//! * a per-site [`fs::VirtualFs`] — a permission-checked filesystem, the
+//!   substrate for the paper's "no privilege escalation" security invariant;
+//! * [`software::SoftwareEnv`]s — conda-like named environments whose package
+//!   sets are captured into provenance records;
+//! * [`container::ImageRegistry`] — container images (the KaMPIng artifacts
+//!   of §6.3 run inside one).
+
+pub mod account;
+pub mod container;
+pub mod error;
+pub mod fs;
+pub mod net;
+pub mod node;
+pub mod perf;
+pub mod site;
+pub mod software;
+
+pub use account::{Uid, UserAccount};
+pub use container::{ContainerError, ImageRegistry, ImageSpec};
+pub use error::ClusterError;
+pub use fs::{Cred, FileMode, VirtualFs};
+pub use net::{NetworkPolicy, NetworkZone};
+pub use node::{Node, NodeId, NodeRole};
+pub use perf::{PerfModel, WorkUnits};
+pub use site::{Site, SiteId, SiteKind};

@@ -1,0 +1,82 @@
+//! Site network policy.
+//!
+//! The single most consequential infrastructure detail in the paper's
+//! evaluation: on TAMU FASTER and SDSC Expanse, *compute nodes have no
+//! outbound internet access* (§6.1). A naive endpoint that clones the
+//! repository from the node running the tests therefore fails; the paper's
+//! fix is a multi-user endpoint template with a `LocalProvider` on the login
+//! node for cloning and a `SlurmProvider` for the tests. We model network
+//! zones so that exact failure (and the fix) is reproducible.
+
+use crate::node::NodeRole;
+use serde::{Deserialize, Serialize};
+
+/// Where a destination lives relative to the site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetworkZone {
+    /// Public internet (GitHub, the Globus Compute cloud service, PyPI...).
+    Internet,
+    /// Within the same site (login <-> compute, shared filesystem).
+    IntraSite,
+}
+
+/// Per-role outbound reachability.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetworkPolicy {
+    /// Login nodes may reach the public internet.
+    pub login_outbound_internet: bool,
+    /// Compute nodes may reach the public internet.
+    pub compute_outbound_internet: bool,
+}
+
+impl NetworkPolicy {
+    /// Everything reachable from everywhere — typical cloud instance.
+    pub fn open() -> Self {
+        NetworkPolicy {
+            login_outbound_internet: true,
+            compute_outbound_internet: true,
+        }
+    }
+
+    /// Login nodes reach the internet, compute nodes do not — the
+    /// FASTER/Expanse configuration.
+    pub fn login_only() -> Self {
+        NetworkPolicy {
+            login_outbound_internet: true,
+            compute_outbound_internet: false,
+        }
+    }
+
+    /// Can a node with `role` reach a destination in `zone`?
+    pub fn allows(&self, role: NodeRole, zone: NetworkZone) -> bool {
+        match zone {
+            NetworkZone::IntraSite => true,
+            NetworkZone::Internet => match role {
+                NodeRole::Login => self.login_outbound_internet,
+                NodeRole::Compute => self.compute_outbound_internet,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_policy_allows_everything() {
+        let p = NetworkPolicy::open();
+        assert!(p.allows(NodeRole::Login, NetworkZone::Internet));
+        assert!(p.allows(NodeRole::Compute, NetworkZone::Internet));
+        assert!(p.allows(NodeRole::Compute, NetworkZone::IntraSite));
+    }
+
+    #[test]
+    fn login_only_blocks_compute_internet() {
+        let p = NetworkPolicy::login_only();
+        assert!(p.allows(NodeRole::Login, NetworkZone::Internet));
+        assert!(!p.allows(NodeRole::Compute, NetworkZone::Internet));
+        // Intra-site traffic (shared fs, scheduler) always works.
+        assert!(p.allows(NodeRole::Compute, NetworkZone::IntraSite));
+    }
+}

@@ -1,0 +1,100 @@
+//! Nodes: the unit of compute placement.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Node identifier, unique within a site (index into the site's node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Role determines scheduling and network policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRole {
+    /// Interactive front-end: always reachable, runs endpoint daemons and
+    /// repository clones; not managed by the batch scheduler.
+    Login,
+    /// Batch-managed worker, allocated through the scheduler.
+    Compute,
+}
+
+/// One machine at a site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    pub id: NodeId,
+    pub role: NodeRole,
+    /// Hostname, e.g. `"faster-login-1"`.
+    pub hostname: String,
+    pub cores: u32,
+    pub mem_gb: u32,
+    pub gpus: u32,
+    /// Relative CPU speed; 1.0 is the reference machine for
+    /// [`crate::perf::WorkUnits`].
+    pub cpu_speed: f64,
+}
+
+impl Node {
+    pub fn new(id: u32, role: NodeRole, hostname: &str, cores: u32, mem_gb: u32) -> Self {
+        Node {
+            id: NodeId(id),
+            role,
+            hostname: hostname.to_string(),
+            cores,
+            mem_gb,
+            gpus: 0,
+            cpu_speed: 1.0,
+        }
+    }
+
+    pub fn with_speed(mut self, s: f64) -> Self {
+        assert!(s > 0.0, "cpu_speed must be positive");
+        self.cpu_speed = s;
+        self
+    }
+
+    pub fn with_gpus(mut self, g: u32) -> Self {
+        self.gpus = g;
+        self
+    }
+
+    pub fn is_login(&self) -> bool {
+        self.role == NodeRole::Login
+    }
+
+    pub fn is_compute(&self) -> bool {
+        self.role == NodeRole::Compute
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let n = Node::new(3, NodeRole::Compute, "c003", 64, 256)
+            .with_speed(1.2)
+            .with_gpus(4);
+        assert_eq!(n.id, NodeId(3));
+        assert!(n.is_compute());
+        assert!(!n.is_login());
+        assert_eq!(n.gpus, 4);
+        assert!((n.cpu_speed - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu_speed must be positive")]
+    fn zero_speed_rejected() {
+        let _ = Node::new(0, NodeRole::Login, "l", 8, 32).with_speed(0.0);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "node7");
+    }
+}

@@ -1,0 +1,253 @@
+//! The CORRECT action implementation (§5.3, Fig. 2).
+//!
+//! Step by step, exactly as the paper describes:
+//!
+//! 1. verify the FaaS SDK is present on the runner, `pip install` otherwise;
+//! 2. authenticate with the auth platform using the client id/secret inputs,
+//!    obtaining a bearer token;
+//! 3. use a FaaS function to **clone the repository** into a temporary
+//!    directory at the remote site (so the latest code version is evaluated);
+//! 4. invoke the user-specified function (shell command or pre-registered
+//!    function UUID);
+//! 5. return stdout/stderr to the runner for later steps, upload them as
+//!    artifacts, and fail the workflow step if either the clone or the user
+//!    function fails;
+//! 6. optionally run a secondary capture task that attaches the remote
+//!    software environment as a provenance artifact (§7.4).
+
+use crate::inputs::CorrectInputs;
+use hpcci_auth::{ClientId, ClientSecret, Scope};
+use hpcci_ci::{Action, StepContext, StepResult, WorldDriver};
+use hpcci_faas::{CloudService, EndpointId, FunctionId, TaskId, TaskOutput};
+use hpcci_sim::SimDuration;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The marketplace name the action registers under.
+pub const CORRECT_ACTION_NAME: &str = "globus-labs/correct@v1";
+
+/// The action. Holds a handle to the FaaS cloud (the runner talks to the
+/// cloud's REST API; it never reaches the site directly).
+pub struct CorrectAction {
+    cloud: Arc<Mutex<CloudService>>,
+}
+
+impl CorrectAction {
+    pub fn new(cloud: Arc<Mutex<CloudService>>) -> Self {
+        CorrectAction { cloud }
+    }
+
+    /// Block until `task` finishes, advancing the virtual world. Errors if
+    /// the world quiesces first (nothing will ever complete the task).
+    fn wait_for(
+        &self,
+        driver: &mut dyn WorldDriver,
+        task: TaskId,
+    ) -> Result<TaskOutput, String> {
+        loop {
+            {
+                let cloud = self.cloud.lock();
+                match cloud.task_finished(task) {
+                    Ok(true) => {
+                        return cloud
+                            .task_result(task)
+                            .cloned()
+                            .map_err(|e| format!("Error: {e}"));
+                    }
+                    Ok(false) => {}
+                    Err(e) => return Err(format!("Error: {e}")),
+                }
+            }
+            if !driver.step() {
+                return Err(format!(
+                    "Error: federation made no progress while waiting for {task}"
+                ));
+            }
+        }
+    }
+}
+
+impl Action for CorrectAction {
+    fn run(&self, ctx: &mut StepContext<'_>) -> StepResult {
+        let inputs = match CorrectInputs::parse(&ctx.inputs) {
+            Ok(i) => i,
+            Err(e) => return StepResult::fail(e),
+        };
+        let mut log = String::new();
+
+        // 1. Runner bootstrap: the SDK is not on the hosted VM image.
+        log.push_str("Checking for globus-compute-sdk on runner... not found\n");
+        log.push_str("pip install globus-compute-sdk ... done\n");
+        ctx.driver.sleep(SimDuration::from_secs(12));
+
+        // 2. Authenticate with the client credentials. (Read the clock
+        // before taking the cloud lock: the driver reads it through the
+        // same mutex.)
+        let now = ctx.driver.now();
+        let token = {
+            let cloud = self.cloud.lock();
+            let mut auth = cloud.auth().lock();
+            match auth.authenticate(
+                &ClientId(inputs.client_id.clone()),
+                &ClientSecret::new(&inputs.client_secret),
+                vec![Scope::compute_api()],
+                now,
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    return StepResult::fail(format!("Error: Globus authentication failed: {e}"))
+                }
+            }
+        };
+        log.push_str("Authenticated with Globus Auth (scope compute.api)\n");
+
+        let endpoint = EndpointId(inputs.endpoint_uuid.clone());
+
+        // 3. Clone the repository at the remote site.
+        if !inputs.skip_clone {
+            let clone_cmd = format!("git clone https://github.sim/{}.git", ctx.repo);
+            let clone_task = {
+                let mut cloud = self.cloud.lock();
+                let now = cloud.now();
+                match cloud.submit_shell(&token, &endpoint, &clone_cmd, now) {
+                    Ok(t) => t,
+                    Err(e) => return StepResult::fail(format!("Error: clone submission: {e}")),
+                }
+            };
+            match self.wait_for(ctx.driver, clone_task) {
+                Ok(out) if out.success() => {
+                    log.push_str(&out.stdout);
+                    log.push('\n');
+                }
+                Ok(out) => {
+                    // Clone failure fails the workflow step (§5.3).
+                    return StepResult {
+                        success: false,
+                        stdout: log + &out.stdout,
+                        stderr: format!("Error: repository clone failed\n{}", out.stderr),
+                        ..StepResult::default()
+                    };
+                }
+                Err(e) => return StepResult::fail(e),
+            }
+        }
+
+        // 4. Invoke the user-specified function.
+        let main_task = {
+            let mut cloud = self.cloud.lock();
+            let now = cloud.now();
+            let result = if let Some(cmd) = &inputs.shell_cmd {
+                let full = if inputs.args.is_empty() {
+                    cmd.clone()
+                } else {
+                    format!("{cmd} {}", inputs.args)
+                };
+                cloud.submit_shell(&token, &endpoint, &full, now)
+            } else {
+                let fid = FunctionId(inputs.function_uuid.expect("schema validated"));
+                cloud.submit_function(&token, &endpoint, fid, &inputs.args, now)
+            };
+            match result {
+                Ok(t) => t,
+                Err(e) => return StepResult::fail(format!("Error: task submission: {e}")),
+            }
+        };
+        let output = match self.wait_for(ctx.driver, main_task) {
+            Ok(o) => o,
+            Err(e) => return StepResult::fail(e),
+        };
+
+        // 5. Propagate outputs; step fails when the function failed.
+        let mut result = StepResult {
+            success: output.success(),
+            stdout: format!("{log}{}", output.stdout),
+            stderr: output.stderr.clone(),
+            ..StepResult::default()
+        };
+        result = result
+            .with_output("stdout", &output.stdout)
+            .with_output("stderr", &output.stderr)
+            .with_output("ran_as", &output.ran_as)
+            .with_output("node", &output.node)
+            .with_output(
+                "runtime_secs",
+                &format!("{:.6}", output.runtime().as_secs_f64()),
+            );
+
+        // 6. Optional provenance capture (never flips the step's outcome).
+        if inputs.capture_environment {
+            let capture_task = {
+                let mut cloud = self.cloud.lock();
+                let now = cloud.now();
+                cloud.submit_shell(&token, &endpoint, "gc-capture-env", now)
+            };
+            if let Ok(t) = capture_task {
+                if let Ok(cap) = self.wait_for(ctx.driver, t) {
+                    if cap.success() {
+                        result = result.with_artifact("environment.txt", cap.stdout.clone());
+                    }
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The action's behaviour is exercised end-to-end through the Federation
+    // in `tests/` (it needs hosting, sites and endpoints wired together);
+    // unit tests here cover the pieces that do not need the world.
+    use super::*;
+    use hpcci_auth::AuthService;
+    use hpcci_ci::action::NullDriver;
+    use std::collections::BTreeMap;
+
+    fn bare_action() -> CorrectAction {
+        let auth = Arc::new(Mutex::new(AuthService::new()));
+        CorrectAction::new(Arc::new(Mutex::new(CloudService::new(auth))))
+    }
+
+    #[test]
+    fn schema_violation_fails_fast() {
+        let action = bare_action();
+        let mut driver = NullDriver::new();
+        let mut ctx = StepContext {
+            repo: "o/r".into(),
+            branch: "main".into(),
+            commit: "c".into(),
+            inputs: BTreeMap::new(),
+            env: BTreeMap::new(),
+            driver: &mut driver,
+        };
+        let r = action.run(&mut ctx);
+        assert!(!r.success);
+        assert!(r.stderr.contains("client_id"));
+    }
+
+    #[test]
+    fn bad_credentials_fail_with_auth_error() {
+        let action = bare_action();
+        let mut driver = NullDriver::new();
+        let inputs: BTreeMap<String, String> = [
+            ("client_id", "client-000001"),
+            ("client_secret", "wrong"),
+            ("endpoint_uuid", "ep"),
+            ("shell_cmd", "tox"),
+        ]
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        let mut ctx = StepContext {
+            repo: "o/r".into(),
+            branch: "main".into(),
+            commit: "c".into(),
+            inputs,
+            env: BTreeMap::new(),
+            driver: &mut driver,
+        };
+        let r = action.run(&mut ctx);
+        assert!(!r.success);
+        assert!(r.stderr.contains("authentication failed"), "{}", r.stderr);
+    }
+}

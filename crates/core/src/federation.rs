@@ -1,0 +1,429 @@
+//! The federation: composition root of the whole stack.
+//!
+//! Owns the auth service, the FaaS cloud, the hosting service, the CI
+//! engine, and every registered site, and implements [`WorldDriver`] so that
+//! actions blocked on remote progress can advance virtual time. This is the
+//! "system overview" of the paper's Fig. 2, as an object graph.
+
+use crate::action::{CorrectAction, CORRECT_ACTION_NAME};
+use hpcci_auth::{AuthService, IdentityMapping};
+use hpcci_ci::{CiEngine, RunId, WorldDriver};
+use hpcci_cluster::{FileMode, Site};
+use hpcci_faas::{
+    CloudService, Endpoint, EndpointConfig, EndpointId, EndpointRegistration, ExecOutcome,
+    MepTemplate, MultiUserEndpoint, SiteRuntime, WorkerProvider,
+};
+use hpcci_provenance::EnvironmentCapture;
+use hpcci_scheduler::{LocalProvider, SlurmProvider};
+use hpcci_sim::{Advance, SimDuration, SimTime};
+use hpcci_vcs::{HostingService, RepoEvent};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Handle to a registered site.
+#[derive(Clone)]
+pub struct SiteHandle {
+    pub name: String,
+    pub shared: hpcci_faas::exec::SharedSite,
+}
+
+/// The virtual-world driver handed to executing actions.
+pub struct World {
+    cloud: Arc<Mutex<CloudService>>,
+}
+
+impl WorldDriver for World {
+    fn now(&self) -> SimTime {
+        self.cloud.lock().now()
+    }
+
+    fn step(&mut self) -> bool {
+        let mut cloud = self.cloud.lock();
+        match cloud.next_event() {
+            Some(t) => {
+                cloud.advance_to(t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn sleep(&mut self, d: SimDuration) {
+        let mut cloud = self.cloud.lock();
+        let target = cloud.now() + d;
+        cloud.advance_to(target);
+    }
+}
+
+/// A user onboarded to the federation: identity + confidential client.
+pub struct OnboardedUser {
+    pub identity: hpcci_auth::Identity,
+    pub client_id: String,
+    /// The secret value, exactly once — store it in a CI secret.
+    pub client_secret: String,
+}
+
+/// The full federation.
+pub struct Federation {
+    pub auth: Arc<Mutex<AuthService>>,
+    pub cloud: Arc<Mutex<CloudService>>,
+    pub hosting: Arc<Mutex<HostingService>>,
+    pub engine: CiEngine,
+    world: World,
+    sites: BTreeMap<String, SiteHandle>,
+    seed: u64,
+}
+
+impl Federation {
+    /// Build an empty federation. `seed` drives every stochastic component.
+    pub fn new(seed: u64) -> Self {
+        let auth = Arc::new(Mutex::new(AuthService::new()));
+        let cloud = Arc::new(Mutex::new(CloudService::new(auth.clone())));
+        let hosting = Arc::new(Mutex::new(HostingService::new()));
+        let mut engine = CiEngine::new();
+        engine.register_action(
+            CORRECT_ACTION_NAME,
+            Arc::new(CorrectAction::new(cloud.clone())),
+        );
+        Federation {
+            auth,
+            cloud: cloud.clone(),
+            hosting,
+            engine,
+            world: World { cloud },
+            sites: BTreeMap::new(),
+            seed,
+        }
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Mutable access to the world driver (for custom blocking waits).
+    pub fn world(&mut self) -> &mut dyn WorldDriver {
+        &mut self.world
+    }
+
+    /// Register a site, attach a scheduler when it has compute nodes, and
+    /// install the standard federation commands (`git`, `gc-capture-env`).
+    pub fn add_site(&mut self, site: Site, scheduler_cores: u32) -> SiteHandle {
+        let name = site.id.to_string();
+        let mut runtime = SiteRuntime::new(site).with_scheduler(scheduler_cores);
+        self.install_standard_commands(&mut runtime);
+        let shared = hpcci_faas::exec::shared(runtime);
+        let handle = SiteHandle {
+            name: name.clone(),
+            shared,
+        };
+        self.sites.insert(name, handle.clone());
+        handle
+    }
+
+    pub fn site(&self, name: &str) -> Option<&SiteHandle> {
+        self.sites.get(name)
+    }
+
+    /// The `git` handler clones from the federation's hosting service into
+    /// the site filesystem; `gc-capture-env` renders the site's environment
+    /// (§7.4's provenance capture).
+    fn install_standard_commands(&self, runtime: &mut SiteRuntime) {
+        let hosting = self.hosting.clone();
+        runtime.commands.register("git", move |env| {
+            if !env.internet_allowed() {
+                return ExecOutcome::fail(
+                    "fatal: unable to access remote repository: no route to host",
+                    0.2,
+                );
+            }
+            // git clone [-b <branch>] <url> [dest]
+            let tokens: Vec<&str> = env.command.split_whitespace().collect();
+            if tokens.get(1) != Some(&"clone") {
+                return ExecOutcome::fail("git: only `clone` is supported in the federation", 0.05);
+            }
+            let mut branch: Option<&str> = None;
+            let mut positional: Vec<&str> = Vec::new();
+            let mut i = 2;
+            while i < tokens.len() {
+                if tokens[i] == "-b" || tokens[i] == "--branch" {
+                    branch = tokens.get(i + 1).copied();
+                    i += 2;
+                } else {
+                    positional.push(tokens[i]);
+                    i += 1;
+                }
+            }
+            let Some(url) = positional.first() else {
+                return ExecOutcome::fail("git clone: missing repository url", 0.05);
+            };
+            // URL convention: https://github.sim/<owner>/<name>[.git]
+            let full_name = url
+                .trim_start_matches("https://")
+                .trim_start_matches("github.sim/")
+                .trim_end_matches(".git")
+                .to_string();
+            let dest = positional
+                .get(1)
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| {
+                    let repo_dir = full_name.split('/').next_back().unwrap_or("repo");
+                    format!("{}/{}", env.clone_root(), repo_dir)
+                });
+            let hosting = hosting.lock();
+            let repo = match hosting.repo(&full_name) {
+                Ok(r) => r,
+                Err(e) => return ExecOutcome::fail(format!("fatal: {e}"), 0.1),
+            };
+            let branch_name = branch.unwrap_or(&repo.default_branch).to_string();
+            let tree = match repo.checkout_branch(&branch_name) {
+                Ok(t) => t.clone(),
+                Err(e) => return ExecOutcome::fail(format!("fatal: {e}"), 0.1),
+            };
+            let head = repo.head(&branch_name).expect("branch checked out");
+            drop(hosting);
+            if let Err(e) = env.site.fs.mkdir_p(&dest, &env.cred, FileMode::PRIVATE_DIR) {
+                return ExecOutcome::fail(format!("fatal: could not create {dest}: {e}"), 0.1);
+            }
+            let bytes = tree.total_bytes();
+            for (path, content) in tree.iter() {
+                let target = format!("{dest}/{path}");
+                if let Some(dir) = target.rsplit_once('/').map(|(d, _)| d) {
+                    if let Err(e) = env.site.fs.mkdir_p(dir, &env.cred, FileMode::PRIVATE_DIR) {
+                        return ExecOutcome::fail(format!("fatal: {e}"), 0.1);
+                    }
+                }
+                if let Err(e) = env
+                    .site
+                    .fs
+                    .write(&target, &env.cred, content.clone(), FileMode::REGULAR)
+                {
+                    return ExecOutcome::fail(format!("fatal: {e}"), 0.1);
+                }
+            }
+            // Clone cost: network + unpack, dominated by I/O.
+            let io_secs = bytes as f64 / env.site.perf.io_bytes_per_sec;
+            ExecOutcome::ok(
+                format!(
+                    "Cloning into '{dest}'...\nHEAD is now at {} ({branch_name})",
+                    head.short()
+                ),
+                0.5 + io_secs,
+            )
+            .with_payload(dest.clone())
+        });
+
+        runtime.commands.register("gc-capture-env", |env| {
+            let env_name = {
+                let args = env.args();
+                if args.is_empty() { None } else { Some(args.to_string()) }
+            };
+            let capture = EnvironmentCapture::of_site(
+                env.site,
+                env_name.as_deref(),
+                env.container.as_deref(),
+            );
+            let text = capture.render();
+            ExecOutcome::ok(text.clone(), 0.2).with_payload(text)
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Endpoints
+    // ------------------------------------------------------------------
+
+    /// Register a multi-user endpoint at a site.
+    pub fn register_mep(
+        &mut self,
+        endpoint_name: &str,
+        site: &SiteHandle,
+        mapping: IdentityMapping,
+        template: MepTemplate,
+    ) -> EndpointId {
+        let mep = MultiUserEndpoint::new(endpoint_name, site.shared.clone(), mapping, template);
+        self.cloud
+            .lock()
+            .register_endpoint(endpoint_name, EndpointRegistration::Multi(mep))
+    }
+
+    /// Register a single-user endpoint on a site's login node.
+    pub fn register_single_endpoint(
+        &mut self,
+        endpoint_name: &str,
+        site: &SiteHandle,
+        owner: hpcci_auth::IdentityId,
+        local_user: &str,
+    ) -> EndpointId {
+        let login = site
+            .shared
+            .lock()
+            .site
+            .login_node()
+            .expect("sites have a login node")
+            .id;
+        self.seed += 1;
+        let ep = Endpoint::new(
+            EndpointConfig::new(endpoint_name, owner, local_user),
+            site.shared.clone(),
+            WorkerProvider::Local(LocalProvider::new(login, 8)),
+            self.seed,
+        );
+        self.cloud
+            .lock()
+            .register_endpoint(endpoint_name, EndpointRegistration::Single(ep))
+    }
+
+    /// Register a single-user endpoint whose workers are SLURM pilots.
+    pub fn register_pilot_endpoint(
+        &mut self,
+        endpoint_name: &str,
+        site: &SiteHandle,
+        owner: hpcci_auth::IdentityId,
+        local_user: &str,
+        cores: u32,
+        walltime: SimDuration,
+    ) -> EndpointId {
+        let (scheduler, account) = {
+            let rt = site.shared.lock();
+            (
+                rt.scheduler.clone().expect("pilot endpoint needs a scheduler"),
+                rt.site.account(local_user).expect("local account exists").clone(),
+            )
+        };
+        self.seed += 1;
+        let ep = Endpoint::new(
+            EndpointConfig::new(endpoint_name, owner, local_user),
+            site.shared.clone(),
+            WorkerProvider::Slurm(SlurmProvider::new(
+                scheduler,
+                account.uid,
+                &account.allocation,
+                cores,
+                walltime,
+            )),
+            self.seed,
+        );
+        self.cloud
+            .lock()
+            .register_endpoint(endpoint_name, EndpointRegistration::Single(ep))
+    }
+
+    // ------------------------------------------------------------------
+    // Users and secrets
+    // ------------------------------------------------------------------
+
+    /// Register an identity and a confidential client for it. The secret is
+    /// returned exactly once, for storage in a CI environment secret.
+    pub fn onboard_user(&mut self, username: &str, provider: &str) -> OnboardedUser {
+        let mut auth = self.auth.lock();
+        let identity = auth.register_identity(username, provider, self.world.now());
+        let (cid, secret) = auth
+            .create_client(identity.id, &format!("correct-{username}"))
+            .expect("fresh identity accepts a client");
+        // Creation is the single moment the raw secret is visible (§5.2's
+        // secret-handling story); it goes straight into a CI secret store.
+        OnboardedUser {
+            identity,
+            client_id: cid.0,
+            client_secret: secret.expose_value().to_string(),
+        }
+    }
+
+    /// Store a user's FaaS credentials as environment-scoped CI secrets and
+    /// create the approval-gated environment (sole reviewer = the user),
+    /// following §5.2's recommendation.
+    pub fn provision_environment(
+        &mut self,
+        repo: &str,
+        environment: &str,
+        reviewer: &str,
+        user: &OnboardedUser,
+    ) {
+        use hpcci_ci::{Environment, Secret, SecretScope};
+        self.engine.add_environment(
+            repo,
+            Environment::new(environment).with_reviewer(reviewer),
+        );
+        let scope = SecretScope::Environment {
+            repo: repo.to_string(),
+            environment: environment.to_string(),
+        };
+        self.engine
+            .secrets
+            .put(scope.clone(), Secret::new("GLOBUS_ID", &user.client_id));
+        self.engine
+            .secrets
+            .put(scope, Secret::new("GLOBUS_SECRET", &user.client_secret));
+    }
+
+    // ------------------------------------------------------------------
+    // Event plumbing and execution
+    // ------------------------------------------------------------------
+
+    /// Drain hosting webhooks into the CI engine, creating runs.
+    pub fn pump_events(&mut self) -> Vec<RunId> {
+        let events = self.hosting.lock().take_events();
+        let now = self.world.now();
+        let mut runs = Vec::new();
+        for event in events {
+            match event {
+                RepoEvent::Push { repo, branch, commit, .. } => {
+                    if let Ok(ids) = self.engine.on_push(&repo, &branch, &commit.short(), now) {
+                        runs.extend(ids);
+                    }
+                }
+                RepoEvent::PullRequestOpened { repo, pr, .. } => {
+                    let (head_branch, commit) = {
+                        let hosting = self.hosting.lock();
+                        let pr = hosting.pull_request(pr).expect("event references real PR");
+                        let head = hosting
+                            .repo(&pr.head_repo)
+                            .and_then(|r| r.head(&pr.head_branch))
+                            .map(|c| c.short())
+                            .unwrap_or_default();
+                        (pr.head_branch.clone(), head)
+                    };
+                    if let Ok(ids) = self.engine.on_pull_request(&repo, &head_branch, &commit, now) {
+                        runs.extend(ids);
+                    }
+                }
+                RepoEvent::PullRequestMerged { .. } => {}
+            }
+        }
+        runs
+    }
+
+    /// Execute all ready CI runs, then drain the world to quiescence.
+    pub fn run_all(&mut self) -> Vec<RunId> {
+        let executed = self.engine.execute_ready(&mut self.world);
+        while self.world.step() {}
+        executed
+    }
+
+    /// Approve one awaiting run and execute it.
+    pub fn approve_and_run(&mut self, run: RunId, reviewer: &str) -> Result<(), hpcci_ci::CiError> {
+        let now = self.world.now();
+        self.engine.approve(run, reviewer, now)?;
+        self.run_all();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn federation_builds_and_registers_sites() {
+        let mut fed = Federation::new(1);
+        let cham = fed.add_site(Site::chameleon_tacc(), 64);
+        let faster = fed.add_site(Site::tamu_faster(), 64);
+        assert!(fed.site("chameleon-tacc").is_some());
+        assert!(fed.site("nope").is_none());
+        assert!(cham.shared.lock().scheduler.is_none());
+        assert!(faster.shared.lock().scheduler.is_some());
+        // Standard commands installed.
+        assert!(cham.shared.lock().commands.resolve("git clone x").is_some());
+        assert!(cham.shared.lock().commands.resolve("gc-capture-env").is_some());
+    }
+}

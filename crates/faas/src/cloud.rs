@@ -1,0 +1,627 @@
+//! The cloud service: the single contact point of the federation.
+//!
+//! "The cloud service provides a single contact point via which functions
+//! can be registered and submitted for execution. … When a task completes,
+//! the endpoint returns the result, or exception, to the cloud service for
+//! users to later retrieve" (§5.1).
+
+use crate::endpoint::Endpoint;
+use crate::error::FaasError;
+use crate::function::{Function, FunctionBody, FunctionId};
+use crate::mep::MultiUserEndpoint;
+use crate::task::{Task, TaskId, TaskOutput, TaskState};
+use hpcci_auth::{AuthService, Identity, Scope};
+use hpcci_sim::{Advance, EventQueue, SimTime, Trace};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Endpoint identifier (the "endpoint UUID" of the action inputs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub String);
+
+impl std::fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A registered endpoint: single-user or multi-user.
+pub enum EndpointRegistration {
+    Single(Endpoint),
+    Multi(MultiUserEndpoint),
+}
+
+impl EndpointRegistration {
+    fn wan_latency(&self) -> hpcci_sim::SimDuration {
+        match self {
+            EndpointRegistration::Single(e) => e.wan_latency(),
+            EndpointRegistration::Multi(m) => m.wan_latency(),
+        }
+    }
+
+    fn function_allowed(&self, f: FunctionId) -> bool {
+        match self {
+            EndpointRegistration::Single(e) => e.function_allowed(f),
+            EndpointRegistration::Multi(m) => m.function_allowed(f),
+        }
+    }
+
+    fn shell_allowed(&self) -> bool {
+        match self {
+            EndpointRegistration::Single(e) => e.shell_allowed(),
+            EndpointRegistration::Multi(m) => m.shell_allowed(),
+        }
+    }
+}
+
+enum InFlight {
+    Deliver {
+        task: TaskId,
+        identity: Identity,
+        command: String,
+    },
+    Return {
+        task: TaskId,
+        output: TaskOutput,
+    },
+}
+
+/// Maximum bytes of a task's args or result payload. The paper notes Globus
+/// Compute payload limits (§7.4); 10 MB matches its order of magnitude.
+pub const PAYLOAD_LIMIT: usize = 10 * 1024 * 1024;
+
+/// The FaaS cloud service.
+pub struct CloudService {
+    auth: Arc<Mutex<AuthService>>,
+    functions: BTreeMap<FunctionId, Function>,
+    endpoints: BTreeMap<EndpointId, EndpointRegistration>,
+    tasks: BTreeMap<TaskId, Task>,
+    wire: EventQueue<InFlight>,
+    pub trace: Trace,
+    now: SimTime,
+    next_task: u64,
+    next_function: u64,
+}
+
+impl CloudService {
+    pub fn new(auth: Arc<Mutex<AuthService>>) -> Self {
+        CloudService {
+            auth,
+            functions: BTreeMap::new(),
+            endpoints: BTreeMap::new(),
+            tasks: BTreeMap::new(),
+            wire: EventQueue::new(),
+            trace: Trace::new(),
+            now: SimTime::ZERO,
+            next_task: 0,
+            next_function: 0,
+        }
+    }
+
+    pub fn auth(&self) -> &Arc<Mutex<AuthService>> {
+        &self.auth
+    }
+
+    /// Register an endpoint under a name.
+    pub fn register_endpoint(&mut self, id: &str, registration: EndpointRegistration) -> EndpointId {
+        let eid = EndpointId(id.to_string());
+        self.endpoints.insert(eid.clone(), registration);
+        eid
+    }
+
+    pub fn endpoint_mut(&mut self, id: &EndpointId) -> Result<&mut EndpointRegistration, FaasError> {
+        self.endpoints
+            .get_mut(id)
+            .ok_or_else(|| FaasError::UnknownEndpoint(id.0.clone()))
+    }
+
+    /// Register a function owned by the token's identity.
+    pub fn register_function(
+        &mut self,
+        token: &hpcci_auth::AccessToken,
+        name: &str,
+        body: FunctionBody,
+        now: SimTime,
+    ) -> Result<FunctionId, FaasError> {
+        let info = self
+            .auth
+            .lock()
+            .require_scope(token, &Scope::compute_api(), now)?;
+        self.next_function += 1;
+        let id = FunctionId(self.next_function);
+        self.functions.insert(
+            id,
+            Function {
+                id,
+                name: name.to_string(),
+                owner: info.identity,
+                body,
+            },
+        );
+        self.trace
+            .record(now, "faas.cloud", "function.register", format!("{id} {name}"));
+        Ok(id)
+    }
+
+    pub fn function(&self, id: FunctionId) -> Result<&Function, FaasError> {
+        self.functions.get(&id).ok_or(FaasError::UnknownFunction(id))
+    }
+
+    /// Submit an ad-hoc shell command (the action's `shell_cmd` input).
+    pub fn submit_shell(
+        &mut self,
+        token: &hpcci_auth::AccessToken,
+        endpoint: &EndpointId,
+        shell_cmd: &str,
+        now: SimTime,
+    ) -> Result<TaskId, FaasError> {
+        let identity = self.authenticate(token, now)?;
+        let ep = self
+            .endpoints
+            .get(endpoint)
+            .ok_or_else(|| FaasError::UnknownEndpoint(endpoint.0.clone()))?;
+        if !ep.shell_allowed() {
+            return Err(FaasError::ShellNotAllowed);
+        }
+        self.check_payload(shell_cmd.len())?;
+        self.check_owner(ep, &identity)?;
+        Ok(self.accept(identity, endpoint, shell_cmd.to_string(), now))
+    }
+
+    /// Submit a pre-registered function (the action's `function_uuid` input).
+    pub fn submit_function(
+        &mut self,
+        token: &hpcci_auth::AccessToken,
+        endpoint: &EndpointId,
+        function: FunctionId,
+        args: &str,
+        now: SimTime,
+    ) -> Result<TaskId, FaasError> {
+        let identity = self.authenticate(token, now)?;
+        let f = self.function(function)?.clone();
+        let ep = self
+            .endpoints
+            .get(endpoint)
+            .ok_or_else(|| FaasError::UnknownEndpoint(endpoint.0.clone()))?;
+        if !ep.function_allowed(function) {
+            return Err(FaasError::FunctionNotAllowed(function));
+        }
+        self.check_payload(args.len())?;
+        self.check_owner(ep, &identity)?;
+        let command = f.command_line(args);
+        Ok(self.accept(identity, endpoint, command, now))
+    }
+
+    fn authenticate(
+        &mut self,
+        token: &hpcci_auth::AccessToken,
+        now: SimTime,
+    ) -> Result<Identity, FaasError> {
+        let auth = self.auth.lock();
+        let info = auth.require_scope(token, &Scope::compute_api(), now)?;
+        Ok(auth.identity(info.identity)?.clone())
+    }
+
+    fn check_payload(&self, bytes: usize) -> Result<(), FaasError> {
+        if bytes > PAYLOAD_LIMIT {
+            return Err(FaasError::PayloadTooLarge {
+                bytes,
+                limit: PAYLOAD_LIMIT,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_owner(&self, ep: &EndpointRegistration, identity: &Identity) -> Result<(), FaasError> {
+        if let EndpointRegistration::Single(e) = ep {
+            if e.config.owner != identity.id {
+                return Err(FaasError::NotEndpointOwner);
+            }
+            e.config.ha_policy.check(identity, self.now)?;
+        }
+        Ok(())
+    }
+
+    fn accept(
+        &mut self,
+        identity: Identity,
+        endpoint: &EndpointId,
+        command: String,
+        now: SimTime,
+    ) -> TaskId {
+        self.next_task += 1;
+        let id = TaskId(self.next_task);
+        self.tasks.insert(
+            id,
+            Task {
+                id,
+                submitter: identity.id,
+                endpoint: endpoint.0.clone(),
+                command: command.clone(),
+                state: TaskState::Submitted { at: now },
+            },
+        );
+        let latency = self.endpoints[endpoint].wan_latency();
+        self.trace.record(
+            now,
+            "faas.cloud",
+            "task.submit",
+            format!("{id} -> {endpoint}: {command}"),
+        );
+        self.wire.push(
+            now + latency,
+            InFlight::Deliver {
+                task: id,
+                identity,
+                command,
+            },
+        );
+        id
+    }
+
+    /// Current state of a task.
+    pub fn task_state(&self, id: TaskId) -> Result<&TaskState, FaasError> {
+        Ok(&self.tasks.get(&id).ok_or(FaasError::UnknownTask(id))?.state)
+    }
+
+    /// The result of a finished task.
+    pub fn task_result(&self, id: TaskId) -> Result<&TaskOutput, FaasError> {
+        match self.task_state(id)? {
+            TaskState::Done(out) => Ok(out),
+            TaskState::Rejected { reason, .. } => Err(FaasError::Auth(
+                hpcci_auth::AuthError::PolicyViolation(reason.clone()),
+            )),
+            _ => Err(FaasError::NotFinished(id)),
+        }
+    }
+
+    /// Is the task terminal?
+    pub fn task_finished(&self, id: TaskId) -> Result<bool, FaasError> {
+        Ok(self.task_state(id)?.is_terminal())
+    }
+
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Collect finished outputs from endpoints onto the return wire.
+    fn collect_returns(&mut self, now: SimTime) {
+        let mut returns: Vec<(TaskId, TaskOutput, hpcci_sim::SimDuration)> = Vec::new();
+        for ep in self.endpoints.values_mut() {
+            let latency = ep.wan_latency();
+            let finished = match ep {
+                EndpointRegistration::Single(e) => e.take_finished(),
+                EndpointRegistration::Multi(m) => m.take_finished(),
+            };
+            for (task, output) in finished {
+                returns.push((task, output, latency));
+            }
+        }
+        for (task, output, latency) in returns {
+            self.trace.record(
+                now,
+                "faas.cloud",
+                "task.returning",
+                format!("{task} from endpoint"),
+            );
+            self.wire.push(now + latency, InFlight::Return { task, output });
+        }
+    }
+}
+
+impl Advance for CloudService {
+    fn next_event(&self) -> Option<SimTime> {
+        let mut next = self.wire.next_time();
+        for ep in self.endpoints.values() {
+            let n = match ep {
+                EndpointRegistration::Single(e) => e.next_event(),
+                EndpointRegistration::Multi(m) => m.next_event(),
+            };
+            if let Some(t) = n {
+                next = Some(next.map_or(t, |x| x.min(t)));
+            }
+        }
+        next
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        loop {
+            // Earliest wire event or endpoint event within the window.
+            let wire_next = self.wire.next_time();
+            let ep_next = self
+                .endpoints
+                .values()
+                .filter_map(|ep| match ep {
+                    EndpointRegistration::Single(e) => e.next_event(),
+                    EndpointRegistration::Multi(m) => m.next_event(),
+                })
+                .min();
+            let step = match (wire_next, ep_next) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if step > t {
+                break;
+            }
+            self.now = step;
+            // Advance endpoints to the step time, then handle due wire events.
+            for ep in self.endpoints.values_mut() {
+                match ep {
+                    EndpointRegistration::Single(e) => e.advance_to(step),
+                    EndpointRegistration::Multi(m) => m.advance_to(step),
+                }
+            }
+            self.collect_returns(step);
+            while let Some((at, event)) = self.wire.pop_due(step) {
+                match event {
+                    InFlight::Deliver { task, identity, command } => {
+                        let endpoint_name = self.tasks[&task].endpoint.clone();
+                        let eid = EndpointId(endpoint_name.clone());
+                        self.trace.record(
+                            at,
+                            format!("faas.ep.{endpoint_name}"),
+                            "task.deliver",
+                            format!("{task}"),
+                        );
+                        let result = match self.endpoints.get_mut(&eid) {
+                            Some(EndpointRegistration::Single(e)) => e.enqueue(task, &command, at),
+                            Some(EndpointRegistration::Multi(m)) => {
+                                m.enqueue(task, &identity, &command, at)
+                            }
+                            None => Err(FaasError::UnknownEndpoint(endpoint_name.clone())),
+                        };
+                        let record = self.tasks.get_mut(&task).expect("task exists");
+                        match result {
+                            Ok(()) => record.state = TaskState::QueuedAtEndpoint { at },
+                            Err(e) => {
+                                record.state = TaskState::Rejected {
+                                    at,
+                                    reason: e.to_string(),
+                                };
+                                self.trace.record(
+                                    at,
+                                    format!("faas.ep.{endpoint_name}"),
+                                    "task.reject",
+                                    format!("{task}: {e}"),
+                                );
+                            }
+                        }
+                    }
+                    InFlight::Return { task, output } => {
+                        self.trace.record(
+                            at,
+                            "faas.cloud",
+                            "task.done",
+                            format!(
+                                "{task} ran_as={} node={} ok={}",
+                                output.ran_as,
+                                output.node,
+                                output.success()
+                            ),
+                        );
+                        let record = self.tasks.get_mut(&task).expect("task exists");
+                        record.state = TaskState::Done(output);
+                    }
+                }
+            }
+        }
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{EndpointConfig, WorkerProvider};
+    use crate::exec::{shared, ExecOutcome, SiteRuntime};
+    use hpcci_auth::{ClientSecret, IdentityId};
+    use hpcci_cluster::Site;
+    use hpcci_scheduler::LocalProvider;
+    use hpcci_sim::drive;
+
+    struct Setup {
+        cloud: CloudService,
+        token: hpcci_auth::AccessToken,
+        owner: IdentityId,
+        endpoint: EndpointId,
+    }
+
+    fn setup(restrict: Option<Vec<FunctionId>>) -> Setup {
+        let auth = Arc::new(Mutex::new(AuthService::new()));
+        let (owner, token) = {
+            let mut a = auth.lock();
+            let identity = a.register_identity("vhayot@uchicago.edu", "uchicago.edu", SimTime::ZERO);
+            let (cid, secret) = a.create_client(identity.id, "correct").unwrap();
+            let token = a
+                .authenticate(&cid, &secret, vec![Scope::compute_api()], SimTime::ZERO)
+                .unwrap();
+            (identity.id, token)
+        };
+        let mut rt = SiteRuntime::new(Site::workstation("lab"));
+        rt.site.add_account("vhayot", "proj");
+        rt.commands.register("tox", |_| ExecOutcome::ok("py312: commands succeeded", 8.0));
+        rt.commands.register("fail", |_| ExecOutcome::fail("tests failed", 1.0));
+        let site = shared(rt);
+        let login = site.lock().site.login_node().unwrap().id;
+        let mut config = EndpointConfig::new("ep-lab", owner, "vhayot");
+        if let Some(fns) = restrict {
+            config = config.with_allowlist(&fns);
+        }
+        let ep = Endpoint::new(
+            config,
+            site,
+            WorkerProvider::Local(LocalProvider::new(login, 8)),
+            9,
+        );
+        let mut cloud = CloudService::new(auth);
+        let endpoint = cloud.register_endpoint("ep-lab", EndpointRegistration::Single(ep));
+        Setup {
+            cloud,
+            token,
+            owner,
+            endpoint,
+        }
+    }
+
+    #[test]
+    fn end_to_end_shell_task() {
+        let mut s = setup(None);
+        let task = s
+            .cloud
+            .submit_shell(&s.token, &s.endpoint, "tox", SimTime::ZERO)
+            .unwrap();
+        assert!(!s.cloud.task_finished(task).unwrap());
+        drive(&mut [&mut s.cloud]);
+        assert!(s.cloud.task_finished(task).unwrap());
+        let out = s.cloud.task_result(task).unwrap();
+        assert!(out.success());
+        assert!(out.stdout.contains("commands succeeded"));
+        assert_eq!(out.ran_as, "vhayot");
+        // Trace captured the full lifecycle.
+        assert_eq!(s.cloud.trace.of_kind("task.submit").count(), 1);
+        assert_eq!(s.cloud.trace.of_kind("task.done").count(), 1);
+    }
+
+    #[test]
+    fn failing_task_returns_exception() {
+        let mut s = setup(None);
+        let task = s
+            .cloud
+            .submit_shell(&s.token, &s.endpoint, "fail", SimTime::ZERO)
+            .unwrap();
+        drive(&mut [&mut s.cloud]);
+        let out = s.cloud.task_result(task).unwrap();
+        assert!(!out.success());
+        assert_eq!(out.stderr, "tests failed");
+    }
+
+    #[test]
+    fn bad_token_rejected() {
+        let mut s = setup(None);
+        // A token from an unknown client is invalid.
+        let bogus = {
+            let mut a = s.cloud.auth().lock();
+            let other = a.register_identity("other@x.y", "x.y", SimTime::ZERO);
+            let (cid, sec) = a.create_client(other.id, "c").unwrap();
+            // Authenticate then revoke, producing an invalid token.
+            let t = a.authenticate(&cid, &sec, vec![Scope::compute_api()], SimTime::ZERO).unwrap();
+            a.revoke(&t).unwrap();
+            t
+        };
+        assert!(matches!(
+            s.cloud.submit_shell(&bogus, &s.endpoint, "tox", SimTime::ZERO),
+            Err(FaasError::Auth(_))
+        ));
+        let _ = ClientSecret::new("x");
+    }
+
+    #[test]
+    fn non_owner_cannot_use_single_user_endpoint() {
+        let mut s = setup(None);
+        let foreign_token = {
+            let mut a = s.cloud.auth().lock();
+            let mallory = a.register_identity("mallory@uchicago.edu", "uchicago.edu", SimTime::ZERO);
+            let (cid, sec) = a.create_client(mallory.id, "m").unwrap();
+            a.authenticate(&cid, &sec, vec![Scope::compute_api()], SimTime::ZERO).unwrap()
+        };
+        assert!(matches!(
+            s.cloud.submit_shell(&foreign_token, &s.endpoint, "tox", SimTime::ZERO),
+            Err(FaasError::NotEndpointOwner)
+        ));
+    }
+
+    #[test]
+    fn function_registration_and_submission() {
+        let mut s = setup(None);
+        let f = s
+            .cloud
+            .register_function(
+                &s.token,
+                "run-tox",
+                FunctionBody::Shell { command: "tox {args}".into() },
+                SimTime::ZERO,
+            )
+            .unwrap();
+        assert_eq!(s.cloud.function(f).unwrap().owner, s.owner);
+        let task = s
+            .cloud
+            .submit_function(&s.token, &s.endpoint, f, "-e py312", SimTime::ZERO)
+            .unwrap();
+        drive(&mut [&mut s.cloud]);
+        assert!(s.cloud.task_result(task).unwrap().success());
+        assert!(s.cloud.tasks[&task].command.contains("-e py312"));
+    }
+
+    #[test]
+    fn allowlist_blocks_shell_and_foreign_functions() {
+        // Endpoint restricted to function id 1 (registered below).
+        let mut s = setup(Some(vec![FunctionId(1)]));
+        assert!(matches!(
+            s.cloud.submit_shell(&s.token, &s.endpoint, "tox", SimTime::ZERO),
+            Err(FaasError::ShellNotAllowed)
+        ));
+        let allowed = s
+            .cloud
+            .register_function(&s.token, "ok", FunctionBody::Shell { command: "tox".into() }, SimTime::ZERO)
+            .unwrap();
+        assert_eq!(allowed, FunctionId(1));
+        let denied = s
+            .cloud
+            .register_function(&s.token, "no", FunctionBody::Shell { command: "tox".into() }, SimTime::ZERO)
+            .unwrap();
+        assert!(s
+            .cloud
+            .submit_function(&s.token, &s.endpoint, allowed, "", SimTime::ZERO)
+            .is_ok());
+        assert!(matches!(
+            s.cloud.submit_function(&s.token, &s.endpoint, denied, "", SimTime::ZERO),
+            Err(FaasError::FunctionNotAllowed(_))
+        ));
+    }
+
+    #[test]
+    fn payload_limit_enforced() {
+        let mut s = setup(None);
+        let huge = "x".repeat(PAYLOAD_LIMIT + 1);
+        assert!(matches!(
+            s.cloud.submit_shell(&s.token, &s.endpoint, &huge, SimTime::ZERO),
+            Err(FaasError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_endpoint_and_task() {
+        let mut s = setup(None);
+        assert!(matches!(
+            s.cloud
+                .submit_shell(&s.token, &EndpointId("ghost".into()), "tox", SimTime::ZERO),
+            Err(FaasError::UnknownEndpoint(_))
+        ));
+        assert!(matches!(
+            s.cloud.task_state(TaskId(999)),
+            Err(FaasError::UnknownTask(_))
+        ));
+    }
+
+    #[test]
+    fn wan_latency_delays_delivery_and_return() {
+        let mut s = setup(None);
+        let task = s
+            .cloud
+            .submit_shell(&s.token, &s.endpoint, "tox", SimTime::ZERO)
+            .unwrap();
+        let end = drive(&mut [&mut s.cloud]);
+        let out = s.cloud.task_result(task).unwrap();
+        // Task observed start >= one-way latency; completion at cloud is
+        // after the endpoint-side end.
+        assert!(out.started.as_micros() > 0);
+        assert!(end > out.ended, "return leg adds latency");
+    }
+}

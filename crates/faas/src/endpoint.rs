@@ -1,0 +1,484 @@
+//! Single-user endpoints: the basic unit of remote execution.
+//!
+//! An endpoint runs in user space under one local account, provisions
+//! workers through an execution provider (login-node local or SLURM pilot),
+//! pulls queued tasks onto free workers, and reports results. "Endpoints use
+//! Parsl to dynamically provision resources, deploy a pilot job model, and
+//! manage the execution of tasks on those resources, optionally in a
+//! container" (§5.1).
+
+use crate::error::FaasError;
+use crate::exec::SharedSite;
+use crate::function::FunctionId;
+use crate::task::{TaskId, TaskOutput};
+use hpcci_auth::{HighAssurancePolicy, IdentityId};
+use hpcci_cluster::NodeRole;
+use hpcci_scheduler::{BlockId, BlockState, ExecutionProvider, LocalProvider, SlurmProvider};
+use hpcci_sim::{Advance, DetRng, EventQueue, SimDuration, SimTime};
+use std::collections::{BTreeSet, VecDeque};
+
+/// The provider variants an endpoint can provision workers through.
+pub enum WorkerProvider {
+    Local(LocalProvider),
+    Slurm(SlurmProvider),
+}
+
+impl WorkerProvider {
+    fn request_block(&mut self, now: SimTime) -> Result<BlockId, hpcci_scheduler::SchedulerError> {
+        match self {
+            WorkerProvider::Local(p) => p.request_block(now),
+            WorkerProvider::Slurm(p) => p.request_block(now),
+        }
+    }
+
+    fn block_state(
+        &mut self,
+        id: BlockId,
+        now: SimTime,
+    ) -> Result<BlockState, hpcci_scheduler::SchedulerError> {
+        match self {
+            WorkerProvider::Local(p) => p.block_state(id, now),
+            WorkerProvider::Slurm(p) => p.block_state(id, now),
+        }
+    }
+
+    fn release_block(&mut self, id: BlockId, now: SimTime) {
+        let _ = match self {
+            WorkerProvider::Local(p) => p.release_block(id, now),
+            WorkerProvider::Slurm(p) => p.release_block(id, now),
+        };
+    }
+
+    pub fn node_role(&self) -> NodeRole {
+        match self {
+            WorkerProvider::Local(p) => p.node_role(),
+            WorkerProvider::Slurm(p) => p.node_role(),
+        }
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        match self {
+            WorkerProvider::Local(p) => p.next_event(),
+            WorkerProvider::Slurm(p) => p.next_event(),
+        }
+    }
+}
+
+/// Static configuration of an endpoint.
+pub struct EndpointConfig {
+    /// Endpoint name ("endpoint UUID" in the action's inputs).
+    pub name: String,
+    /// Identity allowed to submit to this (single-user) endpoint.
+    pub owner: IdentityId,
+    /// Local account the endpoint process runs as.
+    pub local_user: String,
+    /// Concurrent tasks per active worker block.
+    pub workers: u32,
+    /// If set, only these registered functions may execute (§5.2's
+    /// "restricting the functions that can be executed").
+    pub restrict_functions: Option<BTreeSet<FunctionId>>,
+    /// Identity requirements enforced at submission.
+    pub ha_policy: HighAssurancePolicy,
+    /// Container image reference workers run inside, if any (§6.3).
+    pub container: Option<String>,
+}
+
+impl EndpointConfig {
+    pub fn new(name: &str, owner: IdentityId, local_user: &str) -> Self {
+        EndpointConfig {
+            name: name.to_string(),
+            owner,
+            local_user: local_user.to_string(),
+            workers: 4,
+            restrict_functions: None,
+            ha_policy: HighAssurancePolicy::permissive(),
+            container: None,
+        }
+    }
+
+    pub fn with_workers(mut self, n: u32) -> Self {
+        assert!(n > 0);
+        self.workers = n;
+        self
+    }
+
+    pub fn with_allowlist(mut self, functions: &[FunctionId]) -> Self {
+        self.restrict_functions = Some(functions.iter().copied().collect());
+        self
+    }
+
+    pub fn with_ha_policy(mut self, policy: HighAssurancePolicy) -> Self {
+        self.ha_policy = policy;
+        self
+    }
+
+    pub fn in_container(mut self, image: &str) -> Self {
+        self.container = Some(image.to_string());
+        self
+    }
+}
+
+struct QueuedTask {
+    id: TaskId,
+    command: String,
+}
+
+struct Completion {
+    id: TaskId,
+    output: TaskOutput,
+}
+
+/// A single-user Globus-Compute-style endpoint.
+pub struct Endpoint {
+    pub config: EndpointConfig,
+    site: SharedSite,
+    provider: WorkerProvider,
+    block: Option<BlockId>,
+    queue: VecDeque<QueuedTask>,
+    completions: EventQueue<Completion>,
+    finished: Vec<(TaskId, TaskOutput)>,
+    busy_workers: u32,
+    stopped: bool,
+    now: SimTime,
+    rng: DetRng,
+}
+
+impl Endpoint {
+    pub fn new(config: EndpointConfig, site: SharedSite, provider: WorkerProvider, seed: u64) -> Self {
+        Endpoint {
+            config,
+            site,
+            provider,
+            block: None,
+            queue: VecDeque::new(),
+            completions: EventQueue::new(),
+            finished: Vec::new(),
+            busy_workers: 0,
+            stopped: false,
+            now: SimTime::ZERO,
+            rng: DetRng::seed_from_u64(seed),
+        }
+    }
+
+    pub fn site(&self) -> &SharedSite {
+        &self.site
+    }
+
+    /// One-way latency between this endpoint's site and the cloud service.
+    pub fn wan_latency(&self) -> SimDuration {
+        let rtt = self.site.lock().site.perf.wan_rtt();
+        rtt / 2
+    }
+
+    /// Check the allowlist for a registered function.
+    pub fn function_allowed(&self, f: FunctionId) -> bool {
+        match &self.config.restrict_functions {
+            None => true,
+            Some(set) => set.contains(&f),
+        }
+    }
+
+    /// Are ad-hoc shell commands allowed? (Only when no restriction is set.)
+    pub fn shell_allowed(&self) -> bool {
+        self.config.restrict_functions.is_none()
+    }
+
+    /// Accept a task for execution.
+    pub fn enqueue(&mut self, id: TaskId, command: &str, now: SimTime) -> Result<(), FaasError> {
+        if self.stopped {
+            return Err(FaasError::EndpointStopped(self.config.name.clone()));
+        }
+        self.catch_up(now);
+        self.queue.push_back(QueuedTask {
+            id,
+            command: command.to_string(),
+        });
+        if self.block.is_none() {
+            // Lazy provisioning: the first task requests the worker block.
+            if let Ok(b) = self.provider.request_block(now) {
+                self.block = Some(b);
+            }
+        }
+        self.pump();
+        Ok(())
+    }
+
+    /// Drain finished task outputs (cloud service collects these).
+    pub fn take_finished(&mut self) -> Vec<(TaskId, TaskOutput)> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Gracefully stop: release the worker block; queued tasks are rejected
+    /// by the cloud when it notices the endpoint stopped.
+    pub fn stop(&mut self, now: SimTime) {
+        self.catch_up(now);
+        if let Some(b) = self.block.take() {
+            self.provider.release_block(b, now);
+        }
+        self.stopped = true;
+    }
+
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        self.stopped
+    }
+
+    fn catch_up(&mut self, now: SimTime) {
+        if now > self.now {
+            self.advance_to(now);
+        }
+    }
+
+    /// Start queued tasks on free workers if the block is active.
+    fn pump(&mut self) {
+        if self.stopped || self.queue.is_empty() {
+            return;
+        }
+        let Some(block) = self.block else {
+            return;
+        };
+        let state = match self.provider.block_state(block, self.now) {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let (nodes, role) = match state {
+            BlockState::Active { nodes, role, .. } => (nodes, role),
+            BlockState::Requested { .. } => return,
+            BlockState::Terminated { .. } => {
+                // Pilot died (walltime); provision a fresh block for the
+                // remaining queue.
+                self.block = self.provider.request_block(self.now).ok();
+                return;
+            }
+        };
+        while self.busy_workers < self.config.workers {
+            let Some(task) = self.queue.pop_front() else {
+                break;
+            };
+            let started = self.now;
+            let mut runtime = self.site.lock();
+            let account = match runtime.site.account(&self.config.local_user) {
+                Ok(a) => a.clone(),
+                Err(e) => {
+                    // Misconfigured endpoint: every task fails.
+                    drop(runtime);
+                    let output = TaskOutput {
+                        stdout: String::new(),
+                        stderr: e.to_string(),
+                        result: Err(e.to_string()),
+                        ran_as: self.config.local_user.clone(),
+                        node: "unknown".to_string(),
+                        started,
+                        ended: started,
+                    };
+                    self.finished.push((task.id, output));
+                    continue;
+                }
+            };
+            let node_hostname = match role {
+                NodeRole::Login => runtime
+                    .site
+                    .login_node()
+                    .map(|n| n.hostname.clone())
+                    .unwrap_or_else(|| "login".to_string()),
+                NodeRole::Compute => nodes
+                    .first()
+                    .and_then(|id| runtime.site.node(*id).ok().map(|n| n.hostname.clone()))
+                    .unwrap_or_else(|| format!("{}-compute", runtime.site.id)),
+            };
+            let node_speed = match role {
+                NodeRole::Login => runtime.site.login_node().map(|n| n.cpu_speed).unwrap_or(1.0),
+                NodeRole::Compute => 1.0,
+            };
+            let outcome = runtime.execute(
+                &task.command,
+                &account,
+                role,
+                &node_hostname,
+                started,
+                &mut self.rng,
+                self.config.container.clone(),
+            );
+            let duration = runtime
+                .site
+                .perf
+                .compute_time(outcome.work, node_speed, &mut self.rng);
+            drop(runtime);
+            let ended = started + duration;
+            let output = TaskOutput {
+                stdout: outcome.stdout,
+                stderr: outcome.stderr,
+                result: outcome.result,
+                ran_as: account.username,
+                node: node_hostname,
+                started,
+                ended,
+            };
+            self.busy_workers += 1;
+            self.completions.push(ended, Completion { id: task.id, output });
+        }
+    }
+}
+
+impl Advance for Endpoint {
+    fn next_event(&self) -> Option<SimTime> {
+        let mut next = self.completions.next_time();
+        if !self.queue.is_empty() {
+            if let Some(p) = self.provider.next_event() {
+                next = Some(next.map_or(p, |n| n.min(p)));
+            }
+        }
+        next
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        while let Some((at, completion)) = self.completions.pop_due(t) {
+            self.now = at;
+            self.busy_workers = self.busy_workers.saturating_sub(1);
+            self.finished.push((completion.id, completion.output));
+            self.pump();
+        }
+        self.now = t;
+        self.pump();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{shared, ExecOutcome, SiteRuntime};
+    use hpcci_cluster::Site;
+    use hpcci_sim::drive;
+
+    fn login_endpoint(workers: u32) -> Endpoint {
+        let mut rt = SiteRuntime::new(Site::chameleon_tacc());
+        rt.site.add_account("cc", "chameleon");
+        rt.commands.register("sleepy", |env| {
+            // 10 reference-seconds of simulated work.
+            ExecOutcome::ok(format!("done on {}", env.node), 10.0)
+        });
+        rt.commands.register("boom", |_| ExecOutcome::fail("kaboom", 0.5));
+        let site = shared(rt);
+        let login = site.lock().site.login_node().unwrap().id;
+        let provider = WorkerProvider::Local(
+            LocalProvider::new(login, 16).with_startup(SimDuration::from_millis(100)),
+        );
+        Endpoint::new(
+            EndpointConfig::new("ep-cham", IdentityId(1), "cc").with_workers(workers),
+            site,
+            provider,
+            42,
+        )
+    }
+
+    #[test]
+    fn task_executes_and_finishes() {
+        let mut ep = login_endpoint(4);
+        ep.enqueue(TaskId(1), "sleepy", SimTime::ZERO).unwrap();
+        drive(&mut [&mut ep]);
+        let finished = ep.take_finished();
+        assert_eq!(finished.len(), 1);
+        let (id, out) = &finished[0];
+        assert_eq!(*id, TaskId(1));
+        assert!(out.success());
+        assert!(out.stdout.contains("chi-tacc-icelake"));
+        assert_eq!(out.ran_as, "cc");
+        // ~10s of work at chameleon speed (1.3 * 1.3 node) plus overhead.
+        assert!(out.runtime() > SimDuration::from_secs(4));
+        assert!(out.runtime() < SimDuration::from_secs(11));
+    }
+
+    #[test]
+    fn failure_propagates_stderr() {
+        let mut ep = login_endpoint(1);
+        ep.enqueue(TaskId(7), "boom now", SimTime::ZERO).unwrap();
+        drive(&mut [&mut ep]);
+        let finished = ep.take_finished();
+        assert_eq!(finished.len(), 1);
+        assert!(!finished[0].1.success());
+        assert_eq!(finished[0].1.stderr, "kaboom");
+    }
+
+    #[test]
+    fn worker_limit_serializes_tasks() {
+        let mut ep = login_endpoint(1);
+        ep.enqueue(TaskId(1), "sleepy", SimTime::ZERO).unwrap();
+        ep.enqueue(TaskId(2), "sleepy", SimTime::ZERO).unwrap();
+        drive(&mut [&mut ep]);
+        let finished = ep.take_finished();
+        assert_eq!(finished.len(), 2);
+        let (a, b) = (&finished[0].1, &finished[1].1);
+        assert!(b.started >= a.ended, "1 worker: second task waits");
+
+        // With 2 workers the same pair overlaps.
+        let mut ep2 = login_endpoint(2);
+        ep2.enqueue(TaskId(1), "sleepy", SimTime::ZERO).unwrap();
+        ep2.enqueue(TaskId(2), "sleepy", SimTime::ZERO).unwrap();
+        drive(&mut [&mut ep2]);
+        let f2 = ep2.take_finished();
+        assert!(f2[1].1.started < f2[0].1.ended, "2 workers: tasks overlap");
+    }
+
+    #[test]
+    fn stopped_endpoint_rejects() {
+        let mut ep = login_endpoint(1);
+        ep.stop(SimTime::ZERO);
+        assert!(matches!(
+            ep.enqueue(TaskId(1), "sleepy", SimTime::ZERO),
+            Err(FaasError::EndpointStopped(_))
+        ));
+    }
+
+    #[test]
+    fn allowlist_checks() {
+        let site = {
+            let mut rt = SiteRuntime::new(Site::workstation("lab"));
+            rt.site.add_account("u", "p");
+            shared(rt)
+        };
+        let login = site.lock().site.login_node().unwrap().id;
+        let ep = Endpoint::new(
+            EndpointConfig::new("ep", IdentityId(1), "u").with_allowlist(&[FunctionId(5)]),
+            site,
+            WorkerProvider::Local(LocalProvider::new(login, 4)),
+            1,
+        );
+        assert!(ep.function_allowed(FunctionId(5)));
+        assert!(!ep.function_allowed(FunctionId(6)));
+        assert!(!ep.shell_allowed());
+    }
+
+    #[test]
+    fn slurm_provider_endpoint_runs_on_compute() {
+        let mut rt = SiteRuntime::new(Site::tamu_faster()).with_scheduler(64);
+        rt.site.add_account("x-u", "CIS230030");
+        rt.commands.register("job", |env| {
+            ExecOutcome::ok(format!("role={:?}", env.role), 5.0)
+        });
+        let sched = rt.scheduler.as_ref().unwrap().clone();
+        let account = rt.site.account("x-u").unwrap().clone();
+        let site = shared(rt);
+        let provider = WorkerProvider::Slurm(SlurmProvider::new(
+            sched,
+            account.uid,
+            &account.allocation,
+            64,
+            SimDuration::from_hours(1),
+        ));
+        let mut ep = Endpoint::new(
+            EndpointConfig::new("ep-faster", IdentityId(1), "x-u").with_workers(8),
+            site,
+            provider,
+            3,
+        );
+        ep.enqueue(TaskId(1), "job", SimTime::ZERO).unwrap();
+        drive(&mut [&mut ep]);
+        let finished = ep.take_finished();
+        assert_eq!(finished.len(), 1);
+        assert!(finished[0].1.stdout.contains("Compute"));
+        assert!(finished[0].1.node.contains("tamu-faster"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Registered functions.
+
+use hpcci_auth::IdentityId;
+use std::fmt;
+
+/// Function identifier ("function UUID" in the paper's action inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FunctionId(pub u64);
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn-{:08x}", self.0)
+    }
+}
+
+/// What a function does when executed at a site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FunctionBody {
+    /// A shell command interpreted by the site's command registry. `{args}`
+    /// in the template is replaced by the task's args string.
+    Shell { command: String },
+    /// A named native handler resolved in the site's command registry — the
+    /// analogue of a registered (serialized) Python function.
+    Native { handler: String },
+}
+
+/// A function registered with the cloud service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    pub id: FunctionId,
+    pub name: String,
+    pub owner: IdentityId,
+    pub body: FunctionBody,
+}
+
+impl Function {
+    /// Resolve the effective command line for execution given task args.
+    pub fn command_line(&self, args: &str) -> String {
+        match &self.body {
+            FunctionBody::Shell { command } => {
+                if command.contains("{args}") {
+                    command.replace("{args}", args)
+                } else if args.is_empty() {
+                    command.clone()
+                } else {
+                    format!("{command} {args}")
+                }
+            }
+            FunctionBody::Native { handler } => {
+                if args.is_empty() {
+                    handler.clone()
+                } else {
+                    format!("{handler} {args}")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn function(body: FunctionBody) -> Function {
+        Function {
+            id: FunctionId(1),
+            name: "f".into(),
+            owner: IdentityId(1),
+            body,
+        }
+    }
+
+    #[test]
+    fn shell_args_substitution() {
+        let f = function(FunctionBody::Shell {
+            command: "pytest {args} tests/".into(),
+        });
+        assert_eq!(f.command_line("-v"), "pytest -v tests/");
+    }
+
+    #[test]
+    fn shell_args_appended_when_no_placeholder() {
+        let f = function(FunctionBody::Shell { command: "tox".into() });
+        assert_eq!(f.command_line(""), "tox");
+        assert_eq!(f.command_line("-e py312"), "tox -e py312");
+    }
+
+    #[test]
+    fn native_command_line() {
+        let f = function(FunctionBody::Native {
+            handler: "parsldock.dock_single".into(),
+        });
+        assert_eq!(f.command_line("ligand=aspirin"), "parsldock.dock_single ligand=aspirin");
+    }
+}

@@ -1,0 +1,117 @@
+//! Tasks: the unit of remote execution.
+
+use bytes::Bytes;
+use hpcci_auth::IdentityId;
+use hpcci_sim::{SimDuration, SimTime};
+use std::fmt;
+
+/// Task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task-{:08x}", self.0)
+    }
+}
+
+/// The completed result of a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskOutput {
+    pub stdout: String,
+    pub stderr: String,
+    /// The function's return payload (empty for shell functions, which can
+    /// only return stdout/stderr — a limitation §7.4 discusses).
+    pub result: Result<Bytes, String>,
+    /// Local account the task actually ran as — the auditable identity link.
+    pub ran_as: String,
+    /// Hostname of the executing node.
+    pub node: String,
+    pub started: SimTime,
+    pub ended: SimTime,
+}
+
+impl TaskOutput {
+    pub fn success(&self) -> bool {
+        self.result.is_ok()
+    }
+
+    pub fn runtime(&self) -> SimDuration {
+        self.ended.since(self.started)
+    }
+}
+
+/// Task lifecycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskState {
+    /// Accepted by the cloud, in flight to the endpoint.
+    Submitted { at: SimTime },
+    /// Queued at the endpoint waiting for a worker.
+    QueuedAtEndpoint { at: SimTime },
+    /// Executing on a worker.
+    Running { started: SimTime },
+    /// Finished; output available.
+    Done(TaskOutput),
+    /// Failed before execution (delivery, mapping, policy).
+    Rejected { at: SimTime, reason: String },
+}
+
+impl TaskState {
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, TaskState::Done(_) | TaskState::Rejected { .. })
+    }
+}
+
+/// A task record held by the cloud service.
+#[derive(Debug, Clone)]
+pub struct Task {
+    pub id: TaskId,
+    /// The identity that submitted the task.
+    pub submitter: IdentityId,
+    /// Target endpoint name.
+    pub endpoint: String,
+    /// The resolved command line the endpoint will execute.
+    pub command: String,
+    pub state: TaskState,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_helpers() {
+        let out = TaskOutput {
+            stdout: "ok".into(),
+            stderr: String::new(),
+            result: Ok(Bytes::from_static(b"42")),
+            ran_as: "x-vhayot".into(),
+            node: "anvil-login-1".into(),
+            started: SimTime::from_secs(10),
+            ended: SimTime::from_secs(25),
+        };
+        assert!(out.success());
+        assert_eq!(out.runtime(), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn failure_output() {
+        let out = TaskOutput {
+            stdout: String::new(),
+            stderr: "Traceback".into(),
+            result: Err("pytest failed".into()),
+            ran_as: "u".into(),
+            node: "n".into(),
+            started: SimTime::ZERO,
+            ended: SimTime::from_secs(1),
+        };
+        assert!(!out.success());
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(TaskState::Rejected { at: SimTime::ZERO, reason: "x".into() }.is_terminal());
+        assert!(!TaskState::Submitted { at: SimTime::ZERO }.is_terminal());
+        assert!(!TaskState::Running { started: SimTime::ZERO }.is_terminal());
+    }
+}

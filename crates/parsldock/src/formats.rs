@@ -1,0 +1,179 @@
+//! PDBQT-flavoured structure serialization.
+//!
+//! The real ParslDock pipeline moves structures between tools as PDBQT
+//! files (AutoDock's PDB dialect with partial charges). Serializing our
+//! synthetic molecules the same way gives the fetch/prepare test cases real
+//! I/O to do and lets receptors ship inside repository trees (the scenario
+//! repos carry a `data/receptor_*.pdbqt`).
+
+use crate::molecule::{Atom, Ligand, Receptor};
+
+/// Serialize atoms in fixed-column PDBQT-like records.
+fn write_atoms(out: &mut String, atoms: &[Atom]) {
+    for (i, a) in atoms.iter().enumerate() {
+        out.push_str(&format!(
+            "ATOM  {:>5}  C   MOL A{:>4}    {:>8.3}{:>8.3}{:>8.3}  1.00  0.00    {:>6.3} C\n",
+            i + 1,
+            i / 10 + 1,
+            a.x,
+            a.y,
+            a.z,
+            a.charge
+        ));
+    }
+}
+
+fn parse_atoms(text: &str) -> Result<Vec<Atom>, String> {
+    let mut atoms = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if !line.starts_with("ATOM") {
+            continue;
+        }
+        if line.len() < 76 {
+            return Err(format!("line {}: truncated ATOM record", lineno + 1));
+        }
+        let parse_f = |range: std::ops::Range<usize>, what: &str| -> Result<f64, String> {
+            line.get(range.clone())
+                .map(str::trim)
+                .ok_or_else(|| format!("line {}: missing {what}", lineno + 1))?
+                .parse::<f64>()
+                .map_err(|_| format!("line {}: bad {what}", lineno + 1))
+        };
+        atoms.push(Atom {
+            x: parse_f(30..38, "x")?,
+            y: parse_f(38..46, "y")?,
+            z: parse_f(46..54, "z")?,
+            // Radius is not a PDBQT column; reconstruct a standard carbon.
+            radius: 1.5,
+            charge: parse_f(66..76, "charge")?,
+        });
+    }
+    if atoms.is_empty() {
+        return Err("no ATOM records found".to_string());
+    }
+    Ok(atoms)
+}
+
+/// Serialize a receptor (REMARK header carries the pocket).
+pub fn receptor_to_pdbqt(r: &Receptor) -> String {
+    let mut out = format!(
+        "REMARK  NAME {}\nREMARK  POCKET {:.3} {:.3} {:.3}\nREMARK  PREPARED {}\n",
+        r.name, r.pocket[0], r.pocket[1], r.pocket[2], r.prepared
+    );
+    write_atoms(&mut out, &r.atoms);
+    out.push_str("END\n");
+    out
+}
+
+/// Parse a receptor back. Radii are normalized (not stored in PDBQT), so the
+/// round-trip guarantee covers positions, charges, pocket and name.
+pub fn receptor_from_pdbqt(text: &str) -> Result<Receptor, String> {
+    let mut name = String::new();
+    let mut pocket = [0.0f64; 3];
+    let mut prepared = false;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("REMARK  NAME ") {
+            name = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("REMARK  POCKET ") {
+            let parts: Vec<f64> = rest
+                .split_whitespace()
+                .filter_map(|t| t.parse().ok())
+                .collect();
+            if parts.len() != 3 {
+                return Err("malformed POCKET remark".to_string());
+            }
+            pocket = [parts[0], parts[1], parts[2]];
+        } else if let Some(rest) = line.strip_prefix("REMARK  PREPARED ") {
+            prepared = rest.trim() == "true";
+        }
+    }
+    if name.is_empty() {
+        return Err("missing NAME remark".to_string());
+    }
+    Ok(Receptor {
+        name,
+        atoms: parse_atoms(text)?,
+        pocket,
+        prepared,
+    })
+}
+
+/// Serialize a ligand.
+pub fn ligand_to_pdbqt(l: &Ligand) -> String {
+    let mut out = format!(
+        "REMARK  NAME {}\nREMARK  PREPARED {}\n",
+        l.name, l.prepared
+    );
+    write_atoms(&mut out, &l.atoms);
+    out.push_str("END\n");
+    out
+}
+
+/// Parse a ligand back (same radius caveat as receptors).
+pub fn ligand_from_pdbqt(text: &str) -> Result<Ligand, String> {
+    let mut name = String::new();
+    let mut prepared = false;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("REMARK  NAME ") {
+            name = rest.trim().to_string();
+        } else if let Some(rest) = line.strip_prefix("REMARK  PREPARED ") {
+            prepared = rest.trim() == "true";
+        }
+    }
+    if name.is_empty() {
+        return Err("missing NAME remark".to_string());
+    }
+    Ok(Ligand {
+        name,
+        atoms: parse_atoms(text)?,
+        prepared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prep::prepare_receptor;
+
+    #[test]
+    fn receptor_round_trip_preserves_geometry_and_charges() {
+        let original = prepare_receptor(Receptor::generate("1abc", 40));
+        let text = receptor_to_pdbqt(&original);
+        let parsed = receptor_from_pdbqt(&text).unwrap();
+        assert_eq!(parsed.name, original.name);
+        assert_eq!(parsed.atoms.len(), original.atoms.len());
+        assert!(parsed.prepared);
+        for (a, b) in original.atoms.iter().zip(&parsed.atoms) {
+            assert!((a.x - b.x).abs() < 1e-3);
+            assert!((a.charge - b.charge).abs() < 1e-3);
+        }
+        assert!((original.pocket[0] - parsed.pocket[0]).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ligand_round_trip() {
+        let l = Ligand::generate("aspirin");
+        let parsed = ligand_from_pdbqt(&ligand_to_pdbqt(&l)).unwrap();
+        assert_eq!(parsed.name, "aspirin");
+        assert_eq!(parsed.atoms.len(), l.atoms.len());
+        assert!(!parsed.prepared);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(receptor_from_pdbqt("").is_err());
+        assert!(receptor_from_pdbqt("REMARK  NAME x\nEND\n").is_err(), "no atoms");
+        assert!(
+            receptor_from_pdbqt("REMARK  NAME x\nREMARK  POCKET 1 2\nATOM short\nEND\n").is_err()
+        );
+        assert!(ligand_from_pdbqt("ATOM garbage").is_err(), "no name");
+    }
+
+    #[test]
+    fn pdbqt_lines_are_fixed_width() {
+        let text = ligand_to_pdbqt(&Ligand::generate("x"));
+        for line in text.lines().filter(|l| l.starts_with("ATOM")) {
+            assert!(line.len() >= 76, "{line}");
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The ML surrogate: descriptors + ridge regression trained by SGD.
+//!
+//! ParslDock "uses machine learning to guide simulation": dock a small
+//! training set, fit a cheap model from ligand descriptors to docking
+//! scores, and rank the remaining candidates by prediction so only the most
+//! promising are docked.
+
+use crate::molecule::Ligand;
+
+/// Number of descriptors per ligand.
+pub const N_FEATURES: usize = 6;
+
+/// Cheap physicochemical descriptors of a ligand.
+pub fn descriptors(ligand: &Ligand) -> [f64; N_FEATURES] {
+    let n = ligand.atoms.len().max(1) as f64;
+    let c = ligand.centroid();
+    let mut radius_sum = 0.0;
+    let mut charge_abs = 0.0;
+    let mut gyration = 0.0;
+    let mut max_extent: f64 = 0.0;
+    for a in &ligand.atoms {
+        radius_sum += a.radius;
+        charge_abs += a.charge.abs();
+        let d2 = (a.x - c[0]).powi(2) + (a.y - c[1]).powi(2) + (a.z - c[2]).powi(2);
+        gyration += d2;
+        max_extent = max_extent.max(d2.sqrt());
+    }
+    [
+        n / 40.0,
+        radius_sum / n,
+        charge_abs / n,
+        (gyration / n).sqrt() / 4.0,
+        max_extent / 7.0,
+        1.0, // bias
+    ]
+}
+
+/// A linear model trained with ridge-regularized SGD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurrogateModel {
+    pub weights: [f64; N_FEATURES],
+}
+
+impl SurrogateModel {
+    /// Fit to `(features, score)` pairs. Deterministic: fixed epoch count,
+    /// fixed ordering, fixed learning-rate schedule.
+    pub fn fit(samples: &[([f64; N_FEATURES], f64)]) -> SurrogateModel {
+        assert!(!samples.is_empty(), "cannot fit on an empty training set");
+        let mut w = [0.0f64; N_FEATURES];
+        let lambda = 1e-3;
+        let epochs = 200;
+        for epoch in 0..epochs {
+            let lr = 0.05 / (1.0 + epoch as f64 * 0.05);
+            for (x, y) in samples {
+                let pred: f64 = w.iter().zip(x).map(|(wi, xi)| wi * xi).sum();
+                let err = pred - y;
+                for (wi, xi) in w.iter_mut().zip(x) {
+                    *wi -= lr * (err * xi + lambda * *wi);
+                }
+            }
+        }
+        SurrogateModel { weights: w }
+    }
+
+    pub fn predict(&self, features: &[f64; N_FEATURES]) -> f64 {
+        self.weights.iter().zip(features).map(|(w, x)| w * x).sum()
+    }
+
+    /// Mean squared error over a labelled set.
+    pub fn mse(&self, samples: &[([f64; N_FEATURES], f64)]) -> f64 {
+        samples
+            .iter()
+            .map(|(x, y)| (self.predict(x) - y).powi(2))
+            .sum::<f64>()
+            / samples.len().max(1) as f64
+    }
+
+    /// Rank candidate indices by ascending predicted score (best first —
+    /// docking energies are negative-better).
+    pub fn rank(&self, features: &[[f64; N_FEATURES]]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..features.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.predict(&features[a])
+                .partial_cmp(&self.predict(&features[b]))
+                .expect("finite predictions")
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_samples(n: usize) -> Vec<([f64; N_FEATURES], f64)> {
+        // y = 2*x0 - 3*x2 + 0.5 (bias through the constant feature).
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                let x = [t, 0.3, 1.0 - t, 0.5, 0.2, 1.0];
+                let y = 2.0 * x[0] - 3.0 * x[2] + 0.5;
+                (x, y)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_linear_relationship() {
+        let samples = synthetic_samples(50);
+        let model = SurrogateModel::fit(&samples);
+        assert!(model.mse(&samples) < 1e-2, "mse {}", model.mse(&samples));
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let samples = synthetic_samples(20);
+        assert_eq!(SurrogateModel::fit(&samples), SurrogateModel::fit(&samples));
+    }
+
+    #[test]
+    fn ranking_orders_by_prediction() {
+        let model = SurrogateModel {
+            weights: [1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        };
+        let feats = vec![
+            [3.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+            [1.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+            [2.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+        ];
+        assert_eq!(model.rank(&feats), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn descriptors_are_deterministic_and_bounded() {
+        let l = Ligand::generate("aspirin");
+        let d1 = descriptors(&l);
+        let d2 = descriptors(&l);
+        assert_eq!(d1, d2);
+        assert!(d1.iter().all(|v| v.is_finite()));
+        assert_eq!(d1[N_FEATURES - 1], 1.0, "bias feature");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_fit_panics() {
+        let _ = SurrogateModel::fit(&[]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Structure preparation: the MGLTools/AutoDockTools step.
+//!
+//! Assigns partial charges (deterministic function of geometry) and adds
+//! polar hydrogens (modelled as small satellite atoms on a subset of heavy
+//! atoms). Docking refuses unprepared structures, as the real tools do.
+
+use crate::molecule::{Atom, Ligand, Receptor};
+
+/// Gasteiger-flavoured deterministic partial charge: a smooth function of
+/// position and radius, normalized so each molecule is net-neutral-ish.
+fn assign_charges(atoms: &mut [Atom]) {
+    if atoms.is_empty() {
+        return;
+    }
+    for a in atoms.iter_mut() {
+        let raw = (a.x * 0.11).sin() * 0.3 + (a.y * 0.07).cos() * 0.25 + (a.radius - 1.5) * 0.4;
+        a.charge = raw.clamp(-0.8, 0.8);
+    }
+    let mean: f64 = atoms.iter().map(|a| a.charge).sum::<f64>() / atoms.len() as f64;
+    for a in atoms.iter_mut() {
+        a.charge -= mean;
+    }
+}
+
+/// Add polar hydrogens: one satellite atom per fifth heavy atom.
+fn add_polar_hydrogens(atoms: &mut Vec<Atom>) {
+    let parents: Vec<Atom> = atoms.iter().copied().step_by(5).collect();
+    for p in parents {
+        atoms.push(Atom {
+            x: p.x + 0.9,
+            y: p.y,
+            z: p.z,
+            radius: 1.0,
+            charge: 0.35,
+        });
+    }
+}
+
+/// Prepare a receptor for docking.
+pub fn prepare_receptor(mut receptor: Receptor) -> Receptor {
+    add_polar_hydrogens(&mut receptor.atoms);
+    assign_charges(&mut receptor.atoms);
+    receptor.prepared = true;
+    receptor
+}
+
+/// Prepare a ligand for docking.
+pub fn prepare_ligand(mut ligand: Ligand) -> Ligand {
+    add_polar_hydrogens(&mut ligand.atoms);
+    assign_charges(&mut ligand.atoms);
+    ligand.prepared = true;
+    ligand
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preparation_marks_and_charges() {
+        let r = prepare_receptor(Receptor::generate("1abc", 100));
+        assert!(r.prepared);
+        assert!(r.atoms.len() > 100, "hydrogens added");
+        assert!(r.atoms.iter().any(|a| a.charge != 0.0));
+        // Net charge approximately neutral... hydrogens added after
+        // normalization of parents shift it; re-prepared output is stable.
+        let net: f64 = r.atoms.iter().map(|a| a.charge).sum();
+        assert!(net.abs() < r.atoms.len() as f64 * 0.05, "net {net}");
+    }
+
+    #[test]
+    fn preparation_is_deterministic() {
+        let a = prepare_ligand(Ligand::generate("aspirin"));
+        let b = prepare_ligand(Ligand::generate("aspirin"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn charges_bounded() {
+        let l = prepare_ligand(Ligand::generate("x"));
+        assert!(l.atoms.iter().all(|a| a.charge.abs() <= 1.0));
+    }
+}

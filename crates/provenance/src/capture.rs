@@ -1,0 +1,106 @@
+//! Environment capture: what the code ran *on*.
+//!
+//! §7.4 identifies the gap CORRECT leaves open — "displaying the resource
+//! configuration at each invocation" — and proposes a secondary call that
+//! captures a trace of the system's software environment as an artifact.
+//! This module is that capture.
+
+use hpcci_cluster::Site;
+use serde::{Deserialize, Serialize};
+
+/// Re-export-friendly alias: a frozen package list.
+pub type PackageList = Vec<hpcci_cluster::software::Package>;
+
+/// A point-in-time description of the execution environment at one site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnvironmentCapture {
+    pub site: String,
+    /// e.g. `"Cloud"`, `"Hpc"`, `"Workstation"`.
+    pub site_kind: String,
+    pub hostname: String,
+    pub cores: u32,
+    pub mem_gb: u32,
+    pub cpu_speed: f64,
+    /// Name of the software environment used, if any.
+    pub env_name: Option<String>,
+    /// Frozen package list (`conda list` equivalent).
+    pub packages: PackageList,
+    /// Container image reference, if execution was containerized.
+    pub container: Option<String>,
+}
+
+impl EnvironmentCapture {
+    /// Capture the environment of a site's login node plus a named software
+    /// environment (if present).
+    pub fn of_site(site: &Site, env_name: Option<&str>, container: Option<&str>) -> Self {
+        let node = site.login_node();
+        let packages = env_name
+            .and_then(|n| site.envs.get(n).ok())
+            .map(|e| e.freeze())
+            .unwrap_or_default();
+        EnvironmentCapture {
+            site: site.id.to_string(),
+            site_kind: format!("{:?}", site.kind),
+            hostname: node.map(|n| n.hostname.clone()).unwrap_or_default(),
+            cores: node.map(|n| n.cores).unwrap_or(0),
+            mem_gb: node.map(|n| n.mem_gb).unwrap_or(0),
+            cpu_speed: site.perf.cpu_speed,
+            env_name: env_name.map(str::to_string),
+            packages,
+            container: container.map(str::to_string),
+        }
+    }
+
+    /// Render as the text block CORRECT would attach as a workflow artifact.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "site: {} ({})\nhost: {} cores={} mem={}GB speed={:.2}\n",
+            self.site, self.site_kind, self.hostname, self.cores, self.mem_gb, self.cpu_speed
+        );
+        if let Some(c) = &self.container {
+            out.push_str(&format!("container: {c}\n"));
+        }
+        if let Some(e) = &self.env_name {
+            out.push_str(&format!("environment: {e}\n"));
+        }
+        for p in &self.packages {
+            out.push_str(&format!("  {}=={}\n", p.name, p.version));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcci_cluster::Site;
+
+    fn site_with_env() -> Site {
+        let mut s = Site::purdue_anvil();
+        let env = s.envs.create("psij");
+        env.install("psij-python", "0.9.9");
+        env.install("psutil", "5.9.8");
+        s
+    }
+
+    #[test]
+    fn captures_hardware_and_packages() {
+        let s = site_with_env();
+        let cap = EnvironmentCapture::of_site(&s, Some("psij"), None);
+        assert_eq!(cap.site, "purdue-anvil");
+        assert_eq!(cap.hostname, "anvil-login-1");
+        assert_eq!(cap.packages.len(), 2);
+        assert_eq!(cap.packages[0].name, "psij-python");
+        let text = cap.render();
+        assert!(text.contains("psij-python==0.9.9"));
+        assert!(text.contains("anvil-login-1"));
+    }
+
+    #[test]
+    fn missing_env_yields_empty_packages() {
+        let s = Site::chameleon_tacc();
+        let cap = EnvironmentCapture::of_site(&s, Some("ghost"), Some("ghcr.io/img:v1"));
+        assert!(cap.packages.is_empty());
+        assert!(cap.render().contains("container: ghcr.io/img:v1"));
+    }
+}

@@ -1,0 +1,237 @@
+//! The baseline: PSI/J's existing cron-based multi-site CI (§6.2).
+//!
+//! "PSI/J currently provides a mechanism for CI across different HPC that
+//! relies on cron jobs for automated, periodic execution of the test cases.
+//! The security relies on authenticated users deploying the cron job in
+//! their local accounts. … it is not able to map a contributor or developer
+//! to a specific local account. PSI/J's cron job publishes test results back
+//! to the community via a public dashboard."
+//!
+//! Implemented faithfully so the CORRECT-vs-cron comparison (Table 4 row,
+//! security property tests, overhead benches) is executable.
+
+use hpcci_cluster::NodeRole;
+use hpcci_faas::exec::SharedSite;
+use hpcci_sim::{Advance, DetRng, EventQueue, SimDuration, SimTime};
+
+/// Which code the cron job may pull (§6.2's three options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullPolicy {
+    /// 1) main branch only.
+    Main,
+    /// 2) stable and core branches.
+    StableAndCore,
+    /// 3) PR branches tagged by a core developer.
+    TaggedPullRequests,
+}
+
+impl PullPolicy {
+    /// Does the policy allow running `branch`, given whether a core
+    /// developer has tagged it?
+    pub fn allows(&self, branch: &str, tagged_by_core_dev: bool) -> bool {
+        match self {
+            PullPolicy::Main => branch == "main",
+            PullPolicy::StableAndCore => branch == "main" || branch == "stable" || branch == "core",
+            PullPolicy::TaggedPullRequests => {
+                branch == "main" || branch == "stable" || branch == "core" || tagged_by_core_dev
+            }
+        }
+    }
+}
+
+/// One row of the public dashboard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DashboardEntry {
+    pub site: String,
+    pub branch: String,
+    pub at: SimTime,
+    pub passed: bool,
+    pub summary: String,
+}
+
+/// A cron-based CI deployment at one site: a periodic job running in the
+/// deploying user's account that pulls code and runs the suite.
+pub struct CronCi {
+    site: SharedSite,
+    /// The local account the deploying user installed the crontab in. Every
+    /// run executes as this user — *whoever* authored the code being tested
+    /// (the un-mapped-identity weakness CORRECT fixes).
+    pub local_user: String,
+    pub policy: PullPolicy,
+    period: SimDuration,
+    command: String,
+    branch: String,
+    events: EventQueue<()>,
+    dashboard: Vec<DashboardEntry>,
+    rng: DetRng,
+    now: SimTime,
+}
+
+impl CronCi {
+    pub fn new(
+        site: SharedSite,
+        local_user: &str,
+        policy: PullPolicy,
+        period: SimDuration,
+        command: &str,
+    ) -> CronCi {
+        let mut events = EventQueue::new();
+        events.push(SimTime::ZERO + period, ());
+        CronCi {
+            site,
+            local_user: local_user.to_string(),
+            policy,
+            period,
+            command: command.to_string(),
+            branch: "main".to_string(),
+            events,
+            dashboard: Vec::new(),
+            rng: DetRng::seed_from_u64(0xc407),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Point the cron job at a branch (subject to the pull policy).
+    pub fn set_branch(&mut self, branch: &str, tagged_by_core_dev: bool) -> bool {
+        if self.policy.allows(branch, tagged_by_core_dev) {
+            self.branch = branch.to_string();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The public dashboard (§6.2).
+    pub fn dashboard(&self) -> &[DashboardEntry] {
+        &self.dashboard
+    }
+
+    fn fire(&mut self, at: SimTime) {
+        let mut runtime = self.site.lock();
+        let account = match runtime.site.account(&self.local_user) {
+            Ok(a) => a.clone(),
+            Err(e) => {
+                self.dashboard.push(DashboardEntry {
+                    site: runtime.site.id.to_string(),
+                    branch: self.branch.clone(),
+                    at,
+                    passed: false,
+                    summary: e.to_string(),
+                });
+                return;
+            }
+        };
+        let site_name = runtime.site.id.to_string();
+        let node = runtime
+            .site
+            .login_node()
+            .map(|n| n.hostname.clone())
+            .unwrap_or_default();
+        let out = runtime.execute(
+            &self.command,
+            &account,
+            NodeRole::Login,
+            &node,
+            at,
+            &mut self.rng,
+            None,
+        );
+        self.dashboard.push(DashboardEntry {
+            site: site_name,
+            branch: self.branch.clone(),
+            at,
+            passed: out.result.is_ok(),
+            summary: if out.result.is_ok() {
+                out.stdout.lines().last().unwrap_or("").to_string()
+            } else {
+                out.stderr.lines().next().unwrap_or("").to_string()
+            },
+        });
+    }
+}
+
+impl Advance for CronCi {
+    fn next_event(&self) -> Option<SimTime> {
+        self.events.next_time()
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        while let Some((at, ())) = self.events.pop_due(t) {
+            self.now = at;
+            self.fire(at);
+            self.events.push(at + self.period, ());
+        }
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcci_cluster::Site;
+    use hpcci_faas::{ExecOutcome, SiteRuntime};
+
+    fn cron_at_site(pass: bool) -> CronCi {
+        let mut rt = SiteRuntime::new(Site::purdue_anvil()).with_scheduler(128);
+        rt.site.add_account("x-vhayot", "CIS230030");
+        rt.commands.register("pytest", move |_| {
+            if pass {
+                ExecOutcome::ok("6 passed", 10.0)
+            } else {
+                ExecOutcome::fail("ERROR: No matching distribution found for typeguard>=3.0.1", 2.0)
+            }
+        });
+        let site = hpcci_faas::exec::shared(rt);
+        CronCi::new(
+            site,
+            "x-vhayot",
+            PullPolicy::TaggedPullRequests,
+            SimDuration::from_hours(24),
+            "pytest tests/",
+        )
+    }
+
+    #[test]
+    fn cron_fires_periodically_and_publishes() {
+        let mut cron = cron_at_site(true);
+        cron.advance_to(SimTime::from_secs(3 * 24 * 3600));
+        assert_eq!(cron.dashboard().len(), 3);
+        assert!(cron.dashboard().iter().all(|e| e.passed));
+        assert_eq!(cron.dashboard()[0].site, "purdue-anvil");
+    }
+
+    #[test]
+    fn failures_reach_the_dashboard() {
+        let mut cron = cron_at_site(false);
+        cron.advance_to(SimTime::from_secs(24 * 3600));
+        assert_eq!(cron.dashboard().len(), 1);
+        assert!(!cron.dashboard()[0].passed);
+        assert!(cron.dashboard()[0].summary.contains("typeguard"));
+    }
+
+    #[test]
+    fn pull_policies() {
+        assert!(PullPolicy::Main.allows("main", false));
+        assert!(!PullPolicy::Main.allows("stable", false));
+        assert!(PullPolicy::StableAndCore.allows("stable", false));
+        assert!(!PullPolicy::StableAndCore.allows("pr/41", true));
+        assert!(PullPolicy::TaggedPullRequests.allows("pr/41", true));
+        assert!(!PullPolicy::TaggedPullRequests.allows("pr/41", false));
+    }
+
+    #[test]
+    fn branch_switch_respects_policy() {
+        let mut cron = cron_at_site(true);
+        assert!(cron.set_branch("pr/7", true));
+        assert!(!cron.set_branch("pr/8", false));
+        assert_eq!(cron.branch, "pr/7", "rejected switch leaves branch unchanged");
+    }
+
+    #[test]
+    fn cron_runs_as_the_deploying_user_regardless_of_author() {
+        // The weakness: the code author's identity never reaches the site;
+        // everything runs as the crontab owner.
+        let cron = cron_at_site(true);
+        assert_eq!(cron.local_user, "x-vhayot");
+    }
+}

@@ -1,0 +1,153 @@
+//! The PSI/J community testing dashboard (§6.2): "PSI/J's cron job publishes
+//! test results back to the community via a public dashboard." Aggregates
+//! [`crate::cron::CronCi`] deployments across sites into the site × run
+//! matrix the project publishes, and renders the status page.
+
+use crate::cron::{CronCi, DashboardEntry};
+use hpcci_sim::SimTime;
+use std::collections::BTreeMap;
+
+/// The aggregated multi-site dashboard.
+#[derive(Debug, Default)]
+pub struct MultiSiteDashboard {
+    entries: Vec<DashboardEntry>,
+}
+
+impl MultiSiteDashboard {
+    pub fn new() -> Self {
+        MultiSiteDashboard::default()
+    }
+
+    /// Pull every published entry from a site's cron deployment.
+    pub fn collect(&mut self, cron: &CronCi) {
+        for e in cron.dashboard() {
+            if !self.entries.contains(e) {
+                self.entries.push(e.clone());
+            }
+        }
+        self.entries.sort_by_key(|e| (e.at, e.site.clone()));
+    }
+
+    pub fn entries(&self) -> &[DashboardEntry] {
+        &self.entries
+    }
+
+    /// Latest result per site — the front-page status row.
+    pub fn latest_per_site(&self) -> BTreeMap<String, &DashboardEntry> {
+        let mut latest: BTreeMap<String, &DashboardEntry> = BTreeMap::new();
+        for e in &self.entries {
+            match latest.get(&e.site) {
+                Some(existing) if existing.at >= e.at => {}
+                _ => {
+                    latest.insert(e.site.clone(), e);
+                }
+            }
+        }
+        latest
+    }
+
+    /// Sites whose most recent run failed (the triage list).
+    pub fn failing_sites(&self) -> Vec<String> {
+        self.latest_per_site()
+            .into_iter()
+            .filter(|(_, e)| !e.passed)
+            .map(|(s, _)| s)
+            .collect()
+    }
+
+    /// Pass rate over a window ending at `now` (fraction in [0, 1]).
+    pub fn pass_rate_since(&self, since: SimTime, now: SimTime) -> f64 {
+        let window: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|e| e.at >= since && e.at <= now)
+            .collect();
+        if window.is_empty() {
+            return 1.0;
+        }
+        window.iter().filter(|e| e.passed).count() as f64 / window.len() as f64
+    }
+
+    /// Render the public status page.
+    pub fn render(&self) -> String {
+        let mut out = String::from("PSI/J community test dashboard\n\n");
+        out.push_str(&format!("{:<18}{:<10}{:<14}{}\n", "site", "status", "branch", "last run"));
+        for (site, e) in self.latest_per_site() {
+            out.push_str(&format!(
+                "{:<18}{:<10}{:<14}{}\n",
+                site,
+                if e.passed { "passing" } else { "FAILING" },
+                e.branch,
+                e.at
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cron::PullPolicy;
+    use hpcci_cluster::Site;
+    use hpcci_faas::{ExecOutcome, SiteRuntime};
+    use hpcci_sim::{Advance, SimDuration};
+
+    fn cron_for(site: Site, pass: bool) -> CronCi {
+        let mut rt = SiteRuntime::new(site).with_scheduler(64);
+        rt.site.add_account("ci-user", "alloc");
+        rt.commands.register("pytest", move |_| {
+            if pass {
+                ExecOutcome::ok("6 passed", 5.0)
+            } else {
+                ExecOutcome::fail("2 failed", 5.0)
+            }
+        });
+        CronCi::new(
+            hpcci_faas::exec::shared(rt),
+            "ci-user",
+            PullPolicy::Main,
+            SimDuration::from_hours(24),
+            "pytest tests/",
+        )
+    }
+
+    #[test]
+    fn aggregates_multiple_sites() {
+        let mut anvil = cron_for(Site::purdue_anvil(), true);
+        let mut expanse = cron_for(Site::sdsc_expanse(), false);
+        let t = SimTime::from_secs(3 * 24 * 3600);
+        anvil.advance_to(t);
+        expanse.advance_to(t);
+
+        let mut dash = MultiSiteDashboard::new();
+        dash.collect(&anvil);
+        dash.collect(&expanse);
+        assert_eq!(dash.entries().len(), 6);
+        assert_eq!(dash.failing_sites(), vec!["sdsc-expanse"]);
+        let page = dash.render();
+        assert!(page.contains("purdue-anvil"));
+        assert!(page.contains("passing"));
+        assert!(page.contains("FAILING"));
+        assert!((dash.pass_rate_since(SimTime::ZERO, t) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collect_is_idempotent_and_latest_wins() {
+        let mut anvil = cron_for(Site::purdue_anvil(), true);
+        anvil.advance_to(SimTime::from_secs(2 * 24 * 3600));
+        let mut dash = MultiSiteDashboard::new();
+        dash.collect(&anvil);
+        dash.collect(&anvil);
+        assert_eq!(dash.entries().len(), 2, "no duplicates");
+        let latest = dash.latest_per_site();
+        assert_eq!(latest["purdue-anvil"].at, SimTime::from_secs(2 * 24 * 3600));
+    }
+
+    #[test]
+    fn empty_window_pass_rate_defaults_green() {
+        let dash = MultiSiteDashboard::new();
+        assert_eq!(dash.pass_rate_since(SimTime::ZERO, SimTime::from_secs(1)), 1.0);
+        assert!(dash.failing_sites().is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Scheduler-agnostic job specifications (PSI/J's `JobSpec`).
+
+use hpcci_sim::SimDuration;
+
+/// A portable job description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PsijJobSpec {
+    pub name: String,
+    pub executable: String,
+    pub arguments: Vec<String>,
+    /// Total processes (ranks).
+    pub process_count: u32,
+    /// Wall-clock limit.
+    pub duration: SimDuration,
+    /// Expected run duration for simulated execution (what the job "does").
+    pub simulated_runtime: SimDuration,
+    /// Whether the simulated payload exits successfully.
+    pub simulated_success: bool,
+}
+
+impl PsijJobSpec {
+    pub fn new(name: &str, executable: &str) -> PsijJobSpec {
+        PsijJobSpec {
+            name: name.to_string(),
+            executable: executable.to_string(),
+            arguments: Vec::new(),
+            process_count: 1,
+            duration: SimDuration::from_mins(10),
+            simulated_runtime: SimDuration::from_secs(5),
+            simulated_success: true,
+        }
+    }
+
+    pub fn with_args(mut self, args: &[&str]) -> Self {
+        self.arguments = args.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    pub fn with_processes(mut self, n: u32) -> Self {
+        assert!(n > 0);
+        self.process_count = n;
+        self
+    }
+
+    pub fn with_duration(mut self, d: SimDuration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    pub fn running_for(mut self, d: SimDuration) -> Self {
+        self.simulated_runtime = d;
+        self
+    }
+
+    pub fn failing(mut self) -> Self {
+        self.simulated_success = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let spec = PsijJobSpec::new("hello", "/bin/echo")
+            .with_args(&["hello", "world"])
+            .with_processes(4)
+            .with_duration(SimDuration::from_mins(30))
+            .running_for(SimDuration::from_secs(9))
+            .failing();
+        assert_eq!(spec.arguments.len(), 2);
+        assert_eq!(spec.process_count, 4);
+        assert!(!spec.simulated_success);
+        assert_eq!(spec.simulated_runtime, SimDuration::from_secs(9));
+    }
+}

@@ -1,0 +1,122 @@
+//! `sacct`-style accounting: a permanent record of every terminal job.
+//!
+//! Provenance capture (§5, §7.4) reads this log to document what ran, as
+//! which user, charged to which allocation, for how long.
+
+use crate::job::{JobId, JobState};
+use hpcci_cluster::Uid;
+use hpcci_sim::SimDuration;
+
+/// One terminal job record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccountingRecord {
+    pub job: JobId,
+    pub name: String,
+    pub user: Uid,
+    pub allocation: String,
+    pub partition: String,
+    pub nodes: u32,
+    pub cores_per_node: u32,
+    pub state: JobState,
+}
+
+impl AccountingRecord {
+    /// Core-seconds charged to the allocation (0 if the job never started).
+    pub fn core_seconds(&self) -> f64 {
+        let runtime = self.state.runtime().unwrap_or(SimDuration::ZERO);
+        runtime.as_secs_f64() * (self.nodes as u64 * self.cores_per_node as u64) as f64
+    }
+}
+
+/// Append-only accounting log.
+#[derive(Debug, Clone, Default)]
+pub struct AccountingLog {
+    records: Vec<AccountingRecord>,
+}
+
+impl AccountingLog {
+    pub fn new() -> Self {
+        AccountingLog::default()
+    }
+
+    pub fn append(&mut self, record: AccountingRecord) {
+        debug_assert!(record.state.is_terminal(), "accounting only stores terminal jobs");
+        self.records.push(record);
+    }
+
+    pub fn records(&self) -> &[AccountingRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records charged to `allocation`.
+    pub fn by_allocation<'a>(&'a self, allocation: &'a str) -> impl Iterator<Item = &'a AccountingRecord> {
+        self.records.iter().filter(move |r| r.allocation == allocation)
+    }
+
+    /// All records for `user`.
+    pub fn by_user(&self, user: Uid) -> impl Iterator<Item = &AccountingRecord> {
+        self.records.iter().filter(move |r| r.user == user)
+    }
+
+    /// Total core-seconds charged to `allocation`.
+    pub fn usage(&self, allocation: &str) -> f64 {
+        self.by_allocation(allocation).map(AccountingRecord::core_seconds).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcci_sim::SimTime;
+
+    fn completed(job: u64, user: u32, alloc: &str, cores: u32, secs: u64) -> AccountingRecord {
+        AccountingRecord {
+            job: JobId(job),
+            name: format!("j{job}"),
+            user: Uid(user),
+            allocation: alloc.to_string(),
+            partition: "compute".to_string(),
+            nodes: 1,
+            cores_per_node: cores,
+            state: JobState::Completed {
+                submitted: SimTime::ZERO,
+                started: SimTime::from_secs(5),
+                ended: SimTime::from_secs(5 + secs),
+                success: true,
+            },
+        }
+    }
+
+    #[test]
+    fn usage_sums_core_seconds() {
+        let mut log = AccountingLog::new();
+        log.append(completed(1, 1001, "projA", 4, 100));
+        log.append(completed(2, 1001, "projA", 2, 50));
+        log.append(completed(3, 1002, "projB", 8, 10));
+        assert_eq!(log.usage("projA"), 4.0 * 100.0 + 2.0 * 50.0);
+        assert_eq!(log.usage("projB"), 80.0);
+        assert_eq!(log.usage("nothing"), 0.0);
+        assert_eq!(log.by_user(Uid(1001)).count(), 2);
+        assert_eq!(log.len(), 3);
+    }
+
+    #[test]
+    fn cancelled_jobs_charge_nothing() {
+        let r = AccountingRecord {
+            state: JobState::Cancelled {
+                submitted: SimTime::ZERO,
+                ended: SimTime::from_secs(9),
+            },
+            ..completed(4, 1001, "projA", 16, 0)
+        };
+        assert_eq!(r.core_seconds(), 0.0);
+    }
+}

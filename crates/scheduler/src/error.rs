@@ -1,0 +1,43 @@
+//! Scheduler error types.
+
+use crate::job::JobId;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedulerError {
+    /// The request can never be satisfied by this partition (too many nodes
+    /// or cores per node).
+    Unsatisfiable { requested_nodes: u32, requested_cores: u32 },
+    /// Requested walltime exceeds the partition limit.
+    WalltimeExceedsLimit,
+    /// No such job.
+    UnknownJob(JobId),
+    /// No such partition.
+    UnknownPartition(String),
+    /// Operation invalid in the job's current state (e.g. cancel a finished
+    /// job).
+    InvalidState(JobId),
+    /// No such block (provider-level).
+    UnknownBlock(u64),
+}
+
+impl fmt::Display for SchedulerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerError::Unsatisfiable {
+                requested_nodes,
+                requested_cores,
+            } => write!(
+                f,
+                "request for {requested_nodes} node(s) x {requested_cores} core(s) can never be satisfied"
+            ),
+            SchedulerError::WalltimeExceedsLimit => write!(f, "walltime exceeds partition limit"),
+            SchedulerError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            SchedulerError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+            SchedulerError::InvalidState(id) => write!(f, "invalid state transition for job {id}"),
+            SchedulerError::UnknownBlock(b) => write!(f, "unknown block {b}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedulerError {}

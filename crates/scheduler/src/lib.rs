@@ -1,0 +1,35 @@
+//! # hpcci-scheduler — a SLURM-like batch scheduler
+//!
+//! HPC CI is hard precisely because compute is reached through a batch
+//! scheduler rather than started directly (§3, §4.4). This crate implements
+//! the scheduler the rest of the federation submits to:
+//!
+//! * [`job::JobSpec`] — name, owner, node/core/walltime request, payload;
+//! * [`engine::BatchScheduler`] — event-driven engine with FIFO dispatch plus
+//!   **EASY backfill** (later jobs may start early iff they cannot delay the
+//!   queue head), walltime enforcement, cancellation, per-node core
+//!   accounting;
+//! * [`accounting::AccountingLog`] — an `sacct`-style record of every
+//!   terminal job, used by provenance capture;
+//! * [`provider::ExecutionProvider`] — the Parsl-style resource-provisioning
+//!   abstraction Globus Compute endpoints use: [`provider::LocalProvider`]
+//!   runs workers directly on the login node, [`provider::SlurmProvider`]
+//!   provisions **pilot jobs** through the batch scheduler (§5.1, §7.3).
+//!
+//! Jobs are either fixed-duration batch work or open-ended *pilots* that run
+//! until cancelled or until their walltime expires — the pilot model is what
+//! lets CORRECT amortize one allocation over many test tasks.
+
+pub mod accounting;
+pub mod engine;
+pub mod error;
+pub mod job;
+pub mod partition;
+pub mod provider;
+
+pub use accounting::AccountingLog;
+pub use engine::{BatchScheduler, SchedulerConfig, SchedulingPolicy};
+pub use error::SchedulerError;
+pub use job::{JobEvent, JobId, JobPayload, JobSpec, JobState};
+pub use partition::Partition;
+pub use provider::{BlockId, BlockState, ExecutionProvider, LocalProvider, SlurmProvider};

@@ -1,0 +1,91 @@
+//! Partitions: named groups of nodes with limits.
+
+use hpcci_cluster::NodeId;
+use hpcci_sim::SimDuration;
+
+/// A scheduler partition (SLURM terminology): a set of nodes plus policy
+/// limits that job requests are validated against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    pub name: String,
+    pub nodes: Vec<NodeId>,
+    /// Cores per node in this partition (homogeneous within a partition).
+    pub cores_per_node: u32,
+    /// Upper bound on requested walltime.
+    pub max_walltime: SimDuration,
+    /// Maximum nodes a single job may request (0 = whole partition).
+    pub max_nodes_per_job: u32,
+}
+
+impl Partition {
+    pub fn new(name: &str, nodes: Vec<NodeId>, cores_per_node: u32) -> Self {
+        Partition {
+            name: name.to_string(),
+            nodes,
+            cores_per_node,
+            max_walltime: SimDuration::from_hours(48),
+            max_nodes_per_job: 0,
+        }
+    }
+
+    pub fn with_max_walltime(mut self, d: SimDuration) -> Self {
+        self.max_walltime = d;
+        self
+    }
+
+    pub fn with_max_nodes_per_job(mut self, n: u32) -> Self {
+        self.max_nodes_per_job = n;
+        self
+    }
+
+    pub fn node_count(&self) -> u32 {
+        self.nodes.len() as u32
+    }
+
+    /// Effective per-job node cap.
+    pub fn job_node_cap(&self) -> u32 {
+        if self.max_nodes_per_job == 0 {
+            self.node_count()
+        } else {
+            self.max_nodes_per_job.min(self.node_count())
+        }
+    }
+
+    /// Can a request of this shape *ever* run here?
+    pub fn admits(&self, nodes: u32, cores_per_node: u32, walltime: SimDuration) -> bool {
+        nodes > 0
+            && nodes <= self.job_node_cap()
+            && cores_per_node > 0
+            && cores_per_node <= self.cores_per_node
+            && walltime <= self.max_walltime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn partition() -> Partition {
+        Partition::new("compute", (0..4).map(NodeId).collect(), 64)
+            .with_max_walltime(SimDuration::from_hours(2))
+            .with_max_nodes_per_job(2)
+    }
+
+    #[test]
+    fn admission_rules() {
+        let p = partition();
+        assert!(p.admits(1, 64, SimDuration::from_hours(1)));
+        assert!(p.admits(2, 1, SimDuration::from_hours(2)));
+        assert!(!p.admits(3, 1, SimDuration::from_hours(1)), "node cap");
+        assert!(!p.admits(1, 65, SimDuration::from_hours(1)), "core cap");
+        assert!(!p.admits(1, 64, SimDuration::from_hours(3)), "walltime cap");
+        assert!(!p.admits(0, 64, SimDuration::from_hours(1)), "zero nodes");
+    }
+
+    #[test]
+    fn zero_cap_means_whole_partition() {
+        let p = Partition::new("all", (0..8).map(NodeId).collect(), 32);
+        assert_eq!(p.job_node_cap(), 8);
+        assert!(p.admits(8, 32, SimDuration::from_hours(1)));
+    }
+}

@@ -1,0 +1,31 @@
+//! # hpcci-sim — deterministic discrete-event simulation kernel
+//!
+//! Every other crate in the `hpcci` federation is built on this kernel. It
+//! provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — virtual time in microseconds. All timing
+//!   in the federation is virtual, which makes every experiment reproducible
+//!   bit-for-bit from a seed — the paper's thesis applied to our own artifact.
+//! * [`EventQueue`] — a stable (FIFO-within-timestamp) priority queue of typed
+//!   events.
+//! * [`DetRng`] — a seeded random-number source with the distributions the
+//!   site performance models need (uniform, normal, lognormal via Box–Muller).
+//! * [`Advance`] — the cooperative component protocol: components expose the
+//!   time of their next internal event and are advanced to a given instant by
+//!   a driver ([`drive`], [`drive_until`]).
+//! * [`Trace`] — a structured event trace used for provenance records and for
+//!   regenerating the paper's system-overview figure.
+//! * [`metrics`] — summary statistics helpers for the benchmark harness.
+
+pub mod component;
+pub mod metrics;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use component::{drive, drive_until, Advance};
+pub use queue::EventQueue;
+pub use rng::DetRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent};

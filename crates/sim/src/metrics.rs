@@ -1,0 +1,180 @@
+//! Summary statistics for the benchmark harness.
+//!
+//! The paper reports per-test runtimes (Fig. 4) and makes qualitative
+//! overhead claims (§7.3); the bench binaries aggregate simulated samples
+//! with these helpers.
+
+use crate::time::SimDuration;
+
+/// Accumulates scalar samples and reports summary statistics.
+#[derive(Debug, Default, Clone)]
+pub struct Summary {
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Summary::default()
+    }
+
+    pub fn push(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "non-finite sample");
+        self.samples.push(v);
+    }
+
+    pub fn push_duration(&mut self, d: SimDuration) {
+        self.push(d.as_secs_f64());
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        (self.samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.samples.len() as f64)
+            .sqrt()
+    }
+
+    /// Percentile by linear interpolation, `p` in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = rank - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// One-line report: `n=.. mean=.. sd=.. min=.. p50=.. p95=.. max=..`.
+    pub fn report(&self) -> String {
+        format!(
+            "n={} mean={:.4} sd={:.4} min={:.4} p50={:.4} p95={:.4} max={:.4}",
+            self.count(),
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.median(),
+            self.percentile(95.0),
+            self.max()
+        )
+    }
+}
+
+/// Render a set of labeled series as a fixed-width text table — the bench
+/// binaries print paper figures in this form.
+pub fn render_table(title: &str, columns: &[&str], rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{:<36}", ""));
+    for c in columns {
+        out.push_str(&format!("{c:>14}"));
+    }
+    out.push('\n');
+    for (label, vals) in rows {
+        out.push_str(&format!("{label:<36}"));
+        for v in vals {
+            out.push_str(&format!("{v:>14.4}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_stats() {
+        let mut s = Summary::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 5);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+        assert!((s.median() - 3.0).abs() < 1e-12);
+        assert!((s.std_dev() - (2.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let mut s = Summary::new();
+        for v in [0.0, 10.0] {
+            s.push(v);
+        }
+        assert!((s.percentile(25.0) - 2.5).abs() < 1e-12);
+        assert_eq!(s.percentile(0.0), 0.0);
+        assert_eq!(s.percentile(100.0), 10.0);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(50.0), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn durations_convert_to_seconds() {
+        let mut s = Summary::new();
+        s.push_duration(SimDuration::from_millis(1500));
+        assert!((s.mean() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_renders_all_cells() {
+        let rows = vec![
+            ("test_a".to_string(), vec![1.0, 2.0]),
+            ("test_b".to_string(), vec![3.0, 4.0]),
+        ];
+        let t = render_table("Fig. 4", &["chameleon", "faster"], &rows);
+        assert!(t.contains("Fig. 4"));
+        assert!(t.contains("chameleon"));
+        assert!(t.contains("test_b"));
+        assert!(t.contains("4.0000"));
+    }
+}

@@ -1,0 +1,158 @@
+//! A stable timestamped event queue.
+//!
+//! `std::collections::BinaryHeap` alone is not enough for a deterministic
+//! simulator: events at equal timestamps must pop in insertion order or the
+//! federation's behaviour would depend on heap internals. Each entry therefore
+//! carries a monotonically increasing sequence number that breaks ties.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of events keyed by [`SimTime`], FIFO within a timestamp.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<(SimTime, E)> {
+        if self.next_time()? <= now {
+            let e = self.heap.pop().expect("peeked entry must pop");
+            Some((e.at, e.event))
+        } else {
+            None
+        }
+    }
+
+    /// Drain every event due at or before `now`, in timestamp-then-insertion
+    /// order, into a `Vec` (convenient when handling events needs `&mut self`
+    /// of the owner).
+    pub fn drain_due(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
+        let mut out = Vec::new();
+        while let Some(pair) = self.pop_due(now) {
+            out.push(pair);
+        }
+        out
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), "c");
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        let drained: Vec<_> = q
+            .drain_due(SimTime::from_secs(10))
+            .into_iter()
+            .map(|(_, e)| e)
+            .collect();
+        assert_eq!(drained, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_within_equal_timestamps() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let drained: Vec<_> = q.drain_due(t).into_iter().map(|(_, e)| e).collect();
+        assert_eq!(drained, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(5), "later");
+        assert!(q.pop_due(SimTime::from_secs(4)).is_none());
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(5)));
+        let (at, e) = q.pop_due(SimTime::from_secs(5)).unwrap();
+        assert_eq!((at, e), (SimTime::from_secs(5), "later"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, 1u8);
+        q.push(SimTime::ZERO, 2u8);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.next_time().is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! CI-mechanics integration: scheduled (nightly) runs and the approval
+//! tension §7.2 describes, and pull-request-driven CI across a fork — the
+//! PSI/J §6.2 code-review gate expressed with hosting + engine.
+
+use hpcci::ci::workflow::{JobDef, StepDef, TriggerEvent, WorkflowDef};
+use hpcci::ci::{Environment, RunStatus};
+use hpcci::cluster::Site;
+use hpcci::correct::{recipes, Federation};
+use hpcci::faas::MepTemplate;
+use hpcci::sim::SimTime;
+use hpcci::vcs::WorkTree;
+
+fn base_world() -> Federation {
+    let mut fed = Federation::new(23);
+    let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
+    let handle = fed.add_site(Site::purdue_anvil(), 128);
+    {
+        let mut rt = handle.shared.lock();
+        rt.site.add_account("x-vhayot", "CIS230030");
+        rt.commands
+            .register("pytest", |_| hpcci::faas::ExecOutcome::ok("6 passed", 5.0));
+    }
+    let mut mapping = hpcci::auth::IdentityMapping::new("purdue-anvil");
+    mapping.add_explicit("vhayot@uchicago.edu", "x-vhayot");
+    fed.register_mep("ep-anvil", &handle, mapping, MepTemplate::login_only());
+    let now = fed.now();
+    fed.hosting.lock().create_repo("lab", "app", now);
+    fed.hosting
+        .lock()
+        .push(
+            "lab/app",
+            "main",
+            WorkTree::new().with_file("tests/t.py", "#"),
+            "vhayot",
+            "import",
+            now,
+        )
+        .unwrap();
+    let _ = fed.pump_events();
+    fed.provision_environment("lab/app", "anvil-vhayot", "vhayot", &user);
+    fed
+}
+
+#[test]
+fn nightly_schedule_fires_but_waits_for_approval_on_hpc() {
+    // §7.2: "this may be problematic for nightly builds" — the approval gate
+    // blocks unattended HPC execution; a parallel ungated cloud job runs
+    // freely. Both workflows share the schedule.
+    let mut fed = base_world();
+    // Ungated cloud smoke job + gated HPC job, both nightly.
+    fed.engine.add_environment("lab/app", Environment::new("cloud"));
+    fed.engine.add_workflow(
+        "lab/app",
+        WorkflowDef::new("nightly-cloud")
+            .on_event(TriggerEvent::Schedule { period_secs: 86_400 })
+            .with_job(
+                JobDef::new("smoke")
+                    .with_environment("cloud")
+                    .with_step(StepDef::run("lint", "ruff check .")),
+            ),
+    );
+    fed.engine.add_workflow(
+        "lab/app",
+        WorkflowDef::new("nightly-hpc")
+            .on_event(TriggerEvent::Schedule { period_secs: 86_400 })
+            .with_job(
+                JobDef::new("remote")
+                    .with_environment("anvil-vhayot")
+                    .with_step(recipes::correct_step("run", "ep-anvil", "pytest tests/")),
+            ),
+    );
+
+    // A day passes.
+    let tomorrow = SimTime::from_secs(86_400 + 60);
+    let due = fed.engine.due_schedules(tomorrow);
+    assert_eq!(due.len(), 2);
+    let head = fed
+        .hosting
+        .lock()
+        .repo("lab/app")
+        .unwrap()
+        .head("main")
+        .unwrap()
+        .short();
+    let mut run_ids = Vec::new();
+    for (repo, workflow) in due {
+        run_ids.push(
+            fed.engine
+                .dispatch(&repo, &workflow, "main", &head, tomorrow)
+                .unwrap(),
+        );
+    }
+    // The cloud job executed unattended; the HPC job is stuck awaiting its
+    // sole reviewer.
+    fed.run_all();
+    let statuses: Vec<RunStatus> = run_ids
+        .iter()
+        .map(|&id| fed.engine.run(id).unwrap().status)
+        .collect();
+    assert_eq!(statuses[0], RunStatus::Success, "cloud smoke ran unattended");
+    assert_eq!(statuses[1], RunStatus::AwaitingApproval, "HPC gated");
+    // The reviewer catches up next morning.
+    fed.approve_and_run(run_ids[1], "vhayot").unwrap();
+    assert_eq!(fed.engine.run(run_ids[1]).unwrap().status, RunStatus::Success);
+}
+
+#[test]
+fn fork_pull_request_runs_ci_after_core_review_and_merges() {
+    let mut fed = base_world();
+    fed.engine.add_workflow(
+        "lab/app",
+        WorkflowDef::new("pr-ci")
+            .on_event(TriggerEvent::PullRequest)
+            .with_job(
+                JobDef::new("remote")
+                    .with_environment("anvil-vhayot")
+                    .with_step(recipes::correct_step("run", "ep-anvil", "pytest tests/")),
+            ),
+    );
+
+    // A contributor forks and proposes a change.
+    let fork = fed.hosting.lock().fork("lab/app", "contributor").unwrap();
+    let now = fed.now();
+    let tree = WorkTree::new()
+        .with_file("tests/t.py", "#")
+        .with_file("src/fix.py", "def fix(): ...");
+    fed.hosting
+        .lock()
+        .push(&fork, "fix-bug", tree, "contributor", "fix the bug", now)
+        .unwrap();
+    let pr = fed
+        .hosting
+        .lock()
+        .open_pull_request("lab/app", "main", &fork, "fix-bug", "contributor", "Fix the bug", now)
+        .unwrap();
+    let runs = fed.pump_events();
+    assert_eq!(runs.len(), 1, "PR opened one CI run");
+    // The gate: a core developer (the environment's sole reviewer) must
+    // approve before contributor code touches the HPC site — PSI/J's
+    // tagged-PR policy, enforced structurally.
+    assert_eq!(
+        fed.engine.run(runs[0]).unwrap().status,
+        RunStatus::AwaitingApproval
+    );
+    fed.approve_and_run(runs[0], "vhayot").unwrap();
+    assert_eq!(fed.engine.run(runs[0]).unwrap().status, RunStatus::Success);
+
+    // Green CI -> review -> merge; main now carries the fix.
+    fed.hosting.lock().approve(pr, "vhayot").unwrap();
+    let now = fed.now();
+    fed.hosting.lock().merge_pull_request(pr, "vhayot", now).unwrap();
+    let main_tree = fed
+        .hosting
+        .lock()
+        .repo("lab/app")
+        .unwrap()
+        .checkout_branch("main")
+        .unwrap()
+        .clone();
+    assert!(main_tree.contains("src/fix.py"));
+}
+
+#[test]
+fn badge_appears_on_the_repo_after_green_runs() {
+    let mut fed = base_world();
+    fed.engine.add_workflow(
+        "lab/app",
+        WorkflowDef::new("ci")
+            .on_event(TriggerEvent::push_any())
+            .with_job(
+                JobDef::new("remote")
+                    .with_environment("anvil-vhayot")
+                    .with_step(recipes::correct_step("run", "ep-anvil", "pytest tests/")),
+            ),
+    );
+    let now = fed.now();
+    let tree = WorkTree::new().with_file("tests/t.py", "# v2");
+    fed.hosting.lock().push("lab/app", "main", tree, "vhayot", "v2", now).unwrap();
+    let runs = fed.pump_events();
+    fed.approve_and_run(runs[0], "vhayot").unwrap();
+    assert_eq!(fed.engine.run(runs[0]).unwrap().badge(), "[ci | passing]");
+}

@@ -1,0 +1,119 @@
+//! End-to-end: a push triggers a CORRECT workflow that authenticates, clones
+//! at the remote site, runs the suite, and reports back — the full Fig. 2
+//! message flow through every substrate.
+
+use hpcci::ci::RunStatus;
+use hpcci::scenarios::psij_scenario;
+
+#[test]
+fn push_triggers_correct_run_that_succeeds() {
+    let mut s = psij_scenario(42, false);
+    let runs = s.push_approve_run("vhayot");
+    assert_eq!(runs.len(), 1);
+    let run = s.fed.engine.run(runs[0]).unwrap().clone();
+    assert_eq!(run.status, RunStatus::Success, "log:\n{}", run.full_log());
+
+    // The CORRECT step's stdout reports the remote execution.
+    let step = run.step("run").expect("correct step recorded");
+    assert!(step.stdout.contains("pip install globus-compute-sdk"));
+    assert!(step.stdout.contains("Authenticated with Globus Auth"));
+    assert!(step.stdout.contains("Cloning into"));
+    assert!(step.stdout.contains("6 passed, 0 failed"));
+    // Outputs expose where and as whom the task ran (identity mapping).
+    assert_eq!(step.outputs["ran_as"], "x-vhayot");
+    assert_eq!(step.outputs["node"], "anvil-login-1");
+    assert!(step.outputs["runtime_secs"].parse::<f64>().unwrap() > 1.0);
+
+    // The artifact with the full pytest output was uploaded.
+    let now = s.fed.now();
+    let artifact = s
+        .fed
+        .engine
+        .artifacts
+        .fetch(runs[0], "pytest-output", now)
+        .expect("artifact stored");
+    assert!(artifact.text().contains("Requirement already satisfied"));
+    assert!(artifact.text().contains("test_batch_submit_wait PASSED"));
+}
+
+#[test]
+fn run_awaits_approval_until_sole_reviewer_acts() {
+    let mut s = psij_scenario(43, false);
+    // Push without approving.
+    let now = s.fed.now();
+    let tree = s
+        .fed
+        .hosting
+        .lock()
+        .repo(&s.repo)
+        .unwrap()
+        .checkout_branch("main")
+        .unwrap()
+        .clone()
+        .with_file("CHANGE", "x");
+    s.fed
+        .hosting
+        .lock()
+        .push(&s.repo, "main", tree, "contributor", "change", now)
+        .unwrap();
+    let runs = s.fed.pump_events();
+    assert_eq!(runs.len(), 1);
+    assert_eq!(
+        s.fed.engine.run(runs[0]).unwrap().status,
+        RunStatus::AwaitingApproval
+    );
+    // Nothing executes while awaiting.
+    assert!(s.fed.run_all().is_empty());
+    // A stranger cannot approve; the sole reviewer can.
+    assert!(s.fed.engine.approve(runs[0], "mallory", s.fed.now()).is_err());
+    s.fed.approve_and_run(runs[0], "vhayot").unwrap();
+    assert_eq!(s.fed.engine.run(runs[0]).unwrap().status, RunStatus::Success);
+    // The environment follows the paper's sole-reviewer recommendation.
+    let env = s.fed.engine.environment(&s.repo, "anvil-vhayot").unwrap();
+    assert!(env.follows_sole_reviewer_recommendation());
+}
+
+#[test]
+fn federation_trace_records_the_fig2_flow() {
+    let mut s = psij_scenario(44, false);
+    s.push_approve_run("vhayot");
+    let cloud = s.fed.cloud.lock();
+    // Clone task + pytest task at minimum.
+    assert!(cloud.trace.of_kind("task.submit").count() >= 2);
+    assert_eq!(
+        cloud.trace.of_kind("task.submit").count(),
+        cloud.trace.of_kind("task.done").count(),
+        "every submitted task returned"
+    );
+    // Events are attributable to components.
+    assert!(cloud.trace.of_component("faas.ep.ep-anvil").count() >= 2);
+}
+
+#[test]
+fn secrets_never_appear_in_run_logs() {
+    let mut s = psij_scenario(45, false);
+    let secret_value = s.user.client_secret.clone();
+    let runs = s.push_approve_run("vhayot");
+    let log = s.fed.engine.run(runs[0]).unwrap().full_log();
+    assert!(!log.contains(&secret_value), "client secret leaked into logs");
+}
+
+#[test]
+fn identity_mapping_audited_at_the_mep() {
+    let mut s = psij_scenario(46, false);
+    s.push_approve_run("vhayot");
+    // Every task the MEP executed is auditable: identity -> local account.
+    let mut cloud = s.fed.cloud.lock();
+    let ep = cloud
+        .endpoint_mut(&hpcci::faas::EndpointId("ep-anvil".to_string()))
+        .unwrap();
+    if let hpcci::faas::EndpointRegistration::Multi(mep) = ep {
+        assert!(!mep.audit_log().is_empty());
+        for (_, identity, local) in mep.audit_log() {
+            assert_eq!(identity, "vhayot@uchicago.edu");
+            assert_eq!(local, "x-vhayot");
+        }
+    } else {
+        panic!("ep-anvil is a MEP");
+    }
+}

@@ -1,0 +1,268 @@
+//! Property-based tests on the core data structures and invariants.
+
+use hpcci::cluster::{Cred, FileMode, Uid, VirtualFs};
+use hpcci::scheduler::{BatchScheduler, JobPayload, JobSpec, JobState};
+use hpcci::sim::{Advance, DetRng, EventQueue, SimDuration, SimTime};
+use hpcci::vcs::{ObjectId, WorkTree};
+use proptest::prelude::*;
+
+proptest! {
+    /// Event queues always pop in (time, insertion) order.
+    #[test]
+    fn event_queue_pops_sorted(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        let drained = q.drain_due(SimTime::FAR_FUTURE);
+        let mut last = (SimTime::ZERO, 0usize);
+        let mut seen = vec![false; times.len()];
+        for (at, ix) in drained {
+            prop_assert!(at >= last.0, "time order violated");
+            if at == last.0 {
+                prop_assert!(ix > last.1 || last == (SimTime::ZERO, 0), "FIFO within timestamp");
+            }
+            prop_assert!(!seen[ix], "duplicate pop");
+            seen[ix] = true;
+            last = (at, ix);
+        }
+        prop_assert!(seen.into_iter().all(|s| s), "every event popped once");
+    }
+
+    /// Deterministic RNG streams are reproducible and jitter stays bounded.
+    #[test]
+    fn rng_reproducible_and_bounded(seed in any::<u64>(), sigma in 0.0f64..1.0) {
+        let mut a = DetRng::seed_from_u64(seed);
+        let mut b = DetRng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let ja = a.jitter(sigma);
+            let jb = b.jitter(sigma);
+            prop_assert_eq!(ja.to_bits(), jb.to_bits());
+            prop_assert!((0.5..=2.0).contains(&ja));
+        }
+    }
+
+    /// Content hashing: equal trees hash equal; any single-file mutation
+    /// changes the hash.
+    #[test]
+    fn worktree_hash_detects_mutations(
+        files in proptest::collection::btree_map("[a-z]{1,8}", "[ -~]{0,64}", 1..12),
+        mutate_ix in 0usize..12
+    ) {
+        let mut tree = WorkTree::new();
+        for (path, content) in &files {
+            tree.put(path, content.clone());
+        }
+        let clone = tree.clone();
+        prop_assert_eq!(tree.hash(), clone.hash());
+
+        let target = files.keys().nth(mutate_ix % files.len()).unwrap().clone();
+        let mut mutated = tree.clone();
+        let original = files[&target].clone();
+        mutated.put(&target, format!("{original}!"));
+        prop_assert_ne!(tree.hash(), mutated.hash());
+    }
+
+    /// Object ids never collide across distinct short strings (sanity, not
+    /// a cryptographic claim).
+    #[test]
+    fn object_ids_distinct(a in "[ -~]{0,32}", b in "[ -~]{0,32}") {
+        prop_assume!(a != b);
+        prop_assert_ne!(ObjectId::of_str(&a), ObjectId::of_str(&b));
+    }
+
+    /// Filesystem: a private file is never readable by another uid, no
+    /// matter what sequence of mkdir/write the other user attempts.
+    #[test]
+    fn private_files_stay_private(
+        secret in "[ -~]{1,32}",
+        attempts in proptest::collection::vec("[a-z]{1,6}", 0..8)
+    ) {
+        let mut fs = VirtualFs::new();
+        let root = Cred::new(Uid(0), &["root"]);
+        fs.mkdir_p("/home", &root, FileMode(0o777)).unwrap();
+        let alice = Cred::new(Uid(1001), &["a"]);
+        let bob = Cred::new(Uid(1002), &["b"]);
+        fs.mkdir_p("/home/alice", &alice, FileMode::PRIVATE_DIR).unwrap();
+        fs.write("/home/alice/secret", &alice, secret.clone(), FileMode::PRIVATE).unwrap();
+        for name in &attempts {
+            // Bob can create his own files elsewhere...
+            let _ = fs.mkdir_p(&format!("/home/bob-{name}"), &bob, FileMode::DIR);
+            let _ = fs.write(&format!("/home/bob-{name}/f"), &bob, "x", FileMode::REGULAR);
+        }
+        // ...but never read or overwrite alice's secret.
+        prop_assert!(fs.read(&"/home/alice/secret".to_string(), &bob).is_err());
+        prop_assert!(fs
+            .write(&"/home/alice/secret".to_string(), &bob, "evil", FileMode::REGULAR)
+            .is_err());
+        prop_assert_eq!(fs.read_text("/home/alice/secret", &alice).unwrap(), secret);
+    }
+
+    /// Scheduler: whatever mix of jobs is submitted, core accounting never
+    /// goes negative or exceeds capacity, and every job reaches a terminal
+    /// state by the time the machine drains.
+    #[test]
+    fn scheduler_never_oversubscribes(
+        jobs in proptest::collection::vec((1u32..3, 1u32..9, 1u64..500, 1u64..20), 1..25)
+    ) {
+        let nodes = 4u32;
+        let cores = 8u32;
+        let capacity = (nodes * cores) as u64;
+        let mut s = BatchScheduler::with_compute_partition(
+            (0..nodes).map(hpcci::cluster::NodeId).collect(),
+            cores,
+        );
+        let mut ids = Vec::new();
+        for (i, (n, c, secs, wall_mins)) in jobs.iter().enumerate() {
+            let spec = JobSpec {
+                name: format!("j{i}"),
+                user: Uid(1000),
+                allocation: "a".into(),
+                partition: "compute".into(),
+                nodes: *n,
+                cores_per_node: *c,
+                walltime: SimDuration::from_mins(*wall_mins),
+                payload: JobPayload::Fixed {
+                    duration: SimDuration::from_secs(*secs),
+                    success: true,
+                },
+            };
+            if let Ok(id) = s.submit(spec, SimTime::ZERO) {
+                ids.push(id);
+            }
+            prop_assert!(s.free_cores() <= capacity, "free cores exceed capacity");
+        }
+        // Drain fully.
+        while let Some(t) = s.next_event() {
+            s.advance_to(t);
+            prop_assert!(s.free_cores() <= capacity);
+        }
+        prop_assert_eq!(s.free_cores(), capacity, "all cores released");
+        for id in ids {
+            let st = s.state(id).unwrap();
+            prop_assert!(st.is_terminal(), "job {} not terminal: {:?}", id, st);
+            if let JobState::Completed { success, .. } = st {
+                prop_assert!(success);
+            }
+        }
+    }
+
+    /// Version comparison is a total order consistent with numeric segments.
+    #[test]
+    fn version_compare_consistent(
+        a in proptest::collection::vec(0u64..50, 1..4),
+        b in proptest::collection::vec(0u64..50, 1..4)
+    ) {
+        use hpcci::cluster::software::compare_versions;
+        let sa = a.iter().map(u64::to_string).collect::<Vec<_>>().join(".");
+        let sb = b.iter().map(u64::to_string).collect::<Vec<_>>().join(".");
+        let ord = compare_versions(&sa, &sb);
+        prop_assert_eq!(compare_versions(&sb, &sa), ord.reverse());
+        prop_assert_eq!(compare_versions(&sa, &sa), std::cmp::Ordering::Equal);
+        // Consistency with padded numeric comparison.
+        let n = a.len().max(b.len());
+        let pad = |v: &[u64]| {
+            let mut v = v.to_vec();
+            v.resize(n, 0);
+            v
+        };
+        prop_assert_eq!(ord, pad(&a).cmp(&pad(&b)));
+    }
+
+    /// minimpi allreduce equals the sequential reduction for arbitrary data.
+    #[test]
+    fn allreduce_matches_sequential(
+        per_rank in proptest::collection::vec(-1000i64..1000, 1..5),
+        ranks in 1usize..5
+    ) {
+        let data = per_rank.clone();
+        let results = hpcci::minimpi::run_mpi(ranks, move |rank| {
+            let local: Vec<i64> = data.iter().map(|v| v + rank.rank as i64).collect();
+            rank.allreduce_i64(&local, hpcci::minimpi::ReduceOp::Sum)
+        });
+        let expected: Vec<i64> = per_rank
+            .iter()
+            .map(|v| (0..ranks as i64).map(|r| v + r).sum())
+            .collect();
+        for r in results {
+            prop_assert_eq!(&r, &expected);
+        }
+    }
+}
+
+#[test]
+fn masking_is_idempotent_and_total() {
+    // Non-proptest companion: masking twice equals masking once.
+    use hpcci::ci::secrets::mask_secrets;
+    let values = vec!["gcs-deadbeef".to_string(), "tok-12345".to_string()];
+    let text = "auth gcs-deadbeef then tok-12345 then gcs-deadbeef";
+    let once = mask_secrets(text, &values);
+    let twice = mask_secrets(&once, &values);
+    assert_eq!(once, twice);
+    assert!(!once.contains("deadbeef"));
+}
+
+proptest! {
+    /// PDBQT round trip preserves geometry and charges for arbitrary
+    /// generated molecules.
+    #[test]
+    fn pdbqt_round_trips(name in "[a-z]{1,12}", prepare in any::<bool>()) {
+        use hpcci::parsldock::{ligand_from_pdbqt, ligand_to_pdbqt, Ligand};
+        let mut l = Ligand::generate(&name);
+        if prepare {
+            l = hpcci::parsldock::prep::prepare_ligand(l);
+        }
+        let parsed = ligand_from_pdbqt(&ligand_to_pdbqt(&l)).unwrap();
+        prop_assert_eq!(parsed.name, l.name);
+        prop_assert_eq!(parsed.prepared, l.prepared);
+        prop_assert_eq!(parsed.atoms.len(), l.atoms.len());
+        for (a, b) in l.atoms.iter().zip(&parsed.atoms) {
+            prop_assert!((a.x - b.x).abs() < 1e-3);
+            prop_assert!((a.charge - b.charge).abs() < 1e-3);
+        }
+    }
+
+    /// minimpi alltoall is a permutation: every sent element arrives exactly
+    /// once, at the right rank.
+    #[test]
+    fn alltoall_is_a_permutation(ranks in 1usize..5, chunk in 1usize..6) {
+        let results = hpcci::minimpi::run_mpi(ranks, move |rank| {
+            let chunks: Vec<Vec<i64>> = (0..ranks)
+                .map(|dst| vec![(rank.rank * ranks + dst) as i64; chunk])
+                .collect();
+            rank.alltoall(&chunks)
+        });
+        for (r, got) in results.iter().enumerate() {
+            prop_assert_eq!(got.len(), ranks);
+            for (s, received) in got.iter().enumerate() {
+                prop_assert_eq!(received, &vec![(s * ranks + r) as i64; chunk]);
+            }
+        }
+    }
+
+    /// The badge reviewer is deterministic in its rng stream, and an
+    /// unarchived artifact never earns any badge.
+    #[test]
+    fn badge_review_deterministic_and_gated(seed in any::<u64>(), quality in 0.05f64..0.95) {
+        use hpcci::provenance::badges::{Artifact, Reviewer};
+        use hpcci::sim::DetRng;
+        let artifact = Artifact {
+            publicly_archived: true,
+            documented: true,
+            ae_quality: quality,
+            has_ci: true,
+            hardware_gated: false,
+            remote_ci_evidence: false,
+            experiment_hours: 2.0,
+            result_variance: 0.1,
+        };
+        let a = Reviewer::default().review(&artifact, &mut DetRng::seed_from_u64(seed));
+        let b = Reviewer::default().review(&artifact, &mut DetRng::seed_from_u64(seed));
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.hours_spent <= 8.0 + 1e-9);
+
+        let unarchived = Artifact { publicly_archived: false, ..artifact };
+        let c = Reviewer::default().review(&unarchived, &mut DetRng::seed_from_u64(seed));
+        prop_assert_eq!(c.awarded, None);
+    }
+}

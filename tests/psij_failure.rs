@@ -1,0 +1,70 @@
+//! §6.2 / Fig. 5: the PSI/J run that *fails* — a dependency error in the
+//! codebase — and how CORRECT surfaces it: failure in the CI UI, full
+//! stdout/stderr preserved as artifacts.
+
+use hpcci::ci::RunStatus;
+use hpcci::scenarios::psij_scenario;
+
+#[test]
+fn dependency_fault_fails_the_run_like_fig5() {
+    let mut s = psij_scenario(71, true); // typeguard missing
+    let runs = s.push_approve_run("vhayot");
+    let run = s.fed.engine.run(runs[0]).unwrap().clone();
+
+    // Fig. 5 top: the failure is visible in the UI.
+    assert_eq!(run.status, RunStatus::Failure);
+    let step = run.step("run").expect("correct step recorded");
+    assert!(!step.success);
+    assert!(step.stderr.contains("typeguard"), "stderr: {}", step.stderr);
+    assert!(step.stderr.contains("FAILED"));
+
+    // Fig. 5 bottom: the full execution stdout is stored as an artifact
+    // "regardless of whether the tests pass or fail".
+    let now = s.fed.now();
+    let artifact = s
+        .fed
+        .engine
+        .artifacts
+        .fetch(runs[0], "pytest-output", now)
+        .expect("artifact stored despite failure");
+    let text = artifact.text();
+    assert!(text.contains("Requirement already satisfied: psutil>=5.9"));
+    assert!(text.contains("No matching distribution found for typeguard>=3.0.1"));
+}
+
+#[test]
+fn fixing_the_environment_fixes_the_run() {
+    // The same scenario with the dependency installed passes — CI detects
+    // recovery, which is the point of continuous reproducibility.
+    let mut s = psij_scenario(72, false);
+    let runs = s.push_approve_run("vhayot");
+    assert_eq!(s.fed.engine.run(runs[0]).unwrap().status, RunStatus::Success);
+}
+
+#[test]
+fn cron_baseline_reports_the_same_failure_on_its_dashboard() {
+    // The paper's comparison: PSI/J's existing cron CI catches the same
+    // fault, but runs as the deploying user and reports to a dashboard
+    // instead of the workflow UI.
+    use hpcci::psij::{CronCi, PullPolicy};
+    use hpcci::sim::{Advance, SimDuration, SimTime};
+
+    let s = psij_scenario(73, true);
+    let handle = s.fed.site("purdue-anvil").unwrap().clone();
+    let mut cron = CronCi::new(
+        handle.shared.clone(),
+        "x-vhayot",
+        PullPolicy::Main,
+        SimDuration::from_hours(24),
+        "pytest tests/",
+    );
+    cron.advance_to(SimTime::from_secs(24 * 3600));
+    assert_eq!(cron.dashboard().len(), 1);
+    let entry = &cron.dashboard()[0];
+    assert!(!entry.passed);
+    assert!(entry.summary.contains("typeguard") || entry.summary.contains("ERROR"));
+    // The cron job cannot attribute the change author — it always runs as
+    // the deploying account. CORRECT's audit log can (see
+    // correct_end_to_end::identity_mapping_audited_at_the_mep).
+    assert_eq!(cron.local_user, "x-vhayot");
+}

@@ -1,0 +1,227 @@
+//! The paper's security invariants (§5.2, §7.2), as executable properties:
+//!
+//! (i)  the identity used to run the code matches the user who intended to
+//!      launch it;
+//! (ii) CI-launched processes cannot access or modify files beyond their
+//!      permission;
+//! plus function allowlists, approval gating, and secret hygiene.
+
+use hpcci::auth::{IdentityMapping, Scope};
+use hpcci::cluster::{Cred, FileMode, Site};
+use hpcci::correct::Federation;
+use hpcci::faas::{EndpointId, FunctionBody, MepTemplate, TaskState};
+use hpcci::sim::SimTime;
+
+/// Build a small federation with one HPC site, two local users, and a MEP.
+fn two_user_world() -> (Federation, hpcci::correct::federation::OnboardedUser, hpcci::correct::federation::OnboardedUser) {
+    let mut fed = Federation::new(7);
+    let alice = fed.onboard_user("alice@uchicago.edu", "uchicago.edu");
+    let mallory = fed.onboard_user("mallory@evil.example", "evil.example");
+    let handle = fed.add_site(Site::tamu_faster(), 64);
+    {
+        let mut rt = handle.shared.lock();
+        rt.site.add_account("x-alice", "projA");
+        rt.site.add_account("x-bob", "projB");
+        // A command that tries to read another user's private file.
+        rt.commands.register("snoop", |env| {
+            match env.site.fs.read_text("/home/x-bob/secret.txt", &env.cred) {
+                Ok(contents) => hpcci::faas::ExecOutcome::ok(contents, 0.1),
+                Err(e) => hpcci::faas::ExecOutcome::fail(e.to_string(), 0.1),
+            }
+        });
+        // A command that reports the executing account.
+        rt.commands.register("whoami", |env| {
+            hpcci::faas::ExecOutcome::ok(env.account.username.clone(), 0.01)
+        });
+        // Bob stores a private file.
+        let bob = rt.site.account("x-bob").unwrap().clone();
+        let bob_cred = Cred::of(&bob);
+        rt.site
+            .fs
+            .write("/home/x-bob/secret.txt", &bob_cred, "bob's allocation key", FileMode::PRIVATE)
+            .unwrap();
+    }
+    let mut mapping = IdentityMapping::new("tamu-faster");
+    mapping.add_explicit("alice@uchicago.edu", "x-alice");
+    fed.register_mep("mep-faster", &handle, mapping, MepTemplate::login_only());
+    (fed, alice, mallory)
+}
+
+fn token_for(
+    fed: &Federation,
+    user: &hpcci::correct::federation::OnboardedUser,
+) -> hpcci::auth::AccessToken {
+    fed.auth
+        .lock()
+        .authenticate(
+            &hpcci::auth::ClientId(user.client_id.clone()),
+            &hpcci::auth::ClientSecret::new(&user.client_secret),
+            vec![Scope::compute_api()],
+            SimTime::ZERO,
+        )
+        .unwrap()
+}
+
+#[test]
+fn invariant_i_task_runs_as_the_mapped_identity() {
+    let (mut fed, alice, _) = two_user_world();
+    let token = token_for(&fed, &alice);
+    let ep = EndpointId("mep-faster".to_string());
+    let task = {
+        let mut cloud = fed.cloud.lock();
+        let now = cloud.now();
+        cloud.submit_shell(&token, &ep, "whoami", now).unwrap()
+    };
+    while fed.world().step() {}
+    let cloud = fed.cloud.lock();
+    let out = cloud.task_result(task).unwrap();
+    assert_eq!(out.stdout, "x-alice");
+    assert_eq!(out.ran_as, "x-alice");
+}
+
+#[test]
+fn invariant_i_unmapped_identity_is_rejected() {
+    let (mut fed, _, mallory) = two_user_world();
+    let token = token_for(&fed, &mallory);
+    let ep = EndpointId("mep-faster".to_string());
+    let task = {
+        let mut cloud = fed.cloud.lock();
+        let now = cloud.now();
+        // Submission is accepted by the cloud; the MEP rejects at delivery.
+        cloud.submit_shell(&token, &ep, "whoami", now).unwrap()
+    };
+    while fed.world().step() {}
+    let cloud = fed.cloud.lock();
+    match cloud.task_state(task).unwrap() {
+        TaskState::Rejected { reason, .. } => {
+            assert!(reason.contains("identity mapping failed"), "{reason}")
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+}
+
+#[test]
+fn invariant_ii_no_cross_user_file_access() {
+    let (mut fed, alice, _) = two_user_world();
+    let token = token_for(&fed, &alice);
+    let ep = EndpointId("mep-faster".to_string());
+    let task = {
+        let mut cloud = fed.cloud.lock();
+        let now = cloud.now();
+        cloud.submit_shell(&token, &ep, "snoop", now).unwrap()
+    };
+    while fed.world().step() {}
+    let cloud = fed.cloud.lock();
+    let out = cloud.task_result(task).unwrap();
+    assert!(!out.success(), "alice's task must not read bob's private file");
+    assert!(out.stderr.contains("permission denied"), "{}", out.stderr);
+    assert!(!out.stdout.contains("allocation key"));
+}
+
+#[test]
+fn function_allowlist_rejects_everything_unapproved() {
+    let (fed, alice, _) = two_user_world();
+    let token = token_for(&fed, &alice);
+    // Register two functions; allow only the first on a restricted MEP.
+    let (allowed, denied) = {
+        let mut cloud = fed.cloud.lock();
+        let a = cloud
+            .register_function(&token, "safe", FunctionBody::Shell { command: "whoami".into() }, SimTime::ZERO)
+            .unwrap();
+        let d = cloud
+            .register_function(&token, "other", FunctionBody::Shell { command: "snoop".into() }, SimTime::ZERO)
+            .unwrap();
+        (a, d)
+    };
+    let handle = fed.site("tamu-faster").unwrap().clone();
+    let mut mapping = IdentityMapping::new("tamu-faster");
+    mapping.add_explicit("alice@uchicago.edu", "x-alice");
+    let mep = hpcci::faas::MultiUserEndpoint::new(
+        "mep-restricted",
+        handle.shared.clone(),
+        mapping,
+        MepTemplate::login_only(),
+    )
+    .with_allowlist(&[allowed]);
+    fed.cloud
+        .lock()
+        .register_endpoint("mep-restricted", hpcci::faas::EndpointRegistration::Multi(mep));
+    let ep = EndpointId("mep-restricted".to_string());
+
+    let mut cloud = fed.cloud.lock();
+    // Ad-hoc shell commands are rejected outright.
+    assert!(matches!(
+        cloud.submit_shell(&token, &ep, "whoami", SimTime::ZERO),
+        Err(hpcci::faas::FaasError::ShellNotAllowed)
+    ));
+    // Unapproved registered functions are rejected.
+    assert!(matches!(
+        cloud.submit_function(&token, &ep, denied, "", SimTime::ZERO),
+        Err(hpcci::faas::FaasError::FunctionNotAllowed(_))
+    ));
+    // The approved function is accepted.
+    assert!(cloud.submit_function(&token, &ep, allowed, "", SimTime::ZERO).is_ok());
+}
+
+#[test]
+fn stolen_client_id_without_secret_is_useless() {
+    let (fed, alice, _) = two_user_world();
+    let err = fed
+        .auth
+        .lock()
+        .authenticate(
+            &hpcci::auth::ClientId(alice.client_id.clone()),
+            &hpcci::auth::ClientSecret::new("guessed-wrong"),
+            vec![Scope::compute_api()],
+            SimTime::ZERO,
+        )
+        .unwrap_err();
+    assert_eq!(err, hpcci::auth::AuthError::InvalidClientCredentials);
+}
+
+#[test]
+fn revoked_token_cannot_submit() {
+    let (fed, alice, _) = two_user_world();
+    let token = token_for(&fed, &alice);
+    fed.auth.lock().revoke(&token).unwrap();
+    let mut cloud = fed.cloud.lock();
+    assert!(matches!(
+        cloud.submit_shell(&token, &EndpointId("mep-faster".into()), "whoami", SimTime::ZERO),
+        Err(hpcci::faas::FaasError::Auth(_))
+    ));
+}
+
+#[test]
+fn ha_policy_restricts_identity_providers_at_the_endpoint() {
+    let (mut fed, alice, _) = two_user_world();
+    // Re-register the MEP with a policy requiring access-ci.org identities.
+    let handle = fed.site("tamu-faster").unwrap().clone();
+    let mut mapping = IdentityMapping::new("tamu-faster");
+    mapping.add_explicit("alice@uchicago.edu", "x-alice");
+    let mep = hpcci::faas::MultiUserEndpoint::new(
+        "mep-ha",
+        handle.shared.clone(),
+        mapping,
+        MepTemplate::login_only(),
+    )
+    .with_ha_policy(
+        hpcci::auth::HighAssurancePolicy::permissive().require_provider("access-ci.org"),
+    );
+    fed.cloud
+        .lock()
+        .register_endpoint("mep-ha", hpcci::faas::EndpointRegistration::Multi(mep));
+
+    let token = token_for(&fed, &alice);
+    let task = {
+        let mut cloud = fed.cloud.lock();
+        cloud
+            .submit_shell(&token, &EndpointId("mep-ha".into()), "whoami", SimTime::ZERO)
+            .unwrap()
+    };
+    while fed.world().step() {}
+    let cloud = fed.cloud.lock();
+    assert!(matches!(
+        cloud.task_state(task).unwrap(),
+        TaskState::Rejected { .. }
+    ));
+}
