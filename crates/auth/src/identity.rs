@@ -1,10 +1,9 @@
 //! Federated identities.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque identity identifier (UUID-like, assigned by the auth service).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct IdentityId(pub u64);
 
 impl fmt::Display for IdentityId {
@@ -15,7 +14,7 @@ impl fmt::Display for IdentityId {
 }
 
 /// The institution that vouches for an identity (e.g. a university SSO).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct IdentityProvider(pub String);
 
 impl IdentityProvider {
@@ -25,7 +24,7 @@ impl IdentityProvider {
 }
 
 /// A federated identity: `username@provider`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Identity {
     pub id: IdentityId,
     /// Qualified username, e.g. `"vhayot@uchicago.edu"`.

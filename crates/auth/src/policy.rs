@@ -46,7 +46,7 @@ impl HighAssurancePolicy {
     /// Evaluate the policy for `identity` at `now`.
     pub fn check(&self, identity: &Identity, now: SimTime) -> Result<(), AuthError> {
         if !self.allowed_providers.is_empty()
-            && !self.allowed_providers.iter().any(|p| *p == identity.provider.0)
+            && !self.allowed_providers.contains(&identity.provider.0)
         {
             return Err(AuthError::PolicyViolation(format!(
                 "identity provider {} not allowed",
@@ -62,7 +62,7 @@ impl HighAssurancePolicy {
             }
         }
         if !self.allowed_identities.is_empty()
-            && !self.allowed_identities.iter().any(|u| *u == identity.username)
+            && !self.allowed_identities.contains(&identity.username)
         {
             return Err(AuthError::PolicyViolation(format!(
                 "identity {} not in endpoint allowlist",

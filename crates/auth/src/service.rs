@@ -4,7 +4,7 @@ use crate::client::{ClientId, ClientSecret, ConfidentialClient};
 use crate::error::AuthError;
 use crate::identity::{Identity, IdentityId, IdentityProvider};
 use crate::token::{AccessToken, Scope, TokenInfo};
-use hpcci_sim::{SimDuration, SimTime};
+use hpcci_sim::{FaultInjector, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
 /// Default token lifetime (Globus tokens live ~48h; the exact figure is not
@@ -24,11 +24,18 @@ pub struct AuthService {
     tokens: BTreeMap<String, IssuedToken>,
     next_identity: u64,
     next_serial: u64,
+    injector: Option<FaultInjector>,
 }
 
 impl AuthService {
     pub fn new() -> Self {
         AuthService::default()
+    }
+
+    /// Attach a fault injector. Token-expiry faults are applied during
+    /// introspection; re-authenticating (a fresh token) clears the fault.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
     }
 
     /// Register a federated identity and return it.
@@ -128,6 +135,13 @@ impl AuthService {
         let issued = self.tokens.get(&token.0).ok_or(AuthError::InvalidToken)?;
         if issued.revoked || now >= issued.info.expires_at {
             return Err(AuthError::InvalidToken);
+        }
+        if let Some(inj) = &self.injector {
+            // Injected early expiry: this token is dead until the caller
+            // re-authenticates for a fresh one.
+            if inj.token_expired(&token.0, now) {
+                return Err(AuthError::InvalidToken);
+            }
         }
         Ok(issued.info.clone())
     }

@@ -17,7 +17,8 @@ pub fn render_table2() -> String {
         out.push_str(&pad(a.name, 28));
     }
     out.push('\n');
-    let rows: [(&str, fn(&crate::sciapps::SciAppCi) -> &'static str); 4] = [
+    type Column = fn(&crate::sciapps::SciAppCi) -> &'static str;
+    let rows: [(&str, Column); 4] = [
         ("CI framework", |a| a.ci_framework),
         ("Compute resource", |a| a.compute_resource),
         ("Objective", |a| a.objective),

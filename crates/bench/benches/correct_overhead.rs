@@ -2,44 +2,29 @@
 //! wall time — the §6 experiments replayed end to end (auth, clone, remote
 //! suite, artifacts) as the unit of work.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hpcci::scenarios::{kamping_scenario, psij_scenario};
+use hpcci_bench::timing::bench;
 
-fn bench_end_to_end_psij(c: &mut Criterion) {
-    let mut group = c.benchmark_group("correct_end_to_end");
-    group.sample_size(20);
-    group.bench_function("psij_run", |b| {
-        let mut seed = 10_000u64;
-        b.iter(|| {
-            seed += 1;
-            let mut s = psij_scenario(seed, false);
-            let runs = s.push_approve_run("vhayot");
-            assert_eq!(
-                s.fed.engine.run(runs[0]).unwrap().status,
-                hpcci::ci::RunStatus::Success
-            );
-        })
+fn main() {
+    println!("correct_end_to_end");
+    let mut seed = 10_000u64;
+    bench("psij_run", 20, || {
+        seed += 1;
+        let mut s = psij_scenario(seed, false);
+        let runs = s.push_approve_run("vhayot");
+        assert_eq!(
+            s.fed.engine.run(runs[0]).unwrap().status,
+            hpcci::ci::RunStatus::Success
+        );
     });
-    group.finish();
-}
-
-fn bench_end_to_end_kamping(c: &mut Criterion) {
-    let mut group = c.benchmark_group("correct_end_to_end");
-    group.sample_size(10);
-    group.bench_function("kamping_artifact_suite", |b| {
-        let mut seed = 20_000u64;
-        b.iter(|| {
-            seed += 1;
-            let mut s = kamping_scenario(seed);
-            let run = s.dispatch_approve_run("vhayot");
-            assert_eq!(
-                s.fed.engine.run(run).unwrap().status,
-                hpcci::ci::RunStatus::Success
-            );
-        })
+    let mut seed = 20_000u64;
+    bench("kamping_artifact_suite", 10, || {
+        seed += 1;
+        let mut s = kamping_scenario(seed);
+        let run = s.dispatch_approve_run("vhayot");
+        assert_eq!(
+            s.fed.engine.run(run).unwrap().status,
+            hpcci::ci::RunStatus::Success
+        );
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_end_to_end_psij, bench_end_to_end_kamping);
-criterion_main!(benches);

@@ -1,56 +1,49 @@
 //! Real-compute bench: the docking kernel's parallel scaling (crossbeam
 //! scoped threads over pose scoring) and grid-size cost growth.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hpcci::parsldock::{dock, DockParams, Ligand, Receptor};
 use hpcci::parsldock::prep::{prepare_ligand, prepare_receptor};
+use hpcci::parsldock::{dock, DockParams, Ligand, Receptor};
+use hpcci_bench::timing::bench;
 
-fn bench_thread_scaling(c: &mut Criterion) {
+fn main() {
+    println!("dock_threads_grid6");
     let receptor = prepare_receptor(Receptor::generate("1abc", 300));
     let ligand = prepare_ligand(Ligand::generate("aspirin"));
-    let mut group = c.benchmark_group("dock_threads_grid6");
     for threads in [1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
-            let params = DockParams {
-                grid: 6,
-                rotations: 2,
-                threads,
-                spacing: 1.0,
-            };
-            b.iter(|| dock(&receptor, &ligand, &params))
+        let params = DockParams {
+            grid: 6,
+            rotations: 2,
+            threads,
+            spacing: 1.0,
+        };
+        bench(&format!("threads={threads}"), 10, || {
+            dock(&receptor, &ligand, &params)
         });
     }
-    group.finish();
-}
 
-fn bench_grid_growth(c: &mut Criterion) {
+    println!("dock_grid_4threads");
     let receptor = prepare_receptor(Receptor::generate("1abc", 200));
     let ligand = prepare_ligand(Ligand::generate("ibuprofen"));
-    let mut group = c.benchmark_group("dock_grid_4threads");
     for grid in [3usize, 5, 7] {
-        group.bench_with_input(BenchmarkId::from_parameter(grid), &grid, |b, &grid| {
-            let params = DockParams {
-                grid,
-                rotations: 2,
-                threads: 4,
-                spacing: 1.0,
-            };
-            b.iter(|| dock(&receptor, &ligand, &params))
+        let params = DockParams {
+            grid,
+            rotations: 2,
+            threads: 4,
+            spacing: 1.0,
+        };
+        bench(&format!("grid={grid}"), 10, || {
+            dock(&receptor, &ligand, &params)
         });
     }
-    group.finish();
-}
 
-fn bench_surrogate_training(c: &mut Criterion) {
-    use hpcci::parsldock::{descriptors, SurrogateModel};
-    let samples: Vec<_> = (0..64)
-        .map(|i| {
-            let l = prepare_ligand(Ligand::generate(&format!("lig{i}")));
-            (descriptors(&l), -(i as f64) * 0.1)
-        })
-        .collect();
-    c.bench_function("surrogate_fit_64", |b| b.iter(|| SurrogateModel::fit(&samples)));
+    {
+        use hpcci::parsldock::{descriptors, SurrogateModel};
+        let samples: Vec<_> = (0..64)
+            .map(|i| {
+                let l = prepare_ligand(Ligand::generate(&format!("lig{i}")));
+                (descriptors(&l), -(i as f64) * 0.1)
+            })
+            .collect();
+        bench("surrogate_fit_64", 20, || SurrogateModel::fit(&samples));
+    }
 }
-
-criterion_group!(benches, bench_thread_scaling, bench_grid_growth, bench_surrogate_training);
-criterion_main!(benches);

@@ -3,68 +3,50 @@
 //! threads exchanging actual messages — the one place the reproduction's
 //! numbers are directly comparable in kind to the original paper's.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpcci::minimpi::{run_mpi, Kamping, ReduceOp};
+use hpcci_bench::timing::bench;
 
 const RANKS: usize = 4;
 
-fn bench_allreduce(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allreduce_4ranks");
+fn main() {
+    println!("allreduce_4ranks");
     for len in [256usize, 4096] {
-        group.bench_with_input(BenchmarkId::new("raw", len), &len, |b, &len| {
-            b.iter(|| {
-                run_mpi(RANKS, |rank| {
-                    let data = vec![rank.rank as f64; len];
-                    rank.allreduce_f64(&data, ReduceOp::Sum)
-                })
+        bench(&format!("raw/{len}"), 20, || {
+            run_mpi(RANKS, |rank| {
+                let data = vec![rank.rank as f64; len];
+                rank.allreduce_f64(&data, ReduceOp::Sum)
             })
         });
-        group.bench_with_input(BenchmarkId::new("kamping", len), &len, |b, &len| {
-            b.iter(|| {
-                run_mpi(RANKS, |rank| {
-                    let data = vec![rank.rank as f64; len];
-                    Kamping::new(rank).allreduce_sum(&data)
-                })
+        bench(&format!("kamping/{len}"), 20, || {
+            run_mpi(RANKS, |rank| {
+                let data = vec![rank.rank as f64; len];
+                Kamping::new(rank).allreduce_sum(&data)
             })
         });
     }
-    group.finish();
-}
 
-fn bench_gatherv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gatherv_4ranks");
-    group.bench_function("raw_two_phase", |b| {
-        b.iter(|| {
-            run_mpi(RANKS, |rank| {
-                // What raw MPI forces: explicit size exchange, then data.
-                let data: Vec<i64> = vec![rank.rank as i64; rank.rank + 1];
-                let _counts = rank.gather(0, &[data.len() as i64]);
-                rank.gather(0, &data)
-            })
+    println!("gatherv_4ranks");
+    bench("raw_two_phase", 20, || {
+        run_mpi(RANKS, |rank| {
+            // What raw MPI forces: explicit size exchange, then data.
+            let data: Vec<i64> = vec![rank.rank as i64; rank.rank + 1];
+            let _counts = rank.gather(0, &[data.len() as i64]);
+            rank.gather(0, &data)
         })
     });
-    group.bench_function("kamping_gatherv", |b| {
-        b.iter(|| {
-            run_mpi(RANKS, |rank| {
-                let data: Vec<i64> = vec![rank.rank as i64; rank.rank + 1];
-                Kamping::new(rank).gatherv(0, &data)
-            })
+    bench("kamping_gatherv", 20, || {
+        run_mpi(RANKS, |rank| {
+            let data: Vec<i64> = vec![rank.rank as i64; rank.rank + 1];
+            Kamping::new(rank).gatherv(0, &data)
         })
     });
-    group.finish();
-}
 
-fn bench_alltoall(c: &mut Criterion) {
-    c.bench_function("alltoall_4ranks_1k", |b| {
-        b.iter(|| {
-            run_mpi(RANKS, |rank| {
-                let chunks: Vec<Vec<f64>> =
-                    (0..RANKS).map(|d| vec![(rank.rank + d) as f64; 256]).collect();
-                rank.alltoall(&chunks)
-            })
+    bench("alltoall_4ranks_1k", 20, || {
+        run_mpi(RANKS, |rank| {
+            let chunks: Vec<Vec<f64>> = (0..RANKS)
+                .map(|d| vec![(rank.rank + d) as f64; 256])
+                .collect();
+            rank.alltoall(&chunks)
         })
     });
 }
-
-criterion_group!(benches, bench_allreduce, bench_gatherv, bench_alltoall);
-criterion_main!(benches);

@@ -2,12 +2,12 @@
 //! policies — the substrate must stay fast enough that Fig.-4-scale
 //! experiments are instant and badge-cohort sweeps are cheap.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpcci::cluster::{NodeId, Uid};
 use hpcci::scheduler::{
     BatchScheduler, JobPayload, JobSpec, Partition, SchedulerConfig, SchedulingPolicy,
 };
 use hpcci::sim::{Advance, DetRng, SimDuration, SimTime};
+use hpcci_bench::timing::bench;
 
 fn run_workload(policy: SchedulingPolicy, jobs: usize) {
     let mut s = BatchScheduler::new(SchedulerConfig { policy });
@@ -36,24 +36,15 @@ fn run_workload(policy: SchedulingPolicy, jobs: usize) {
     }
 }
 
-fn bench_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler_500_jobs");
+fn main() {
+    println!("scheduler_500_jobs");
     for (label, policy) in [
         ("fifo", SchedulingPolicy::Fifo),
         ("easy_backfill", SchedulingPolicy::EasyBackfill),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
-            b.iter(|| run_workload(policy, 500))
-        });
+        bench(label, 20, || run_workload(policy, 500));
     }
-    group.finish();
-}
-
-fn bench_badge_cohort(c: &mut Criterion) {
-    c.bench_function("fig1_full_series", |b| {
-        b.iter(|| hpcci::provenance::badges::fig1_series(1234))
+    bench("fig1_full_series", 20, || {
+        hpcci::provenance::badges::fig1_series(1234)
     });
 }
-
-criterion_group!(benches, bench_policies, bench_badge_cohort);
-criterion_main!(benches);

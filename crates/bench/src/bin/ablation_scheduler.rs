@@ -46,7 +46,7 @@ fn run(policy: SchedulingPolicy, seed: u64) -> (f64, f64, f64) {
     let mut rng = DetRng::seed_from_u64(seed ^ 0xabc);
     let mut ids = Vec::new();
     for spec in jobs {
-        arrival = arrival + SimDuration::from_secs_f64(rng.exponential(20.0));
+        arrival += SimDuration::from_secs_f64(rng.exponential(20.0));
         ids.push(s.submit(spec, arrival).unwrap());
     }
     while let Some(t) = s.next_event() {

@@ -7,7 +7,7 @@
 use crate::error::CiError;
 use crate::run::RunId;
 use bytes::Bytes;
-use hpcci_sim::{SimDuration, SimTime};
+use hpcci_sim::{FaultInjector, SimDuration, SimTime};
 
 /// Default retention window.
 pub const RETENTION: SimDuration = SimDuration::from_hours(90 * 24);
@@ -32,6 +32,7 @@ impl Artifact {
 #[derive(Debug, Default)]
 pub struct ArtifactStore {
     artifacts: Vec<Artifact>,
+    injector: Option<FaultInjector>,
 }
 
 impl ArtifactStore {
@@ -39,11 +40,30 @@ impl ArtifactStore {
         ArtifactStore::default()
     }
 
+    /// Attach a fault injector for write-corruption faults.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
     pub fn upload(&mut self, run: RunId, name: &str, content: impl Into<Bytes>, now: SimTime) {
+        let content = content.into();
+        if let Some(inj) = &self.injector {
+            if inj.corruption_due(name, now) {
+                // The first write lands corrupted; the store's checksum
+                // verification catches the mismatch and the upload is retried
+                // with the same bytes — the stored artifact stays identical.
+                inj.record(
+                    now,
+                    "ci.artifacts",
+                    "fault.recover",
+                    format!("checksum mismatch on '{name}' detected; clean copy re-uploaded"),
+                );
+            }
+        }
         self.artifacts.push(Artifact {
             run,
             name: name.to_string(),
-            content: content.into(),
+            content,
             uploaded_at: now,
             expires_at: now + RETENTION,
         });

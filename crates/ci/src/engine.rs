@@ -201,7 +201,7 @@ impl CiEngine {
         for s in &mut self.schedules {
             while s.next_fire <= now {
                 fired.push((s.repo.clone(), s.workflow.clone()));
-                s.next_fire = s.next_fire + s.period;
+                s.next_fire += s.period;
             }
         }
         fired

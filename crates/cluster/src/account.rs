@@ -4,11 +4,10 @@
 //! account (§3, §5.2). Remote identities (see `hpcci-auth`) are *mapped* to
 //! these accounts; nothing in the federation executes without one.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A numeric user id, unique within one site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Uid(pub u32);
 
 impl fmt::Display for Uid {
@@ -22,7 +21,7 @@ impl fmt::Display for Uid {
 pub const ROOT: Uid = Uid(0);
 
 /// A local account at one site.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UserAccount {
     pub uid: Uid,
     /// Local username, e.g. `"x-vhayot"` (Anvil uses an `x-` prefix).

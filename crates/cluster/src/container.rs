@@ -8,7 +8,6 @@
 //! environment instead of the site's.
 
 use crate::software::SoftwareEnv;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -31,7 +30,7 @@ impl fmt::Display for ContainerError {
 impl std::error::Error for ContainerError {}
 
 /// An immutable container image.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImageSpec {
     /// Repository name, e.g. `"ghcr.io/kamping-site/kamping-reproducibility"`.
     pub repository: String,
@@ -78,7 +77,7 @@ impl ImageSpec {
 
 /// A registry of published images (GHCR-like). Tags are immutable once
 /// published, mirroring the reproducibility-friendly convention.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ImageRegistry {
     images: BTreeMap<String, ImageSpec>,
 }

@@ -136,7 +136,7 @@ impl VirtualFs {
     fn check(&self, node: &FsNode, cred: &Cred, access: Access) -> bool {
         let class = if cred.uid == node.owner {
             0
-        } else if cred.groups.iter().any(|g| *g == node.group) {
+        } else if cred.groups.contains(&node.group) {
             1
         } else {
             2

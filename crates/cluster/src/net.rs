@@ -9,10 +9,9 @@
 //! zones so that exact failure (and the fix) is reproducible.
 
 use crate::node::NodeRole;
-use serde::{Deserialize, Serialize};
 
 /// Where a destination lives relative to the site.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NetworkZone {
     /// Public internet (GitHub, the Globus Compute cloud service, PyPI...).
     Internet,
@@ -21,7 +20,7 @@ pub enum NetworkZone {
 }
 
 /// Per-role outbound reachability.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkPolicy {
     /// Login nodes may reach the public internet.
     pub login_outbound_internet: bool,

@@ -1,10 +1,9 @@
 //! Nodes: the unit of compute placement.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Node identifier, unique within a site (index into the site's node table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl fmt::Display for NodeId {
@@ -14,7 +13,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Role determines scheduling and network policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeRole {
     /// Interactive front-end: always reachable, runs endpoint daemons and
     /// repository clones; not managed by the batch scheduler.
@@ -24,7 +23,7 @@ pub enum NodeRole {
 }
 
 /// One machine at a site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Node {
     pub id: NodeId,
     pub role: NodeRole,

@@ -10,10 +10,9 @@
 //! temperature...).
 
 use hpcci_sim::{DetRng, SimDuration};
-use serde::{Deserialize, Serialize};
 
 /// Cost of a computation in reference-machine seconds.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct WorkUnits(pub f64);
 
 impl WorkUnits {
@@ -37,7 +36,7 @@ impl std::ops::Add for WorkUnits {
 }
 
 /// Converts work into virtual durations for one site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PerfModel {
     /// Relative speed of a run-of-the-mill core at this site (1.0 = reference).
     pub cpu_speed: f64,
@@ -52,7 +51,7 @@ pub struct PerfModel {
 }
 
 /// `SimDuration` stored as microseconds for serde friendliness.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimDurationSerde(pub u64);
 
 impl From<SimDuration> for SimDurationSerde {

@@ -7,11 +7,10 @@
 //! information as the key gap in validating reproducibility.
 
 use crate::error::ClusterError;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// A single installed package at a pinned version.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Package {
     pub name: String,
     pub version: String,
@@ -27,7 +26,7 @@ impl Package {
 }
 
 /// A named environment (think `conda env`): package name → version.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SoftwareEnv {
     pub name: String,
     packages: BTreeMap<String, String>,
@@ -115,7 +114,7 @@ pub fn compare_versions(a: &str, b: &str) -> std::cmp::Ordering {
 }
 
 /// All named environments at one site.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EnvManager {
     envs: BTreeMap<String, SoftwareEnv>,
 }

@@ -16,15 +16,71 @@
 //!    software environment as a provenance artifact (§7.4).
 
 use crate::inputs::CorrectInputs;
-use hpcci_auth::{ClientId, ClientSecret, Scope};
+use hpcci_auth::{AccessToken, AuthError, ClientId, ClientSecret, Scope};
 use hpcci_ci::{Action, StepContext, StepResult, WorldDriver};
-use hpcci_faas::{CloudService, EndpointId, FunctionId, TaskId, TaskOutput};
-use hpcci_sim::SimDuration;
+use hpcci_faas::{CloudService, EndpointId, FaasError, FunctionId, TaskId, TaskOutput};
+use hpcci_sim::{DetRng, SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
 /// The marketplace name the action registers under.
 pub const CORRECT_ACTION_NAME: &str = "globus-labs/correct@v1";
+
+/// Is an error message an *infrastructure* failure (retryable) rather than a
+/// test failure or configuration error? Infrastructure-originated errors
+/// carry the `infrastructure:` marker end to end; a stopped endpoint is the
+/// lingering symptom of a crash.
+fn is_infra(msg: &str) -> bool {
+    msg.contains("infrastructure:") || msg.contains("is stopped")
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Outcome of a resilient submit-and-wait cycle.
+enum Attempted {
+    /// The task reached a terminal output (success *or* genuine test
+    /// failure — test failures are never retried).
+    Done(TaskOutput),
+    /// Non-retryable error (bad configuration, auth denial); fail the step
+    /// exactly as the non-resilient path would.
+    Fatal(String),
+    /// Infrastructure failure that survived every retry and fallback.
+    Infra(String),
+}
+
+fn note_failover(log: &mut String, endpoints: &[EndpointId], ep_idx: &mut usize) {
+    if *ep_idx + 1 < endpoints.len() {
+        *ep_idx += 1;
+        log.push_str(&format!(
+            "Failing over to sibling endpoint {}\n",
+            endpoints[*ep_idx]
+        ));
+    }
+}
+
+/// Graceful degradation: the site is skipped and the step reports an
+/// infrastructure failure, distinguishable from a test failure by the
+/// `failure_kind` output (§2.1: CI must not confuse platform flakiness with
+/// code regressions).
+fn infra_step_result(log: &str, detail: &str) -> StepResult {
+    StepResult {
+        success: false,
+        stdout: log.to_string(),
+        stderr: format!(
+            "infrastructure failure (site skipped): {detail}\n\
+             This failure reflects CI infrastructure, not the tests under evaluation."
+        ),
+        ..StepResult::default()
+    }
+    .with_output("failure_kind", "infrastructure")
+}
 
 /// The action. Holds a handle to the FaaS cloud (the runner talks to the
 /// cloud's REST API; it never reaches the site directly).
@@ -65,6 +121,121 @@ impl CorrectAction {
             }
         }
     }
+
+    /// Submit a task and wait for it, retrying *infrastructure* failures with
+    /// deterministic exponential backoff, failing over to sibling endpoints
+    /// on crashes, and refreshing the bearer token when it expires mid-run.
+    /// With no faults active this takes exactly the same path as a plain
+    /// submit-and-wait: no sleeps, no log lines, no RNG draws that could
+    /// perturb the simulation.
+    #[allow(clippy::too_many_arguments)]
+    fn run_resilient<F>(
+        &self,
+        driver: &mut dyn WorldDriver,
+        token: &mut AccessToken,
+        creds: (&ClientId, &ClientSecret),
+        endpoints: &[EndpointId],
+        max_retries: u32,
+        backoff: SimDuration,
+        jitter_seed: u64,
+        log: &mut String,
+        label: &str,
+        submit: F,
+    ) -> Attempted
+    where
+        F: Fn(&mut CloudService, &AccessToken, &EndpointId, SimTime) -> Result<TaskId, FaasError>,
+    {
+        let mut rng = DetRng::seed_from_u64(jitter_seed);
+        let mut ep_idx = 0usize;
+        let mut last_infra = String::new();
+        let mut attempt = 0u32;
+        loop {
+            if attempt > 0 {
+                if attempt > max_retries {
+                    return Attempted::Infra(last_infra);
+                }
+                // Deterministic exponential backoff: base * 2^(attempt-1),
+                // jittered from a stream seeded by commit+endpoint.
+                let factor = (1u64 << (attempt - 1).min(16)) as f64 * rng.range_f64(0.8, 1.2);
+                let delay = backoff.mul_f64(factor);
+                log.push_str(&format!(
+                    "Infrastructure failure ({last_infra}); retry {attempt}/{max_retries} in {:.1}s\n",
+                    delay.as_secs_f64()
+                ));
+                driver.sleep(delay);
+            }
+            let endpoint = &endpoints[ep_idx];
+            let submitted = {
+                let mut cloud = self.cloud.lock();
+                let now = cloud.now();
+                submit(&mut cloud, token, endpoint, now)
+            };
+            let task = match submitted {
+                Ok(t) => t,
+                Err(FaasError::Auth(AuthError::InvalidToken)) => {
+                    // Token expired mid-run: refresh and retry (§5.3's
+                    // client-credentials grant is repeatable).
+                    log.push_str("Access token rejected mid-run; re-authenticating\n");
+                    let now = driver.now();
+                    let refreshed = {
+                        let cloud = self.cloud.lock();
+                        let mut auth = cloud.auth().lock();
+                        auth.authenticate(creds.0, creds.1, vec![Scope::compute_api()], now)
+                    };
+                    match refreshed {
+                        Ok(t) => {
+                            *token = t;
+                            last_infra = "expired access token (refreshed)".to_string();
+                            attempt += 1;
+                            continue;
+                        }
+                        Err(e) => {
+                            return Attempted::Fatal(format!(
+                                "Error: re-authentication failed: {e}"
+                            ))
+                        }
+                    }
+                }
+                Err(e) => {
+                    let msg = e.to_string();
+                    if is_infra(&msg) {
+                        last_infra = msg;
+                        note_failover(log, endpoints, &mut ep_idx);
+                        attempt += 1;
+                        continue;
+                    }
+                    return Attempted::Fatal(format!("Error: {label}: {e}"));
+                }
+            };
+            match self.wait_for(driver, task) {
+                Ok(out) if out.success() => return Attempted::Done(out),
+                Ok(out) => {
+                    let err_text = out.result.as_ref().err().cloned().unwrap_or_default();
+                    if is_infra(&out.stderr) || is_infra(&err_text) {
+                        last_infra = if out.stderr.is_empty() {
+                            err_text
+                        } else {
+                            out.stderr.clone()
+                        };
+                        note_failover(log, endpoints, &mut ep_idx);
+                        attempt += 1;
+                        continue;
+                    }
+                    // A genuine test failure: report it, never retry it.
+                    return Attempted::Done(out);
+                }
+                Err(e) => {
+                    if is_infra(&e) {
+                        last_infra = e;
+                        note_failover(log, endpoints, &mut ep_idx);
+                        attempt += 1;
+                        continue;
+                    }
+                    return Attempted::Fatal(e);
+                }
+            }
+        }
+    }
 }
 
 impl Action for CorrectAction {
@@ -83,16 +254,13 @@ impl Action for CorrectAction {
         // 2. Authenticate with the client credentials. (Read the clock
         // before taking the cloud lock: the driver reads it through the
         // same mutex.)
+        let client_id = ClientId(inputs.client_id.clone());
+        let client_secret = ClientSecret::new(&inputs.client_secret);
         let now = ctx.driver.now();
-        let token = {
+        let mut token = {
             let cloud = self.cloud.lock();
             let mut auth = cloud.auth().lock();
-            match auth.authenticate(
-                &ClientId(inputs.client_id.clone()),
-                &ClientSecret::new(&inputs.client_secret),
-                vec![Scope::compute_api()],
-                now,
-            ) {
+            match auth.authenticate(&client_id, &client_secret, vec![Scope::compute_api()], now) {
                 Ok(t) => t,
                 Err(e) => {
                     return StepResult::fail(format!("Error: Globus authentication failed: {e}"))
@@ -101,25 +269,35 @@ impl Action for CorrectAction {
         };
         log.push_str("Authenticated with Globus Auth (scope compute.api)\n");
 
-        let endpoint = EndpointId(inputs.endpoint_uuid.clone());
+        // The primary endpoint plus any configured fallbacks for crash
+        // failover, in priority order.
+        let endpoints: Vec<EndpointId> = std::iter::once(inputs.endpoint_uuid.clone())
+            .chain(inputs.fallback_endpoints.iter().cloned())
+            .map(EndpointId)
+            .collect();
+        let backoff = SimDuration::from_secs(inputs.retry_backoff_secs.max(1));
+        let jitter_seed = fnv(&format!("{}:{}", ctx.commit, inputs.endpoint_uuid));
 
         // 3. Clone the repository at the remote site.
         if !inputs.skip_clone {
             let clone_cmd = format!("git clone https://github.sim/{}.git", ctx.repo);
-            let clone_task = {
-                let mut cloud = self.cloud.lock();
-                let now = cloud.now();
-                match cloud.submit_shell(&token, &endpoint, &clone_cmd, now) {
-                    Ok(t) => t,
-                    Err(e) => return StepResult::fail(format!("Error: clone submission: {e}")),
-                }
-            };
-            match self.wait_for(ctx.driver, clone_task) {
-                Ok(out) if out.success() => {
+            match self.run_resilient(
+                ctx.driver,
+                &mut token,
+                (&client_id, &client_secret),
+                &endpoints,
+                inputs.max_retries,
+                backoff,
+                jitter_seed,
+                &mut log,
+                "clone submission",
+                |cloud, token, endpoint, now| cloud.submit_shell(token, endpoint, &clone_cmd, now),
+            ) {
+                Attempted::Done(out) if out.success() => {
                     log.push_str(&out.stdout);
                     log.push('\n');
                 }
-                Ok(out) => {
+                Attempted::Done(out) => {
                     // Clone failure fails the workflow step (§5.3).
                     return StepResult {
                         success: false,
@@ -128,33 +306,39 @@ impl Action for CorrectAction {
                         ..StepResult::default()
                     };
                 }
-                Err(e) => return StepResult::fail(e),
+                Attempted::Fatal(e) => return StepResult::fail(e),
+                Attempted::Infra(detail) => return infra_step_result(&log, &detail),
             }
         }
 
         // 4. Invoke the user-specified function.
-        let main_task = {
-            let mut cloud = self.cloud.lock();
-            let now = cloud.now();
-            let result = if let Some(cmd) = &inputs.shell_cmd {
-                let full = if inputs.args.is_empty() {
-                    cmd.clone()
+        let output = match self.run_resilient(
+            ctx.driver,
+            &mut token,
+            (&client_id, &client_secret),
+            &endpoints,
+            inputs.max_retries,
+            backoff,
+            jitter_seed.wrapping_add(1),
+            &mut log,
+            "task submission",
+            |cloud, token, endpoint, now| {
+                if let Some(cmd) = &inputs.shell_cmd {
+                    let full = if inputs.args.is_empty() {
+                        cmd.clone()
+                    } else {
+                        format!("{cmd} {}", inputs.args)
+                    };
+                    cloud.submit_shell(token, endpoint, &full, now)
                 } else {
-                    format!("{cmd} {}", inputs.args)
-                };
-                cloud.submit_shell(&token, &endpoint, &full, now)
-            } else {
-                let fid = FunctionId(inputs.function_uuid.expect("schema validated"));
-                cloud.submit_function(&token, &endpoint, fid, &inputs.args, now)
-            };
-            match result {
-                Ok(t) => t,
-                Err(e) => return StepResult::fail(format!("Error: task submission: {e}")),
-            }
-        };
-        let output = match self.wait_for(ctx.driver, main_task) {
-            Ok(o) => o,
-            Err(e) => return StepResult::fail(e),
+                    let fid = FunctionId(inputs.function_uuid.expect("schema validated"));
+                    cloud.submit_function(token, endpoint, fid, &inputs.args, now)
+                }
+            },
+        ) {
+            Attempted::Done(o) => o,
+            Attempted::Fatal(e) => return StepResult::fail(e),
+            Attempted::Infra(detail) => return infra_step_result(&log, &detail),
         };
 
         // 5. Propagate outputs; step fails when the function failed.
@@ -179,7 +363,7 @@ impl Action for CorrectAction {
             let capture_task = {
                 let mut cloud = self.cloud.lock();
                 let now = cloud.now();
-                cloud.submit_shell(&token, &endpoint, "gc-capture-env", now)
+                cloud.submit_shell(&token, &endpoints[0], "gc-capture-env", now)
             };
             if let Ok(t) = capture_task {
                 if let Ok(cap) = self.wait_for(ctx.driver, t) {

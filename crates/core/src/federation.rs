@@ -15,7 +15,7 @@ use hpcci_faas::{
 };
 use hpcci_provenance::EnvironmentCapture;
 use hpcci_scheduler::{LocalProvider, SlurmProvider};
-use hpcci_sim::{Advance, SimDuration, SimTime};
+use hpcci_sim::{Advance, FaultInjector, FaultPlan, SimDuration, SimTime, Trace};
 use hpcci_vcs::{HostingService, RepoEvent};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -73,11 +73,23 @@ pub struct Federation {
     world: World,
     sites: BTreeMap<String, SiteHandle>,
     seed: u64,
+    injector: Option<FaultInjector>,
 }
 
 impl Federation {
     /// Build an empty federation. `seed` drives every stochastic component.
     pub fn new(seed: u64) -> Self {
+        Federation::build(seed, None)
+    }
+
+    /// Build a federation with a fault plan. Every component consults the
+    /// shared [`FaultInjector`] at its event boundaries; with an empty plan
+    /// the federation behaves bit-identically to [`Federation::new`].
+    pub fn with_faults(seed: u64, plan: FaultPlan) -> Self {
+        Federation::build(seed, Some(FaultInjector::new(plan)))
+    }
+
+    fn build(seed: u64, injector: Option<FaultInjector>) -> Self {
         let auth = Arc::new(Mutex::new(AuthService::new()));
         let cloud = Arc::new(Mutex::new(CloudService::new(auth.clone())));
         let hosting = Arc::new(Mutex::new(HostingService::new()));
@@ -86,6 +98,11 @@ impl Federation {
             CORRECT_ACTION_NAME,
             Arc::new(CorrectAction::new(cloud.clone())),
         );
+        if let Some(inj) = &injector {
+            auth.lock().set_fault_injector(inj.clone());
+            cloud.lock().set_fault_injector(inj.clone());
+            engine.artifacts.set_fault_injector(inj.clone());
+        }
         Federation {
             auth,
             cloud: cloud.clone(),
@@ -94,7 +111,17 @@ impl Federation {
             world: World { cloud },
             sites: BTreeMap::new(),
             seed,
+            injector,
         }
+    }
+
+    /// The chaos trace: every injected fault and recovery, in time order.
+    /// Empty when no fault plan is installed (or none fired).
+    pub fn fault_trace(&self) -> Trace {
+        self.injector
+            .as_ref()
+            .map(|inj| inj.trace())
+            .unwrap_or_default()
     }
 
     pub fn now(&self) -> SimTime {
@@ -112,6 +139,9 @@ impl Federation {
         let name = site.id.to_string();
         let mut runtime = SiteRuntime::new(site).with_scheduler(scheduler_cores);
         self.install_standard_commands(&mut runtime);
+        if let (Some(inj), Some(scheduler)) = (&self.injector, &runtime.scheduler) {
+            scheduler.lock().set_fault_injector(inj.clone(), &name);
+        }
         let shared = hpcci_faas::exec::shared(runtime);
         let handle = SiteHandle {
             name: name.clone(),
@@ -240,7 +270,10 @@ impl Federation {
         mapping: IdentityMapping,
         template: MepTemplate,
     ) -> EndpointId {
-        let mep = MultiUserEndpoint::new(endpoint_name, site.shared.clone(), mapping, template);
+        let mut mep = MultiUserEndpoint::new(endpoint_name, site.shared.clone(), mapping, template);
+        if let Some(inj) = &self.injector {
+            mep.set_fault_injector(inj.clone());
+        }
         self.cloud
             .lock()
             .register_endpoint(endpoint_name, EndpointRegistration::Multi(mep))
@@ -262,12 +295,15 @@ impl Federation {
             .expect("sites have a login node")
             .id;
         self.seed += 1;
-        let ep = Endpoint::new(
+        let mut ep = Endpoint::new(
             EndpointConfig::new(endpoint_name, owner, local_user),
             site.shared.clone(),
             WorkerProvider::Local(LocalProvider::new(login, 8)),
             self.seed,
         );
+        if let Some(inj) = &self.injector {
+            ep.set_fault_injector(inj.clone());
+        }
         self.cloud
             .lock()
             .register_endpoint(endpoint_name, EndpointRegistration::Single(ep))
@@ -291,7 +327,7 @@ impl Federation {
             )
         };
         self.seed += 1;
-        let ep = Endpoint::new(
+        let mut ep = Endpoint::new(
             EndpointConfig::new(endpoint_name, owner, local_user),
             site.shared.clone(),
             WorkerProvider::Slurm(SlurmProvider::new(
@@ -303,6 +339,9 @@ impl Federation {
             )),
             self.seed,
         );
+        if let Some(inj) = &self.injector {
+            ep.set_fault_injector(inj.clone());
+        }
         self.cloud
             .lock()
             .register_endpoint(endpoint_name, EndpointRegistration::Single(ep))

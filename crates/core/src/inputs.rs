@@ -31,6 +31,14 @@ pub struct CorrectInputs {
     /// Skip the remote clone step (for commands that do not need repository
     /// contents, e.g. environment probes).
     pub skip_clone: bool,
+    /// Bounded retries for *infrastructure* failures (crashed endpoint,
+    /// failed UEP fork, expired token). Test failures are never retried.
+    pub max_retries: u32,
+    /// Base of the exponential backoff between retries, in seconds.
+    pub retry_backoff_secs: u64,
+    /// Sibling endpoints to fail over to when the primary endpoint crashes
+    /// (comma-separated in the `with:` map).
+    pub fallback_endpoints: Vec<String>,
 }
 
 impl CorrectInputs {
@@ -70,6 +78,25 @@ impl CorrectInputs {
                 .map(|v| v == "true" || v == "1" || v == "yes")
                 .unwrap_or(false)
         };
+        let uint = |key: &str, default: u64| -> Result<u64, String> {
+            match with.get(key).filter(|v| !v.is_empty()) {
+                Some(raw) => raw
+                    .parse::<u64>()
+                    .map_err(|_| format!("correct-action: invalid `{key}` value `{raw}`")),
+                None => Ok(default),
+            }
+        };
+        let max_retries = uint("max_retries", 2)? as u32;
+        let retry_backoff_secs = uint("retry_backoff_secs", 5)?;
+        let fallback_endpoints = with
+            .get("fallback_endpoints")
+            .map(|v| {
+                v.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            })
+            .unwrap_or_default();
         Ok(CorrectInputs {
             client_id,
             client_secret,
@@ -79,6 +106,9 @@ impl CorrectInputs {
             args: with.get("args").cloned().unwrap_or_default(),
             capture_environment: truthy("capture_environment"),
             skip_clone: truthy("skip_clone"),
+            max_retries,
+            retry_backoff_secs,
+            fallback_endpoints,
         })
     }
 }
@@ -150,6 +180,26 @@ mod tests {
         assert!(inputs.capture_environment);
         assert!(inputs.skip_clone);
         assert_eq!(inputs.args, "-e py312");
+    }
+
+    #[test]
+    fn resilience_inputs_default_and_parse() {
+        let inputs = CorrectInputs::parse(&base()).unwrap();
+        assert_eq!(inputs.max_retries, 2);
+        assert_eq!(inputs.retry_backoff_secs, 5);
+        assert!(inputs.fallback_endpoints.is_empty());
+
+        let mut m = base();
+        m.insert("max_retries".into(), "4".into());
+        m.insert("retry_backoff_secs".into(), "1".into());
+        m.insert("fallback_endpoints".into(), "ep-b, ep-c".into());
+        let inputs = CorrectInputs::parse(&m).unwrap();
+        assert_eq!(inputs.max_retries, 4);
+        assert_eq!(inputs.retry_backoff_secs, 1);
+        assert_eq!(inputs.fallback_endpoints, vec!["ep-b", "ep-c"]);
+
+        m.insert("max_retries".into(), "lots".into());
+        assert!(CorrectInputs::parse(&m).unwrap_err().contains("max_retries"));
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::function::{Function, FunctionBody, FunctionId};
 use crate::mep::MultiUserEndpoint;
 use crate::task::{Task, TaskId, TaskOutput, TaskState};
 use hpcci_auth::{AuthService, Identity, Scope};
-use hpcci_sim::{Advance, EventQueue, SimTime, Trace};
+use hpcci_sim::{Advance, EventQueue, FaultInjector, SimTime, Trace};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -82,6 +82,7 @@ pub struct CloudService {
     now: SimTime,
     next_task: u64,
     next_function: u64,
+    injector: Option<FaultInjector>,
 }
 
 impl CloudService {
@@ -96,6 +97,22 @@ impl CloudService {
             now: SimTime::ZERO,
             next_task: 0,
             next_function: 0,
+            injector: None,
+        }
+    }
+
+    /// Attach a fault injector. The cloud consults it for WAN partitions on
+    /// both wire legs; an empty plan leaves every delivery time untouched.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Earliest instant a message can cross the WAN towards/from `endpoint`:
+    /// `now` normally, or the partition's heal time while one is active.
+    fn wire_clear_at(&self, endpoint: &str, now: SimTime) -> SimTime {
+        match &self.injector {
+            Some(inj) => inj.partition_until(endpoint, now).unwrap_or(now).max(now),
+            None => now,
         }
     }
 
@@ -249,8 +266,9 @@ impl CloudService {
             "task.submit",
             format!("{id} -> {endpoint}: {command}"),
         );
+        let clear = self.wire_clear_at(&endpoint.0, now);
         self.wire.push(
-            now + latency,
+            clear + latency,
             InFlight::Deliver {
                 task: id,
                 identity,
@@ -291,25 +309,26 @@ impl CloudService {
 
     /// Collect finished outputs from endpoints onto the return wire.
     fn collect_returns(&mut self, now: SimTime) {
-        let mut returns: Vec<(TaskId, TaskOutput, hpcci_sim::SimDuration)> = Vec::new();
-        for ep in self.endpoints.values_mut() {
+        let mut returns: Vec<(TaskId, TaskOutput, String, hpcci_sim::SimDuration)> = Vec::new();
+        for (eid, ep) in self.endpoints.iter_mut() {
             let latency = ep.wan_latency();
             let finished = match ep {
                 EndpointRegistration::Single(e) => e.take_finished(),
                 EndpointRegistration::Multi(m) => m.take_finished(),
             };
             for (task, output) in finished {
-                returns.push((task, output, latency));
+                returns.push((task, output, eid.0.clone(), latency));
             }
         }
-        for (task, output, latency) in returns {
+        for (task, output, endpoint, latency) in returns {
             self.trace.record(
                 now,
                 "faas.cloud",
                 "task.returning",
                 format!("{task} from endpoint"),
             );
-            self.wire.push(now + latency, InFlight::Return { task, output });
+            let clear = self.wire_clear_at(&endpoint, now);
+            self.wire.push(clear + latency, InFlight::Return { task, output });
         }
     }
 }
@@ -378,36 +397,47 @@ impl Advance for CloudService {
                             None => Err(FaasError::UnknownEndpoint(endpoint_name.clone())),
                         };
                         let record = self.tasks.get_mut(&task).expect("task exists");
-                        match result {
-                            Ok(()) => record.state = TaskState::QueuedAtEndpoint { at },
+                        let transition = match result {
+                            Ok(()) => record.transition(TaskState::QueuedAtEndpoint { at }),
                             Err(e) => {
-                                record.state = TaskState::Rejected {
-                                    at,
-                                    reason: e.to_string(),
-                                };
                                 self.trace.record(
                                     at,
                                     format!("faas.ep.{endpoint_name}"),
                                     "task.reject",
                                     format!("{task}: {e}"),
                                 );
+                                record.transition(TaskState::Rejected {
+                                    at,
+                                    reason: e.to_string(),
+                                })
                             }
+                        };
+                        if let Err(e) = transition {
+                            self.trace.record(
+                                at,
+                                "faas.cloud",
+                                "task.transition-blocked",
+                                e.to_string(),
+                            );
                         }
                     }
                     InFlight::Return { task, output } => {
-                        self.trace.record(
-                            at,
-                            "faas.cloud",
-                            "task.done",
-                            format!(
-                                "{task} ran_as={} node={} ok={}",
-                                output.ran_as,
-                                output.node,
-                                output.success()
-                            ),
+                        let detail = format!(
+                            "{task} ran_as={} node={} ok={}",
+                            output.ran_as,
+                            output.node,
+                            output.success()
                         );
                         let record = self.tasks.get_mut(&task).expect("task exists");
-                        record.state = TaskState::Done(output);
+                        match record.transition(TaskState::Done(output)) {
+                            Ok(()) => self.trace.record(at, "faas.cloud", "task.done", detail),
+                            Err(e) => self.trace.record(
+                                at,
+                                "faas.cloud",
+                                "task.transition-blocked",
+                                e.to_string(),
+                            ),
+                        }
                     }
                 }
             }

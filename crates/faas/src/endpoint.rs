@@ -14,7 +14,7 @@ use crate::task::{TaskId, TaskOutput};
 use hpcci_auth::{HighAssurancePolicy, IdentityId};
 use hpcci_cluster::NodeRole;
 use hpcci_scheduler::{BlockId, BlockState, ExecutionProvider, LocalProvider, SlurmProvider};
-use hpcci_sim::{Advance, DetRng, EventQueue, SimDuration, SimTime};
+use hpcci_sim::{Advance, DetRng, EventQueue, FaultInjector, SimDuration, SimTime};
 use std::collections::{BTreeSet, VecDeque};
 
 /// The provider variants an endpoint can provision workers through.
@@ -141,6 +141,7 @@ pub struct Endpoint {
     stopped: bool,
     now: SimTime,
     rng: DetRng,
+    injector: Option<FaultInjector>,
 }
 
 impl Endpoint {
@@ -157,6 +158,60 @@ impl Endpoint {
             stopped: false,
             now: SimTime::ZERO,
             rng: DetRng::seed_from_u64(seed),
+            injector: None,
+        }
+    }
+
+    /// Attach a fault injector. The endpoint consults it at its event
+    /// boundaries; with an empty plan the consults are guaranteed no-ops.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// Is a scheduled crash due for this endpoint at `now`? Consumes the
+    /// fault if so (it is one-shot).
+    fn crash_due(&self, now: SimTime) -> bool {
+        self.injector
+            .as_ref()
+            .is_some_and(|inj| inj.crash_due(&self.config.name, now))
+    }
+
+    /// Simulate the endpoint worker process crashing: every queued task and
+    /// every in-flight completion fails with an infrastructure-marked error,
+    /// the worker block is torn down, and the endpoint stays stopped until a
+    /// resubmission path routes work elsewhere.
+    pub fn force_crash(&mut self, now: SimTime) {
+        let component = format!("faas.ep.{}", self.config.name);
+        let mut lost = 0usize;
+        let crashed = |started: SimTime| TaskOutput {
+            stdout: String::new(),
+            stderr: "infrastructure: endpoint worker crashed".to_string(),
+            result: Err("infrastructure: endpoint worker crashed".to_string()),
+            ran_as: self.config.local_user.clone(),
+            node: "-".to_string(),
+            started,
+            ended: now,
+        };
+        while let Some((_, c)) = self.completions.pop_due(SimTime::FAR_FUTURE) {
+            self.finished.push((c.id, crashed(c.output.started)));
+            lost += 1;
+        }
+        while let Some(task) = self.queue.pop_front() {
+            self.finished.push((task.id, crashed(now)));
+            lost += 1;
+        }
+        self.busy_workers = 0;
+        if let Some(b) = self.block.take() {
+            self.provider.release_block(b, now);
+        }
+        self.stopped = true;
+        if let Some(inj) = &self.injector {
+            inj.record(
+                now,
+                &component,
+                "fault.effect",
+                format!("endpoint crashed; {lost} task(s) failed as infrastructure"),
+            );
         }
     }
 
@@ -185,6 +240,13 @@ impl Endpoint {
 
     /// Accept a task for execution.
     pub fn enqueue(&mut self, id: TaskId, command: &str, now: SimTime) -> Result<(), FaasError> {
+        if self.crash_due(now) {
+            self.force_crash(now);
+            return Err(FaasError::Infrastructure(format!(
+                "endpoint {} worker crashed",
+                self.config.name
+            )));
+        }
         if self.stopped {
             return Err(FaasError::EndpointStopped(self.config.name.clone()));
         }
@@ -237,21 +299,39 @@ impl Endpoint {
         if self.stopped || self.queue.is_empty() {
             return;
         }
-        let Some(block) = self.block else {
+        let Some(mut block) = self.block else {
             return;
         };
-        let state = match self.provider.block_state(block, self.now) {
-            Ok(s) => s,
-            Err(_) => return,
-        };
-        let (nodes, role) = match state {
-            BlockState::Active { nodes, role, .. } => (nodes, role),
-            BlockState::Requested { .. } => return,
-            BlockState::Terminated { .. } => {
-                // Pilot died (walltime); provision a fresh block for the
-                // remaining queue.
-                self.block = self.provider.request_block(self.now).ok();
-                return;
+        let mut reprovisioned = false;
+        let (nodes, role) = loop {
+            let state = match self.provider.block_state(block, self.now) {
+                Ok(s) => s,
+                Err(_) => return,
+            };
+            match state {
+                BlockState::Active { nodes, role, .. } => break (nodes, role),
+                BlockState::Requested { .. } => return,
+                BlockState::Terminated { .. } => {
+                    // Pilot died (walltime or preemption); provision a fresh
+                    // block for the remaining queue and re-read it — an idle
+                    // machine starts the replacement immediately, and waiting
+                    // for the next event would deadlock into the new pilot's
+                    // own expiry.
+                    if reprovisioned {
+                        return;
+                    }
+                    reprovisioned = true;
+                    match self.provider.request_block(self.now) {
+                        Ok(b) => {
+                            self.block = Some(b);
+                            block = b;
+                        }
+                        Err(_) => {
+                            self.block = None;
+                            return;
+                        }
+                    }
+                }
             }
         };
         while self.busy_workers < self.config.workers {
@@ -335,6 +415,9 @@ impl Advance for Endpoint {
     }
 
     fn advance_to(&mut self, t: SimTime) {
+        if self.crash_due(t) {
+            self.force_crash(t);
+        }
         while let Some((at, completion)) = self.completions.pop_due(t) {
             self.now = at;
             self.busy_workers = self.busy_workers.saturating_sub(1);

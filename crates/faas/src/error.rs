@@ -28,6 +28,13 @@ pub enum FaasError {
     NotFinished(TaskId),
     /// The endpoint is stopped/drained.
     EndpointStopped(String),
+    /// A transient infrastructure fault (injected or organic): crashed
+    /// worker, failed UEP fork, etc. Retryable by the CORRECT layer.
+    Infrastructure(String),
+    /// A state machine violation: attempted transition out of a terminal
+    /// task state. Terminal tasks may only be revived by explicit
+    /// resubmission (which mints a fresh task id).
+    InvalidTransition { task: TaskId, from: String, to: String },
 }
 
 impl fmt::Display for FaasError {
@@ -55,6 +62,10 @@ impl fmt::Display for FaasError {
             FaasError::NoLocalAccount(who) => write!(f, "no local account {who} at site"),
             FaasError::NotFinished(id) => write!(f, "task {id} has not finished"),
             FaasError::EndpointStopped(e) => write!(f, "endpoint {e} is stopped"),
+            FaasError::Infrastructure(msg) => write!(f, "infrastructure: {msg}"),
+            FaasError::InvalidTransition { task, from, to } => {
+                write!(f, "task {task}: illegal transition from terminal state {from} to {to}")
+            }
         }
     }
 }

@@ -175,6 +175,7 @@ impl SiteRuntime {
 
     /// Execute `command` as `account` on a node with `role`. This is the
     /// single gate through which all task execution flows.
+    #[allow(clippy::too_many_arguments)]
     pub fn execute(
         &mut self,
         command: &str,

@@ -19,7 +19,7 @@ use crate::function::FunctionId;
 use crate::task::{TaskId, TaskOutput};
 use hpcci_auth::{HighAssurancePolicy, Identity, IdentityMapping};
 use hpcci_scheduler::{LocalProvider, SlurmProvider};
-use hpcci_sim::{Advance, SimDuration, SimTime};
+use hpcci_sim::{Advance, FaultInjector, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How the template provisions task workers.
@@ -97,6 +97,10 @@ pub struct MultiUserEndpoint {
     /// Administrator-auditable log: (task, identity username, local user).
     audit_log: Vec<(TaskId, String, String)>,
     seed: u64,
+    injector: Option<FaultInjector>,
+    /// Outputs of tasks that were in flight when the MEP crashed; drained by
+    /// [`Self::take_finished`] alongside live UEP outputs.
+    pending_crashed: Vec<(TaskId, TaskOutput)>,
 }
 
 impl MultiUserEndpoint {
@@ -111,6 +115,35 @@ impl MultiUserEndpoint {
             ueps: BTreeMap::new(),
             audit_log: Vec::new(),
             seed: 0x6d65_7000,
+            injector: None,
+            pending_crashed: Vec::new(),
+        }
+    }
+
+    /// Attach a fault injector consulted at enqueue/advance boundaries.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.injector = Some(injector);
+    }
+
+    /// A MEP-level crash tears down every forked UEP. In-flight tasks fail
+    /// with infrastructure-marked outputs; the UEP map is cleared so the next
+    /// submission re-forks fresh UEPs (the privileged MEP service restarts).
+    fn crash_all(&mut self, now: SimTime) {
+        let mut pairs = std::mem::take(&mut self.ueps);
+        let n = pairs.len();
+        for pair in pairs.values_mut() {
+            pair.login.force_crash(now);
+            pair.task.force_crash(now);
+            self.pending_crashed.extend(pair.login.take_finished());
+            self.pending_crashed.extend(pair.task.take_finished());
+        }
+        if let Some(inj) = &self.injector {
+            inj.record(
+                now,
+                format!("faas.mep.{}", self.name),
+                "fault.effect",
+                format!("mep crashed; {n} uep pair(s) torn down, will re-fork on demand"),
+            );
         }
     }
 
@@ -187,13 +220,13 @@ impl MultiUserEndpoint {
             c
         };
 
-        let login_ep = Endpoint::new(
+        let mut login_ep = Endpoint::new(
             mk_config("login"),
             self.site.clone(),
             WorkerProvider::Local(LocalProvider::new(login_node, 8)),
             login_seed,
         );
-        let task_ep = match &self.template.task_provider {
+        let mut task_ep = match &self.template.task_provider {
             TaskProvider::Local => Endpoint::new(
                 mk_config("task"),
                 self.site.clone(),
@@ -218,6 +251,10 @@ impl MultiUserEndpoint {
                 )
             }
         };
+        if let Some(inj) = &self.injector {
+            login_ep.set_fault_injector(inj.clone());
+            task_ep.set_fault_injector(inj.clone());
+        }
         self.ueps.insert(
             local_user.to_string(),
             UepPair {
@@ -237,11 +274,24 @@ impl MultiUserEndpoint {
         command: &str,
         now: SimTime,
     ) -> Result<(), FaasError> {
+        if let Some(inj) = &self.injector {
+            if inj.crash_due(&self.name, now) {
+                self.crash_all(now);
+            }
+        }
         self.ha_policy.check(identity, now)?;
         let local_user = self
             .mapping
             .resolve(identity)
             .map_err(|_| FaasError::IdentityMappingFailed(identity.username.clone()))?;
+        if let Some(inj) = &self.injector {
+            if inj.fork_failure_due(&self.name, &identity.username, now) {
+                return Err(FaasError::Infrastructure(format!(
+                    "mep {} failed to fork a user endpoint for {}",
+                    self.name, identity.username
+                )));
+            }
+        }
         self.fork_uep(&local_user)?;
         self.audit_log.push((id, identity.username.clone(), local_user.clone()));
         let pair = self.ueps.get_mut(&local_user).expect("forked above");
@@ -254,7 +304,7 @@ impl MultiUserEndpoint {
 
     /// Drain finished outputs across all UEPs.
     pub fn take_finished(&mut self) -> Vec<(TaskId, TaskOutput)> {
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.pending_crashed);
         for pair in self.ueps.values_mut() {
             out.extend(pair.login.take_finished());
             out.extend(pair.task.take_finished());
@@ -281,6 +331,13 @@ impl Advance for MultiUserEndpoint {
     }
 
     fn advance_to(&mut self, t: SimTime) {
+        if self
+            .injector
+            .as_ref()
+            .is_some_and(|inj| inj.crash_due(&self.name, t))
+        {
+            self.crash_all(t);
+        }
         for pair in self.ueps.values_mut() {
             pair.login.advance_to(t);
             pair.task.advance_to(t);

@@ -60,6 +60,17 @@ impl TaskState {
     pub fn is_terminal(&self) -> bool {
         matches!(self, TaskState::Done(_) | TaskState::Rejected { .. })
     }
+
+    /// Short state name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskState::Submitted { .. } => "Submitted",
+            TaskState::QueuedAtEndpoint { .. } => "QueuedAtEndpoint",
+            TaskState::Running { .. } => "Running",
+            TaskState::Done(_) => "Done",
+            TaskState::Rejected { .. } => "Rejected",
+        }
+    }
 }
 
 /// A task record held by the cloud service.
@@ -73,6 +84,23 @@ pub struct Task {
     /// The resolved command line the endpoint will execute.
     pub command: String,
     pub state: TaskState,
+}
+
+impl Task {
+    /// Move the task to `next`, rejecting any transition out of a terminal
+    /// state. Done/Rejected tasks never come back to life: re-running a task
+    /// requires explicit resubmission, which mints a fresh [`TaskId`].
+    pub fn transition(&mut self, next: TaskState) -> Result<(), crate::error::FaasError> {
+        if self.state.is_terminal() {
+            return Err(crate::error::FaasError::InvalidTransition {
+                task: self.id,
+                from: self.state.name().to_string(),
+                to: next.name().to_string(),
+            });
+        }
+        self.state = next;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -113,5 +141,62 @@ mod tests {
         assert!(TaskState::Rejected { at: SimTime::ZERO, reason: "x".into() }.is_terminal());
         assert!(!TaskState::Submitted { at: SimTime::ZERO }.is_terminal());
         assert!(!TaskState::Running { started: SimTime::ZERO }.is_terminal());
+    }
+
+    fn sample_task(state: TaskState) -> Task {
+        Task {
+            id: TaskId(9),
+            submitter: IdentityId(1),
+            endpoint: "ep".into(),
+            command: "true".into(),
+            state,
+        }
+    }
+
+    fn done_output() -> TaskOutput {
+        TaskOutput {
+            stdout: String::new(),
+            stderr: String::new(),
+            result: Ok(Bytes::new()),
+            ran_as: "u".into(),
+            node: "n".into(),
+            started: SimTime::ZERO,
+            ended: SimTime::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn live_transitions_are_allowed() {
+        let mut t = sample_task(TaskState::Submitted { at: SimTime::ZERO });
+        t.transition(TaskState::QueuedAtEndpoint { at: SimTime::from_secs(1) })
+            .unwrap();
+        t.transition(TaskState::Running { started: SimTime::from_secs(2) })
+            .unwrap();
+        t.transition(TaskState::Done(done_output())).unwrap();
+        assert!(t.state.is_terminal());
+    }
+
+    #[test]
+    fn done_task_cannot_be_revived() {
+        let mut t = sample_task(TaskState::Done(done_output()));
+        let err = t
+            .transition(TaskState::Running { started: SimTime::from_secs(5) })
+            .unwrap_err();
+        assert!(err.to_string().contains("illegal transition"));
+        // The terminal state is untouched.
+        assert!(matches!(t.state, TaskState::Done(_)));
+    }
+
+    #[test]
+    fn rejected_task_cannot_be_resubmitted_in_place() {
+        let mut t = sample_task(TaskState::Rejected {
+            at: SimTime::ZERO,
+            reason: "mapping failed".into(),
+        });
+        assert!(t
+            .transition(TaskState::Submitted { at: SimTime::from_secs(1) })
+            .is_err());
+        assert!(t.transition(TaskState::Done(done_output())).is_err());
+        assert!(matches!(t.state, TaskState::Rejected { .. }));
     }
 }

@@ -9,10 +9,9 @@
 //! a fraction of that, results-reproduced the smallest share.
 
 use hpcci_sim::DetRng;
-use serde::{Deserialize, Serialize};
 
 /// The three badge levels; higher implies lower (§3.1.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum BadgeLevel {
     /// "Artifacts Available" / "Open Research Objects".
     ArtifactsAvailable,
@@ -24,7 +23,7 @@ pub enum BadgeLevel {
 
 /// A submitted artifact package (AD + AE + the artifact itself), reduced to
 /// the attributes the review process acts on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Artifact {
     /// Code + data in a permanent public repository with open license.
     pub publicly_archived: bool,
@@ -48,7 +47,7 @@ pub struct Artifact {
 }
 
 /// What reviewing an artifact produced.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ReviewOutcome {
     /// Highest level awarded, if any.
     pub awarded: Option<BadgeLevel>,
@@ -142,7 +141,7 @@ impl Reviewer {
 }
 
 /// Parameters of one submission-year cohort.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CohortParams {
     pub year: u32,
     pub submissions: u32,
@@ -198,7 +197,7 @@ impl CohortParams {
 }
 
 /// Per-year badge counts: the Fig. 1 series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct YearCounts {
     pub year: u32,
     pub submissions: u32,

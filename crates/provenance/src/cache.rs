@@ -8,11 +8,10 @@
 //! combination — so downstream visualization and audits can find everything
 //! a CI campaign produced.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One cached pointer: a (pipeline, dataset) cell of the evaluation matrix.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheEntry {
     /// Processing pipeline identifier (for us: workflow name).
     pub pipeline: String,
@@ -28,7 +27,7 @@ pub struct CacheEntry {
 }
 
 /// The cache file: append-per-run, newest entry wins per (pipeline, dataset).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProvenanceCache {
     entries: Vec<CacheEntry>,
 }

@@ -6,13 +6,12 @@
 //! This module is that capture.
 
 use hpcci_cluster::Site;
-use serde::{Deserialize, Serialize};
 
 /// Re-export-friendly alias: a frozen package list.
 pub type PackageList = Vec<hpcci_cluster::software::Package>;
 
 /// A point-in-time description of the execution environment at one site.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnvironmentCapture {
     pub site: String,
     /// e.g. `"Cloud"`, `"Hpc"`, `"Workstation"`.

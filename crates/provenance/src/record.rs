@@ -1,11 +1,10 @@
 //! Execution records: one run, fully accounted.
 
 use crate::capture::EnvironmentCapture;
-use serde::{Deserialize, Serialize};
 
 /// A complete record of one remote execution — the unit of evidence a
 //  reproducibility reviewer inspects in lieu of re-running (§6.3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionRecord {
     /// Repository and commit pin the exact code version.
     pub repo: String,

@@ -7,10 +7,9 @@
 
 use crate::capture::EnvironmentCapture;
 use crate::record::ExecutionRecord;
-use serde::{Deserialize, Serialize};
 
 /// A data resource referenced by the research object.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DataResource {
     pub name: String,
     /// Where the data lives (a permanent repository per §3.1.1).
@@ -20,7 +19,7 @@ pub struct DataResource {
 }
 
 /// An RO-Crate-like research object.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ResearchObject {
     pub title: String,
     pub authors: Vec<String>,
@@ -67,10 +66,7 @@ impl ResearchObject {
     }
 
     pub fn add_execution(&mut self, record: ExecutionRecord) {
-        if !self
-            .environments
-            .iter()
-            .any(|e| *e == record.environment)
+        if !self.environments.contains(&record.environment)
         {
             self.environments.push(record.environment.clone());
         }

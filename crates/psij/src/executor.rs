@@ -164,6 +164,9 @@ impl JobExecutor {
                         PsijJobState::Failed
                     }
                     JobState::Cancelled { .. } => PsijJobState::Canceled,
+                    // A preempted job lost its node; PSI/J reports it failed
+                    // so the caller can resubmit.
+                    JobState::Preempted { .. } => PsijJobState::Failed,
                 })
             }
         }

@@ -13,7 +13,7 @@ use crate::error::SchedulerError;
 use crate::job::{JobEvent, JobId, JobPayload, JobSpec, JobState};
 use crate::partition::Partition;
 use hpcci_cluster::NodeId;
-use hpcci_sim::{Advance, EventQueue, SimTime};
+use hpcci_sim::{Advance, EventQueue, FaultInjector, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Queueing policy.
@@ -77,6 +77,8 @@ pub struct BatchScheduler {
     accounting: AccountingLog,
     now: SimTime,
     next_id: u64,
+    /// Fault injector plus the scheduler's label in fault plans (site name).
+    injector: Option<(FaultInjector, String)>,
 }
 
 impl BatchScheduler {
@@ -94,7 +96,14 @@ impl BatchScheduler {
             accounting: AccountingLog::new(),
             now: SimTime::ZERO,
             next_id: 1,
+            injector: None,
         }
+    }
+
+    /// Attach a fault injector; `label` is how drain faults name this
+    /// scheduler (the site name at the federation layer).
+    pub fn set_fault_injector(&mut self, injector: FaultInjector, label: &str) {
+        self.injector = Some((injector, label.to_string()));
     }
 
     /// Register a partition; its nodes become schedulable.
@@ -314,6 +323,64 @@ impl BatchScheduler {
         });
     }
 
+    /// A node-drain fault: evict every job on one node (the first node of the
+    /// lowest-id running job — deterministic). Fixed jobs are requeued as
+    /// fresh submissions; pilots end as `Preempted` and their endpoint
+    /// re-provisions a new block on demand.
+    fn drain_node(&mut self, now: SimTime) {
+        let component = self
+            .injector
+            .as_ref()
+            .map(|(_, label)| format!("sched.{label}"))
+            .unwrap_or_else(|| "sched".to_string());
+        let Some(victim_node) = self.running.values().next().map(|a| a.nodes[0]) else {
+            if let Some((inj, _)) = &self.injector {
+                inj.record(now, component, "fault.effect", "node drain: machine idle, no-op");
+            }
+            return;
+        };
+        let victims: Vec<JobId> = self
+            .running
+            .iter()
+            .filter(|(_, a)| a.nodes.contains(&victim_node))
+            .map(|(id, _)| *id)
+            .collect();
+        let mut requeued = 0usize;
+        for id in &victims {
+            let record = self.jobs[id].clone();
+            let JobState::Running { submitted, started } = record.state else {
+                continue;
+            };
+            self.release(*id);
+            self.finish(*id, JobState::Preempted { submitted, started, ended: now });
+            if matches!(record.spec.payload, JobPayload::Fixed { .. })
+                && self.submit(record.spec, now).is_ok()
+            {
+                requeued += 1;
+            }
+        }
+        if let Some((inj, _)) = &self.injector {
+            inj.record(
+                now,
+                component.clone(),
+                "fault.effect",
+                format!(
+                    "drained node {victim_node}: preempted {} job(s)",
+                    victims.len()
+                ),
+            );
+            if requeued > 0 {
+                inj.record(
+                    now,
+                    component,
+                    "fault.recover",
+                    format!("{requeued} preempted fixed job(s) requeued"),
+                );
+            }
+        }
+        self.schedule_pass();
+    }
+
     /// Projected earliest start for the queue head, given current running
     /// jobs ending at their `end_at` (EASY shadow time).
     fn shadow_time(&self, head: &JobSpec, partition: &Partition) -> SimTime {
@@ -409,6 +476,13 @@ impl Advance for BatchScheduler {
             self.schedule_pass();
         }
         self.now = t;
+        let drain_due = self
+            .injector
+            .as_ref()
+            .is_some_and(|(inj, label)| inj.drain_due(label, t));
+        if drain_due {
+            self.drain_node(t);
+        }
     }
 }
 

@@ -92,13 +92,20 @@ pub enum JobState {
     TimedOut { submitted: SimTime, started: SimTime, ended: SimTime },
     /// Cancelled by the user (pending or running).
     Cancelled { submitted: SimTime, ended: SimTime },
+    /// Evicted by the scheduler (node drain/maintenance). Fixed jobs are
+    /// requeued as fresh submissions; pilots are re-provisioned by their
+    /// endpoint.
+    Preempted { submitted: SimTime, started: SimTime, ended: SimTime },
 }
 
 impl JobState {
     pub fn is_terminal(&self) -> bool {
         matches!(
             self,
-            JobState::Completed { .. } | JobState::TimedOut { .. } | JobState::Cancelled { .. }
+            JobState::Completed { .. }
+                | JobState::TimedOut { .. }
+                | JobState::Cancelled { .. }
+                | JobState::Preempted { .. }
         )
     }
 
@@ -115,7 +122,8 @@ impl JobState {
         match self {
             JobState::Running { submitted, started }
             | JobState::Completed { submitted, started, .. }
-            | JobState::TimedOut { submitted, started, .. } => Some(started.since(*submitted)),
+            | JobState::TimedOut { submitted, started, .. }
+            | JobState::Preempted { submitted, started, .. } => Some(started.since(*submitted)),
             _ => None,
         }
     }
@@ -123,9 +131,9 @@ impl JobState {
     /// Wall-clock runtime (None unless terminal-after-start).
     pub fn runtime(&self) -> Option<SimDuration> {
         match self {
-            JobState::Completed { started, ended, .. } | JobState::TimedOut { started, ended, .. } => {
-                Some(ended.since(*started))
-            }
+            JobState::Completed { started, ended, .. }
+            | JobState::TimedOut { started, ended, .. }
+            | JobState::Preempted { started, ended, .. } => Some(ended.since(*started)),
             _ => None,
         }
     }

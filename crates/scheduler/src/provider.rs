@@ -261,7 +261,8 @@ impl ExecutionProvider for SlurmProvider {
             }
             JobState::Completed { ended, .. }
             | JobState::TimedOut { ended, .. }
-            | JobState::Cancelled { ended, .. } => BlockState::Terminated { at: ended },
+            | JobState::Cancelled { ended, .. }
+            | JobState::Preempted { ended, .. } => BlockState::Terminated { at: ended },
         })
     }
 

@@ -15,9 +15,13 @@
 //!   a driver ([`drive`], [`drive_until`]).
 //! * [`Trace`] — a structured event trace used for provenance records and for
 //!   regenerating the paper's system-overview figure.
+//! * [`faults`] — deterministic fault injection: a seedable [`FaultPlan`]
+//!   delivered through a [`FaultInjector`] handle that components consult at
+//!   their event boundaries. An empty plan is a guaranteed no-op.
 //! * [`metrics`] — summary statistics helpers for the benchmark harness.
 
 pub mod component;
+pub mod faults;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
@@ -25,6 +29,7 @@ pub mod time;
 pub mod trace;
 
 pub use component::{drive, drive_until, Advance};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

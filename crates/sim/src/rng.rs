@@ -1,35 +1,66 @@
 //! Deterministic randomness for the federation.
 //!
-//! Wraps a seeded `StdRng` and adds the distributions the site performance
-//! models need. Lognormal/normal sampling is implemented with Box–Muller on
-//! top of `rand`'s uniform source so we do not pull in `rand_distr`.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//! A self-contained xoshiro256++ generator (seeded via SplitMix64) plus the
+//! distributions the site performance models need. Lognormal/normal sampling
+//! is implemented with Box–Muller on top of the uniform source. No external
+//! RNG crate is used, so the stream is fully pinned by this file: the same
+//! seed yields the same sequence on every platform and toolchain.
 
 /// A deterministic RNG stream. Two `DetRng`s built from the same seed yield
 /// identical sequences; [`DetRng::fork`] derives an independent child stream
 /// so components can consume randomness without perturbing each other.
 pub struct DetRng {
-    inner: StdRng,
+    /// xoshiro256++ state.
+    s: [u64; 4],
     /// Cached second Box–Muller variate.
     spare_normal: Option<f64>,
+}
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed state words.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Create a stream from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             spare_normal: None,
         }
+    }
+
+    /// The raw 64-bit output (xoshiro256++).
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Derive an independent child stream tagged by `label`. Children with
     /// different labels are decorrelated; the parent stream is advanced by
     /// exactly one `u64`.
     pub fn fork(&mut self, label: &str) -> DetRng {
-        let base = self.inner.next_u64();
+        let base = self.next_u64();
         // FNV-1a over the label mixes the tag into the child seed.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in label.bytes() {
@@ -39,20 +70,23 @@ impl DetRng {
         DetRng::seed_from_u64(base ^ h)
     }
 
-    /// Uniform in `[0, 1)`.
+    /// Uniform in `[0, 1)` (53 bits of precision).
     pub fn unit(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range");
-        self.inner.gen_range(lo..hi)
+        // Lemire's multiply-shift maps the full 64-bit output onto the range
+        // with negligible bias for the simulation's small ranges.
+        let span = hi - lo;
+        lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
     }
 
     /// Uniform float in `[lo, hi)`.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        self.inner.gen_range(lo..hi)
+        lo + self.unit() * (hi - lo)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -188,5 +222,13 @@ mod tests {
             let f = rng.range_f64(-1.0, 1.0);
             assert!((-1.0..1.0).contains(&f));
         }
+    }
+
+    #[test]
+    fn uniform_mean_is_plausible() {
+        let mut rng = DetRng::seed_from_u64(6);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.unit()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 }

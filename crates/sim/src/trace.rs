@@ -7,11 +7,10 @@
 //! component/message timeline.
 
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One traced occurrence in the federation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Virtual timestamp.
     pub at_us: u64,
@@ -45,7 +44,7 @@ impl fmt::Display for TraceEvent {
 /// An append-only event log. Cheap to clone handles are not provided here on
 /// purpose: owners thread `&mut Trace` (or wrap it in a lock at the
 /// federation layer) so ownership of the log is always explicit.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }

@@ -1,0 +1,204 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Implements the two facilities the workloads use — multi-producer
+//! channels and scoped threads — on top of `std::sync::mpsc` and
+//! `std::thread::scope`, preserving crossbeam's call signatures
+//! (`Sender: Clone`, `thread::scope` returning a `Result`, spawn closures
+//! receiving the scope as an argument).
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Create an unbounded MPMC-ish channel. The receiver end is wrapped in
+    /// a mutex so it satisfies crossbeam's `Receiver: Send + Clone` surface;
+    /// the workloads here only ever receive from one thread at a time.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    /// Sending half; cloneable like crossbeam's.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// Error returned when the receiving half has disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when all senders have disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive; `None` when the channel is currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            let guard = match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.try_recv().ok()
+        }
+    }
+}
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to spawned closures, mirroring
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to the scope. As in crossbeam, the closure
+        /// receives the scope (allowing nested spawns).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in the scope are joined
+    /// before this returns. Returns `Ok` like crossbeam (a panicking child
+    /// propagates as a panic rather than an `Err`, which every caller in
+    /// this workspace converts to a panic anyway).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn recv_errors_when_senders_gone() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn scoped_threads_join_and_borrow() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut out = vec![0u64; 2];
+        thread::scope(|scope| {
+            let (a, b) = out.split_at_mut(1);
+            let d = &data;
+            let ha = scope.spawn(move |_| a[0] = d[..2].iter().sum());
+            let hb = scope.spawn(move |_| b[0] = d[2..].iter().sum());
+            ha.join().unwrap();
+            hb.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(out, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let total = std::sync::atomic::AtomicU64::new(0);
+        thread::scope(|scope| {
+            let t = &total;
+            scope
+                .spawn(move |inner| {
+                    inner
+                        .spawn(move |_| t.fetch_add(1, std::sync::atomic::Ordering::SeqCst))
+                        .join()
+                        .unwrap();
+                    t.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                })
+                .join()
+                .unwrap();
+        })
+        .unwrap();
+        assert_eq!(total.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+}

@@ -11,6 +11,7 @@ use hpcci_auth::IdentityMapping;
 use hpcci_ci::RunId;
 use hpcci_cluster::{ImageSpec, Site};
 use hpcci_faas::MepTemplate;
+use hpcci_sim::FaultPlan;
 use hpcci_vcs::WorkTree;
 
 /// A built scenario: the federation plus the ids the driver needs.
@@ -119,7 +120,16 @@ fn parsldock_tree() -> WorkTree {
 ///   template splits providers — `git` on the login node, `pytest` in a
 ///   SLURM pilot on compute nodes.
 pub fn parsldock_scenario(seed: u64) -> Scenario {
-    let mut fed = Federation::new(seed);
+    parsldock_scenario_on(Federation::new(seed))
+}
+
+/// [`parsldock_scenario`] with a fault plan installed: same sites, same
+/// endpoints, same workflow, but every component consults the injector.
+pub fn parsldock_scenario_with_faults(seed: u64, plan: FaultPlan) -> Scenario {
+    parsldock_scenario_on(Federation::with_faults(seed, plan))
+}
+
+fn parsldock_scenario_on(mut fed: Federation) -> Scenario {
     let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
     let repo = "parsl/parsl-docking-tutorial".to_string();
 
@@ -193,7 +203,17 @@ pub fn parsldock_scenario(seed: u64) -> Scenario {
 /// `typeguard` out of the site's `psij` Conda environment, reproducing the
 /// dependency failure of Fig. 5.
 pub fn psij_scenario(seed: u64, inject_fault: bool) -> Scenario {
-    let mut fed = Federation::new(seed);
+    psij_scenario_on(Federation::new(seed), inject_fault)
+}
+
+/// [`psij_scenario`] with a fault plan installed on top of the (optional)
+/// missing-typeguard dependency fault — the two are orthogonal: one breaks
+/// the tests, the other breaks the infrastructure.
+pub fn psij_scenario_with_faults(seed: u64, inject_fault: bool, plan: FaultPlan) -> Scenario {
+    psij_scenario_on(Federation::with_faults(seed, plan), inject_fault)
+}
+
+fn psij_scenario_on(mut fed: Federation, inject_fault: bool) -> Scenario {
     let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
     let repo = "ExaWorks/psij-python".to_string();
 

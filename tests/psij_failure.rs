@@ -68,3 +68,65 @@ fn cron_baseline_reports_the_same_failure_on_its_dashboard() {
     // correct_end_to_end::identity_mapping_audited_at_the_mep).
     assert_eq!(cron.local_user, "x-vhayot");
 }
+
+#[test]
+fn infrastructure_failure_is_distinct_from_the_dependency_test_failure() {
+    // Endpoint-layer faults exhaust every retry: the MEP fails to fork a
+    // user endpoint three times in a row (initial attempt + 2 retries).
+    use hpcci::scenarios::psij_scenario_with_faults;
+    use hpcci::sim::{FaultKind, FaultPlan, SimTime};
+    let mut plan = FaultPlan::none();
+    for _ in 0..3 {
+        plan = plan.with_fault(
+            SimTime::ZERO,
+            FaultKind::MepForkFailure {
+                endpoint: "ep-anvil".into(),
+                user: "any".into(),
+            },
+        );
+    }
+    let mut s = psij_scenario_with_faults(74, false, plan);
+    let runs = s.push_approve_run("vhayot");
+    let run = s.fed.engine.run(runs[0]).unwrap().clone();
+
+    // The run fails — but as an *infrastructure* failure: the site is
+    // skipped, the step says so, and the `failure_kind` output lets a
+    // dashboard separate platform flakiness from code regressions.
+    assert_eq!(run.status, RunStatus::Failure);
+    let step = run.step("run").expect("correct step recorded");
+    assert!(!step.success);
+    assert_eq!(
+        step.outputs.get("failure_kind").map(String::as_str),
+        Some("infrastructure")
+    );
+    assert!(
+        step.stderr.contains("not the tests under evaluation"),
+        "stderr: {}",
+        step.stderr
+    );
+    // Artifacts are uploaded regardless, carrying the retry log.
+    let now = s.fed.now();
+    let artifact = s
+        .fed
+        .engine
+        .artifacts
+        .fetch(runs[0], "pytest-output", now)
+        .expect("artifact stored despite infrastructure failure");
+    assert!(artifact.text().contains("retry"), "{}", artifact.text());
+
+    // The Fig. 5 dependency fault, by contrast, is a genuine *test*
+    // failure: no infrastructure marker, and the pytest FAILED output is
+    // what the step reports.
+    let mut t = psij_scenario(75, true);
+    let truns = t.push_approve_run("vhayot");
+    let tstep = t
+        .fed
+        .engine
+        .run(truns[0])
+        .unwrap()
+        .step("run")
+        .unwrap()
+        .clone();
+    assert!(!tstep.outputs.contains_key("failure_kind"));
+    assert!(tstep.stderr.contains("FAILED"));
+}
