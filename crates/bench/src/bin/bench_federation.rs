@@ -1,0 +1,200 @@
+//! BENCH_federation: event-loop throughput and sweep wall-clock trajectory.
+//!
+//! Measures the simulation kernel itself (not the paper's figures): how many
+//! trace events per wall-second a 16-endpoint federation sustains, how many
+//! name `String` allocations tracing costs, and how long a fig4-style
+//! scenario sweep takes serial vs parallel. Appends one labelled entry per
+//! run to `BENCH_federation.json` at the repo root so future PRs can track
+//! perf regressions.
+//!
+//! Usage: `bench_federation [--smoke] [--label <name>]`
+
+use hpcci::auth::{AuthService, Scope};
+use hpcci::cluster::Site;
+use hpcci::faas::exec::shared;
+use hpcci::faas::{
+    CloudService, Endpoint, EndpointConfig, EndpointRegistration, ExecOutcome, SiteRuntime,
+    WorkerProvider,
+};
+use hpcci::scenarios::{parse_durations, parsldock_scenario};
+use hpcci::scheduler::LocalProvider;
+use hpcci::sim::{drive, SimTime};
+use hpcci_bench::sweep;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured run of the 16-endpoint microbench.
+struct LoopSample {
+    wall_secs: f64,
+    trace_events: u64,
+    string_allocs: u64,
+    allocs_saved: u64,
+}
+
+/// Build a federation of `n_endpoints` single-user endpoints, each on its own
+/// workstation site, submit `n_tasks` shell tasks round-robin, and drive the
+/// cloud to quiescence. Returns wall time of the drive phase only.
+fn event_loop_run(n_endpoints: usize, n_tasks: usize) -> LoopSample {
+    let auth = Arc::new(Mutex::new(AuthService::new()));
+    let (token, owner) = {
+        let mut a = auth.lock();
+        let identity = a.register_identity("bench@hpcci.sim", "hpcci.sim", SimTime::ZERO);
+        let (cid, secret) = a.create_client(identity.id, "bench").unwrap();
+        let token = a
+            .authenticate(&cid, &secret, vec![Scope::compute_api()], SimTime::ZERO)
+            .unwrap();
+        (token, identity.id)
+    };
+    let mut cloud = CloudService::new(auth);
+    let mut endpoint_ids = Vec::new();
+    for i in 0..n_endpoints {
+        let mut rt = SiteRuntime::new(Site::workstation(&format!("bench-{i}")));
+        rt.site.add_account("bench", "proj");
+        rt.commands
+            .register("work", |_| ExecOutcome::ok("done", 3.0));
+        let site = shared(rt);
+        let login = site.lock().site.login_node().unwrap().id;
+        let ep = Endpoint::new(
+            EndpointConfig::new(&format!("ep-{i}"), owner, "bench").with_workers(4),
+            site,
+            WorkerProvider::Local(LocalProvider::new(login, 8)),
+            1000 + i as u64,
+        );
+        endpoint_ids.push(cloud.register_endpoint(&format!("ep-{i}"), EndpointRegistration::Single(ep)));
+    }
+    for t in 0..n_tasks {
+        let ep = &endpoint_ids[t % n_endpoints];
+        cloud
+            .submit_shell(&token, ep, "work", SimTime::ZERO)
+            .expect("submit");
+    }
+    let start = Instant::now();
+    drive(&mut [&mut cloud]);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let stats = cloud.trace.alloc_stats();
+    LoopSample {
+        wall_secs,
+        trace_events: stats.events,
+        // Name allocations actually performed: one per distinct interned
+        // name; static and interner-hit names allocate nothing.
+        string_allocs: stats.unique_interned as u64,
+        allocs_saved: stats.saved_allocs(),
+    }
+}
+
+/// One fig4-style repetition: run the seeded ParslDock scenario and fold its
+/// parsed per-test durations into an FNV-1a digest fragment.
+fn fig4_rep(seed: u64) -> u64 {
+    let mut s = parsldock_scenario(seed);
+    let runs = s.push_approve_run("vhayot");
+    let now = s.fed.now();
+    let mut digest = 0xcbf29ce484222325u64;
+    for env in s.environments.clone() {
+        let text = s
+            .fed
+            .engine
+            .artifacts
+            .fetch(runs[0], &format!("{env}-output"), now)
+            .expect("site artifact")
+            .text();
+        for (test, duration) in parse_durations(&text) {
+            for b in test.bytes() {
+                digest = (digest ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            digest = (digest ^ duration.to_bits()).wrapping_mul(0x100000001b3);
+        }
+    }
+    digest
+}
+
+/// Combine per-rep digests in submission order (order-sensitive on purpose:
+/// a sweep that reordered results would change the digest).
+fn combine(digests: &[u64]) -> u64 {
+    let mut digest = 0xcbf29ce484222325u64;
+    for d in digests {
+        digest = (digest ^ d).wrapping_mul(0x100000001b3);
+    }
+    digest
+}
+
+/// Run the fig4 sweep over `threads` workers (1 = reference serial sweep).
+/// Returns (wall seconds, combined digest).
+fn fig4_sweep(reps: u64, threads: usize) -> (f64, u64) {
+    let start = Instant::now();
+    let jobs: Vec<_> = (0..reps).map(|rep| move || fig4_rep(1000 + rep)).collect();
+    let digests = sweep::sweep(jobs, threads);
+    (start.elapsed().as_secs_f64(), combine(&digests))
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let label = args
+        .iter()
+        .position(|a| a == "--label")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "dev".to_string());
+
+    let (endpoints, tasks, samples, reps) = if smoke { (4, 64, 2, 1) } else { (16, 2048, 7, 5) };
+
+    hpcci_bench::section(&format!(
+        "BENCH_federation — event-loop throughput ({endpoints} endpoints, {tasks} tasks)"
+    ));
+    let mut walls = Vec::new();
+    let mut last = None;
+    for _ in 0..samples {
+        let s = event_loop_run(endpoints, tasks);
+        walls.push(s.wall_secs);
+        last = Some(s);
+    }
+    let last = last.unwrap();
+    let wall = median(walls);
+    let events_per_sec = last.trace_events as f64 / wall;
+    println!("trace events per run      {:>12}", last.trace_events);
+    println!("drive wall (median)       {:>12.6} s", wall);
+    println!("event throughput          {:>12.0} events/s", events_per_sec);
+    println!("trace string allocs       {:>12}", last.string_allocs);
+    println!("trace allocs saved        {:>12}", last.allocs_saved);
+
+    let threads = sweep::default_threads();
+    hpcci_bench::section(&format!("fig4 sweep ({reps} reps) — serial vs {threads} threads"));
+    let (serial_secs, serial_digest) = fig4_sweep(reps, 1);
+    let (parallel_secs, parallel_digest) = fig4_sweep(reps, threads);
+    println!("serial wall               {:>12.3} s", serial_secs);
+    println!("parallel wall             {:>12.3} s", parallel_secs);
+    println!("speedup                   {:>12.2}x", serial_secs / parallel_secs);
+    println!("digest                    {serial_digest:#018x}");
+    assert_eq!(
+        serial_digest, parallel_digest,
+        "parallel sweep must be bit-identical to the serial sweep"
+    );
+
+    // Append the entry to the trajectory file at the repo root.
+    let entry = format!(
+        "  {{\"label\": \"{label}\", \"endpoints\": {endpoints}, \"tasks\": {tasks}, \
+         \"events_per_sec\": {events_per_sec:.0}, \"trace_events\": {trace_events}, \
+         \"trace_string_allocs\": {string_allocs}, \"trace_allocs_saved\": {allocs_saved}, \
+         \"fig4_reps\": {reps}, \"fig4_serial_secs\": {serial_secs:.4}, \
+         \"fig4_parallel_secs\": {parallel_secs:.4}, \"sweep_threads\": {threads}}}",
+        trace_events = last.trace_events,
+        string_allocs = last.string_allocs,
+        allocs_saved = last.allocs_saved,
+    );
+    let path = "BENCH_federation.json";
+    let body = match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            let trimmed = existing.trim_end().trim_end_matches(']').trim_end().trim_end_matches(',');
+            format!("{trimmed},\n{entry}\n]\n")
+        }
+        Err(_) => format!("[\n{entry}\n]\n"),
+    };
+    std::fs::write(path, body).expect("write BENCH_federation.json");
+    println!("\nappended entry '{label}' to {path}");
+}

@@ -1,50 +1,71 @@
 //! FIG4: regenerate Fig. 4 — runtimes of the ParslDock tests on different
 //! machines — by executing the §6.1 scenario and averaging over several
 //! seeded repetitions.
+//!
+//! The repetitions are independent seeded federations, so they run as a
+//! parallel sweep (`hpcci_bench::sweep`): one single-threaded federation per
+//! worker, results merged in submission order, output bit-identical to the
+//! serial sweep. Pass `--serial` to force the reference serial path.
 
 use hpcci::scenarios::{parse_durations, parsldock_scenario};
 use hpcci::sim::metrics::Summary;
+use hpcci_bench::sweep;
 use std::collections::BTreeMap;
 
 const REPS: u64 = 5;
 
+/// One repetition: run the scenario and parse every site's per-test
+/// durations. Self-contained, so repetitions can run on separate workers.
+fn run_rep(seed: u64) -> Vec<(String, Vec<(String, f64)>)> {
+    let mut s = parsldock_scenario(seed);
+    let runs = s.push_approve_run("vhayot");
+    let now = s.fed.now();
+    let mut out = Vec::new();
+    for env in &s.environments {
+        let text = s
+            .fed
+            .engine
+            .artifacts
+            .fetch(runs[0], &format!("{env}-output"), now)
+            .expect("site artifact")
+            .text();
+        out.push((env.clone(), parse_durations(&text)));
+    }
+    out
+}
+
 fn main() {
-    // site -> test -> samples.
+    let serial = std::env::args().any(|a| a == "--serial");
+    let threads = if serial { 1 } else { sweep::default_threads() };
+
+    let jobs: Vec<_> = (0..REPS).map(|rep| move || run_rep(1000 + rep)).collect();
+    let reps = sweep::sweep(jobs, threads);
+
+    // site -> test -> samples, merged in submission (seed) order.
     let mut samples: BTreeMap<String, BTreeMap<String, Summary>> = BTreeMap::new();
     let mut sites_in_order: Vec<String> = Vec::new();
     let mut tests_in_order: Vec<String> = Vec::new();
-
-    for rep in 0..REPS {
-        let mut s = parsldock_scenario(1000 + rep);
-        let runs = s.push_approve_run("vhayot");
-        let now = s.fed.now();
-        for env in &s.environments {
+    for (rep, sites) in reps.iter().enumerate() {
+        for (env, durations) in sites {
             if rep == 0 && !sites_in_order.contains(env) {
                 sites_in_order.push(env.clone());
             }
-            let text = s
-                .fed
-                .engine
-                .artifacts
-                .fetch(runs[0], &format!("{env}-output"), now)
-                .expect("site artifact")
-                .text();
-            for (test, duration) in parse_durations(&text) {
+            for (test, duration) in durations {
                 if rep == 0 && env == &sites_in_order[0] {
                     tests_in_order.push(test.clone());
                 }
                 samples
                     .entry(env.clone())
                     .or_default()
-                    .entry(test)
+                    .entry(test.clone())
                     .or_default()
-                    .push(duration);
+                    .push(*duration);
             }
         }
     }
 
     hpcci_bench::section(&format!(
-        "Fig. 4 — ParslDock per-test runtime (virtual seconds, mean of {REPS} runs)"
+        "Fig. 4 — ParslDock per-test runtime (virtual seconds, mean of {REPS} runs, {threads} sweep thread(s))"
     ));
     print!("{:<28}", "test");
     for site in &sites_in_order {

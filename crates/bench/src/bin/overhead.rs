@@ -28,10 +28,12 @@ fn main() {
         let mut rt = hpcci::faas::SiteRuntime::new(Site::purdue_anvil()).with_scheduler(128);
         register_tox(&mut rt);
         let account = rt.site.add_account("x-vhayot", "CIS230030");
+        let cred = hpcci::cluster::Cred::of(&account);
         let mut rng = DetRng::seed_from_u64(1);
         let out = rt.execute(
             "tox",
             &account,
+            &cred,
             NodeRole::Login,
             "anvil-login-1",
             hpcci::sim::SimTime::ZERO,

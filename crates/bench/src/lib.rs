@@ -20,6 +20,8 @@
 //! They use the in-tree [`timing`] harness rather than an external
 //! benchmarking crate so the workspace builds fully offline.
 
+pub mod sweep;
+
 /// Shared output helper: consistent section headers across binaries.
 pub fn section(title: &str) {
     println!("\n=== {title} ===\n");

@@ -212,21 +212,21 @@ impl Federation {
             };
             let head = repo.head(&branch_name).expect("branch checked out");
             drop(hosting);
-            if let Err(e) = env.site.fs.mkdir_p(&dest, &env.cred, FileMode::PRIVATE_DIR) {
+            if let Err(e) = env.site.fs.mkdir_p(&dest, env.cred, FileMode::PRIVATE_DIR) {
                 return ExecOutcome::fail(format!("fatal: could not create {dest}: {e}"), 0.1);
             }
             let bytes = tree.total_bytes();
             for (path, content) in tree.iter() {
                 let target = format!("{dest}/{path}");
                 if let Some(dir) = target.rsplit_once('/').map(|(d, _)| d) {
-                    if let Err(e) = env.site.fs.mkdir_p(dir, &env.cred, FileMode::PRIVATE_DIR) {
+                    if let Err(e) = env.site.fs.mkdir_p(dir, env.cred, FileMode::PRIVATE_DIR) {
                         return ExecOutcome::fail(format!("fatal: {e}"), 0.1);
                     }
                 }
                 if let Err(e) = env
                     .site
                     .fs
-                    .write(&target, &env.cred, content.clone(), FileMode::REGULAR)
+                    .write(&target, env.cred, content.clone(), FileMode::REGULAR)
                 {
                     return ExecOutcome::fail(format!("fatal: {e}"), 0.1);
                 }
@@ -251,7 +251,7 @@ impl Federation {
             let capture = EnvironmentCapture::of_site(
                 env.site,
                 env_name.as_deref(),
-                env.container.as_deref(),
+                env.container,
             );
             let text = capture.render();
             ExecOutcome::ok(text.clone(), 0.2).with_payload(text)

@@ -11,7 +11,7 @@ use crate::function::{Function, FunctionBody, FunctionId};
 use crate::mep::MultiUserEndpoint;
 use crate::task::{Task, TaskId, TaskOutput, TaskState};
 use hpcci_auth::{AuthService, Identity, Scope};
-use hpcci_sim::{Advance, EventQueue, FaultInjector, SimTime, Trace};
+use hpcci_sim::{Advance, EventQueue, FaultInjector, NextEventCache, SimTime, Sym, Trace};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -53,6 +53,41 @@ impl EndpointRegistration {
             EndpointRegistration::Multi(m) => m.shell_allowed(),
         }
     }
+
+    fn has_injector(&self) -> bool {
+        match self {
+            EndpointRegistration::Single(e) => e.has_injector(),
+            EndpointRegistration::Multi(m) => m.has_injector(),
+        }
+    }
+
+    fn shares_scheduler(&self) -> bool {
+        match self {
+            EndpointRegistration::Single(e) => e.shares_scheduler(),
+            EndpointRegistration::Multi(m) => m.shares_scheduler(),
+        }
+    }
+
+    fn next_event(&self) -> Option<SimTime> {
+        match self {
+            EndpointRegistration::Single(e) => e.next_event(),
+            EndpointRegistration::Multi(m) => m.next_event(),
+        }
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        match self {
+            EndpointRegistration::Single(e) => e.advance_to(t),
+            EndpointRegistration::Multi(m) => m.advance_to(t),
+        }
+    }
+
+    fn take_finished(&mut self) -> Vec<(TaskId, TaskOutput)> {
+        match self {
+            EndpointRegistration::Single(e) => e.take_finished(),
+            EndpointRegistration::Multi(m) => m.take_finished(),
+        }
+    }
 }
 
 enum InFlight {
@@ -83,6 +118,30 @@ pub struct CloudService {
     next_task: u64,
     next_function: u64,
     injector: Option<FaultInjector>,
+    /// Indexed event dispatch over registered endpoints: each step only
+    /// re-probes endpoints the cloud touched (plus volatile pilot-job ones)
+    /// and only advances endpoints with a due event.
+    cache: NextEventCache,
+    /// Endpoint id → cache slot.
+    slots: BTreeMap<EndpointId, usize>,
+    /// Cache slot → endpoint id.
+    slot_ids: Vec<EndpointId>,
+    /// Cache slot → interned `faas.ep.{id}` trace component.
+    slot_syms: Vec<Sym>,
+    /// Scratch: due slots of the current step, reused across steps.
+    due_scratch: Vec<usize>,
+    /// Slots touched (advanced or enqueued-into) since their finished
+    /// outputs were last collected.
+    touched: Vec<usize>,
+    /// Scratch: due wire events of the current step, reused across steps.
+    wire_scratch: Vec<(SimTime, InFlight)>,
+    /// Any fault injector present (cloud's own or an endpoint's)? If so the
+    /// exhaustive advance path is used so fault consult boundaries — which
+    /// fire at the first consult at/after their scheduled time — never move.
+    fault_aware: bool,
+    /// An `endpoint_mut` borrow escaped; re-evaluate `fault_aware` before
+    /// the next advance.
+    recheck_faults: bool,
 }
 
 impl CloudService {
@@ -98,6 +157,15 @@ impl CloudService {
             next_task: 0,
             next_function: 0,
             injector: None,
+            cache: NextEventCache::new(),
+            slots: BTreeMap::new(),
+            slot_ids: Vec::new(),
+            slot_syms: Vec::new(),
+            due_scratch: Vec::new(),
+            touched: Vec::new(),
+            wire_scratch: Vec::new(),
+            fault_aware: false,
+            recheck_faults: false,
         }
     }
 
@@ -105,6 +173,7 @@ impl CloudService {
     /// both wire legs; an empty plan leaves every delivery time untouched.
     pub fn set_fault_injector(&mut self, injector: FaultInjector) {
         self.injector = Some(injector);
+        self.fault_aware = true;
     }
 
     /// Earliest instant a message can cross the WAN towards/from `endpoint`:
@@ -123,11 +192,34 @@ impl CloudService {
     /// Register an endpoint under a name.
     pub fn register_endpoint(&mut self, id: &str, registration: EndpointRegistration) -> EndpointId {
         let eid = EndpointId(id.to_string());
+        self.fault_aware |= registration.has_injector();
+        let volatile = registration.shares_scheduler();
+        let slot = match self.slots.get(&eid) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.cache.register();
+                self.slot_ids.push(eid.clone());
+                self.slot_syms.push(self.trace.intern(&format!("faas.ep.{id}")));
+                self.slots.insert(eid.clone(), slot);
+                slot
+            }
+        };
+        self.cache.set_volatile(slot, volatile);
+        self.cache.mark_dirty(slot);
         self.endpoints.insert(eid.clone(), registration);
         eid
     }
 
     pub fn endpoint_mut(&mut self, id: &EndpointId) -> Result<&mut EndpointRegistration, FaasError> {
+        if let Some(&slot) = self.slots.get(id) {
+            // The borrow may change anything about the endpoint — including
+            // attaching a fault injector — so invalidate its cached time,
+            // queue it for output collection, and recheck fault-awareness
+            // before the next advance.
+            self.cache.mark_dirty(slot);
+            self.touched.push(slot);
+            self.recheck_faults = true;
+        }
         self.endpoints
             .get_mut(id)
             .ok_or_else(|| FaasError::UnknownEndpoint(id.0.clone()))
@@ -307,16 +399,13 @@ impl CloudService {
         self.now
     }
 
-    /// Collect finished outputs from endpoints onto the return wire.
+    /// Collect finished outputs from every endpoint onto the return wire
+    /// (exhaustive path, used when fault injection is active).
     fn collect_returns(&mut self, now: SimTime) {
         let mut returns: Vec<(TaskId, TaskOutput, String, hpcci_sim::SimDuration)> = Vec::new();
         for (eid, ep) in self.endpoints.iter_mut() {
             let latency = ep.wan_latency();
-            let finished = match ep {
-                EndpointRegistration::Single(e) => e.take_finished(),
-                EndpointRegistration::Multi(m) => m.take_finished(),
-            };
-            for (task, output) in finished {
+            for (task, output) in ep.take_finished() {
                 returns.push((task, output, eid.0.clone(), latency));
             }
         }
@@ -331,35 +420,116 @@ impl CloudService {
             self.wire.push(clear + latency, InFlight::Return { task, output });
         }
     }
-}
 
-impl Advance for CloudService {
-    fn next_event(&self) -> Option<SimTime> {
-        let mut next = self.wire.next_time();
-        for ep in self.endpoints.values() {
-            let n = match ep {
-                EndpointRegistration::Single(e) => e.next_event(),
-                EndpointRegistration::Multi(m) => m.next_event(),
+    /// Collect finished outputs from endpoints touched since the last
+    /// collection. Injector-free, an endpoint's `finished` buffer can only be
+    /// non-empty if the cloud advanced it or enqueued into it, so skipping
+    /// untouched endpoints observes exactly what the exhaustive scan would.
+    fn collect_touched_returns(&mut self, now: SimTime) {
+        if self.touched.is_empty() {
+            return;
+        }
+        // Endpoint-name order: the order the exhaustive scan collected in.
+        {
+            let ids = &self.slot_ids;
+            self.touched.sort_unstable_by(|&a, &b| ids[a].cmp(&ids[b]));
+        }
+        self.touched.dedup();
+        let mut returns: Vec<(TaskId, TaskOutput, hpcci_sim::SimDuration)> = Vec::new();
+        for i in 0..self.touched.len() {
+            let slot = self.touched[i];
+            let Some(ep) = self.endpoints.get_mut(&self.slot_ids[slot]) else {
+                continue;
             };
-            if let Some(t) = n {
-                next = Some(next.map_or(t, |x| x.min(t)));
+            let latency = ep.wan_latency();
+            for (task, output) in ep.take_finished() {
+                returns.push((task, output, latency));
             }
         }
-        next
+        self.touched.clear();
+        for (task, output, latency) in returns {
+            self.trace.record(
+                now,
+                "faas.cloud",
+                "task.returning",
+                format!("{task} from endpoint"),
+            );
+            // No injector on this path: the wire is never partitioned.
+            self.wire.push(now + latency, InFlight::Return { task, output });
+        }
     }
 
-    fn advance_to(&mut self, t: SimTime) {
+    /// Handle one due wire event (shared by both advance paths).
+    fn handle_wire_event(&mut self, at: SimTime, event: InFlight) {
+        match event {
+            InFlight::Deliver { task, identity, command } => {
+                let endpoint_name = self.tasks[&task].endpoint.clone();
+                let eid = EndpointId(endpoint_name.clone());
+                let slot = self.slots.get(&eid).copied();
+                let component = match slot {
+                    Some(s) => self.slot_syms[s].clone(),
+                    None => self.trace.intern(&format!("faas.ep.{endpoint_name}")),
+                };
+                self.trace
+                    .record(at, component.clone(), "task.deliver", format!("{task}"));
+                let result = match self.endpoints.get_mut(&eid) {
+                    Some(EndpointRegistration::Single(e)) => e.enqueue(task, &command, at),
+                    Some(EndpointRegistration::Multi(m)) => m.enqueue(task, &identity, &command, at),
+                    None => Err(FaasError::UnknownEndpoint(endpoint_name.clone())),
+                };
+                if let Some(s) = slot {
+                    self.cache.mark_dirty(s);
+                    if !self.fault_aware {
+                        self.touched.push(s);
+                    }
+                }
+                let record = self.tasks.get_mut(&task).expect("task exists");
+                let transition = match result {
+                    Ok(()) => record.transition(TaskState::QueuedAtEndpoint { at }),
+                    Err(e) => {
+                        self.trace
+                            .record(at, component, "task.reject", format!("{task}: {e}"));
+                        record.transition(TaskState::Rejected {
+                            at,
+                            reason: e.to_string(),
+                        })
+                    }
+                };
+                if let Err(e) = transition {
+                    self.trace
+                        .record(at, "faas.cloud", "task.transition-blocked", e.to_string());
+                }
+            }
+            InFlight::Return { task, output } => {
+                let detail = format!(
+                    "{task} ran_as={} node={} ok={}",
+                    output.ran_as,
+                    output.node,
+                    output.success()
+                );
+                let record = self.tasks.get_mut(&task).expect("task exists");
+                match record.transition(TaskState::Done(output)) {
+                    Ok(()) => self.trace.record(at, "faas.cloud", "task.done", detail),
+                    Err(e) => self.trace.record(
+                        at,
+                        "faas.cloud",
+                        "task.transition-blocked",
+                        e.to_string(),
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Exhaustive advance: probe and advance every endpoint at every step.
+    /// Used whenever a fault injector is in play, because injected faults
+    /// fire at the first consult at/after their scheduled time — skipping a
+    /// "quiescent" endpoint would move its consult boundary and change which
+    /// instant a fault lands on.
+    fn advance_all_to(&mut self, t: SimTime) {
         loop {
-            // Earliest wire event or endpoint event within the window.
             let wire_next = self.wire.next_time();
-            let ep_next = self
-                .endpoints
-                .values()
-                .filter_map(|ep| match ep {
-                    EndpointRegistration::Single(e) => e.next_event(),
-                    EndpointRegistration::Multi(m) => m.next_event(),
-                })
-                .min();
+            let ep_next = self.endpoints.values().filter_map(|ep| ep.next_event()).min();
             let step = match (wire_next, ep_next) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -370,77 +540,104 @@ impl Advance for CloudService {
                 break;
             }
             self.now = step;
-            // Advance endpoints to the step time, then handle due wire events.
             for ep in self.endpoints.values_mut() {
-                match ep {
-                    EndpointRegistration::Single(e) => e.advance_to(step),
-                    EndpointRegistration::Multi(m) => m.advance_to(step),
-                }
+                ep.advance_to(step);
             }
             self.collect_returns(step);
             while let Some((at, event)) = self.wire.pop_due(step) {
-                match event {
-                    InFlight::Deliver { task, identity, command } => {
-                        let endpoint_name = self.tasks[&task].endpoint.clone();
-                        let eid = EndpointId(endpoint_name.clone());
-                        self.trace.record(
-                            at,
-                            format!("faas.ep.{endpoint_name}"),
-                            "task.deliver",
-                            format!("{task}"),
-                        );
-                        let result = match self.endpoints.get_mut(&eid) {
-                            Some(EndpointRegistration::Single(e)) => e.enqueue(task, &command, at),
-                            Some(EndpointRegistration::Multi(m)) => {
-                                m.enqueue(task, &identity, &command, at)
-                            }
-                            None => Err(FaasError::UnknownEndpoint(endpoint_name.clone())),
-                        };
-                        let record = self.tasks.get_mut(&task).expect("task exists");
-                        let transition = match result {
-                            Ok(()) => record.transition(TaskState::QueuedAtEndpoint { at }),
-                            Err(e) => {
-                                self.trace.record(
-                                    at,
-                                    format!("faas.ep.{endpoint_name}"),
-                                    "task.reject",
-                                    format!("{task}: {e}"),
-                                );
-                                record.transition(TaskState::Rejected {
-                                    at,
-                                    reason: e.to_string(),
-                                })
-                            }
-                        };
-                        if let Err(e) = transition {
-                            self.trace.record(
-                                at,
-                                "faas.cloud",
-                                "task.transition-blocked",
-                                e.to_string(),
-                            );
-                        }
-                    }
-                    InFlight::Return { task, output } => {
-                        let detail = format!(
-                            "{task} ran_as={} node={} ok={}",
-                            output.ran_as,
-                            output.node,
-                            output.success()
-                        );
-                        let record = self.tasks.get_mut(&task).expect("task exists");
-                        match record.transition(TaskState::Done(output)) {
-                            Ok(()) => self.trace.record(at, "faas.cloud", "task.done", detail),
-                            Err(e) => self.trace.record(
-                                at,
-                                "faas.cloud",
-                                "task.transition-blocked",
-                                e.to_string(),
-                            ),
-                        }
-                    }
+                self.handle_wire_event(at, event);
+            }
+        }
+        self.now = t;
+    }
+
+    /// Re-probe dirty (and volatile) endpoint slots.
+    fn refresh_cache(&mut self) {
+        let endpoints = &self.endpoints;
+        let ids = &self.slot_ids;
+        self.cache.refresh(|slot| endpoints[&ids[slot]].next_event());
+    }
+}
+
+impl Advance for CloudService {
+    fn next_event(&self) -> Option<SimTime> {
+        if self.fault_aware || self.recheck_faults || self.cache.any_dirty() {
+            // Exhaustive probe: fault injection active, or the cache has
+            // pending invalidations only an `&mut` advance may flush.
+            let mut next = self.wire.next_time();
+            for ep in self.endpoints.values() {
+                if let Some(t) = ep.next_event() {
+                    next = Some(next.map_or(t, |x| x.min(t)));
                 }
             }
+            return next;
+        }
+        // Indexed probe: O(endpoints) scan of cached times plus fresh probes
+        // of the (few) volatile pilot-job endpoints — no deep walks into
+        // quiescent endpoints' queues, sites, or providers.
+        let mut next = self.wire.next_time();
+        if let Some(t) = self.cache.min_stable() {
+            next = Some(next.map_or(t, |x| x.min(t)));
+        }
+        for &slot in self.cache.volatile_slots() {
+            if let Some(t) = self.endpoints[&self.slot_ids[slot]].next_event() {
+                next = Some(next.map_or(t, |x| x.min(t)));
+            }
+        }
+        next
+    }
+
+    fn advance_to(&mut self, t: SimTime) {
+        if self.recheck_faults {
+            self.recheck_faults = false;
+            self.fault_aware =
+                self.injector.is_some() || self.endpoints.values().any(|ep| ep.has_injector());
+        }
+        if self.fault_aware {
+            self.advance_all_to(t);
+            return;
+        }
+        loop {
+            self.refresh_cache();
+            // Earliest wire event or endpoint event within the window.
+            let step = match (self.wire.next_time(), self.cache.min()) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => break,
+            };
+            if step > t {
+                break;
+            }
+            self.now = step;
+            // Advance only endpoints with a due event, in endpoint-name
+            // order — the same order the exhaustive scan advanced them in.
+            self.due_scratch.clear();
+            self.due_scratch.extend(self.cache.due(step));
+            {
+                let ids = &self.slot_ids;
+                self.due_scratch.sort_unstable_by(|&a, &b| ids[a].cmp(&ids[b]));
+            }
+            for i in 0..self.due_scratch.len() {
+                let slot = self.due_scratch[i];
+                self.endpoints
+                    .get_mut(&self.slot_ids[slot])
+                    .expect("slot maps to a registered endpoint")
+                    .advance_to(step);
+                self.cache.mark_dirty(slot);
+                self.touched.push(slot);
+            }
+            self.collect_touched_returns(step);
+            // Handle due wire events. Handlers never push at-or-before
+            // `step`, so a bulk drain sees the same events the incremental
+            // pop loop would.
+            let mut wire_scratch = std::mem::take(&mut self.wire_scratch);
+            wire_scratch.clear();
+            self.wire.drain_due_into(step, &mut wire_scratch);
+            for (at, event) in wire_scratch.drain(..) {
+                self.handle_wire_event(at, event);
+            }
+            self.wire_scratch = wire_scratch;
         }
         self.now = t;
     }

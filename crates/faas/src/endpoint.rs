@@ -12,7 +12,7 @@ use crate::exec::SharedSite;
 use crate::function::FunctionId;
 use crate::task::{TaskId, TaskOutput};
 use hpcci_auth::{HighAssurancePolicy, IdentityId};
-use hpcci_cluster::NodeRole;
+use hpcci_cluster::{Cred, NodeRole, UserAccount};
 use hpcci_scheduler::{BlockId, BlockState, ExecutionProvider, LocalProvider, SlurmProvider};
 use hpcci_sim::{Advance, DetRng, EventQueue, FaultInjector, SimDuration, SimTime};
 use std::collections::{BTreeSet, VecDeque};
@@ -142,6 +142,10 @@ pub struct Endpoint {
     now: SimTime,
     rng: DetRng,
     injector: Option<FaultInjector>,
+    /// Cached resolution of `config.local_user` at the site, paired with its
+    /// credentials. Revalidated (by comparison, not by cloning) on every
+    /// task start, so account changes at the site are still observed.
+    exec_identity: Option<(UserAccount, Cred)>,
 }
 
 impl Endpoint {
@@ -159,6 +163,7 @@ impl Endpoint {
             now: SimTime::ZERO,
             rng: DetRng::seed_from_u64(seed),
             injector: None,
+            exec_identity: None,
         }
     }
 
@@ -166,6 +171,22 @@ impl Endpoint {
     /// boundaries; with an empty plan the consults are guaranteed no-ops.
     pub fn set_fault_injector(&mut self, injector: FaultInjector) {
         self.injector = Some(injector);
+    }
+
+    /// Does this endpoint consult a fault injector? Containers fall back to
+    /// the exhaustive advance path for fault-aware children so fault consult
+    /// boundaries never move.
+    pub fn has_injector(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// Can this endpoint's next event move without the endpoint itself being
+    /// touched? True for pilot-job providers: the batch scheduler is shared
+    /// with every other tenant at the site, so another endpoint's job end can
+    /// re-time this one. Containers must treat such children as volatile in
+    /// their [`hpcci_sim::NextEventCache`].
+    pub fn shares_scheduler(&self) -> bool {
+        matches!(self.provider, WorkerProvider::Slurm(_))
     }
 
     /// Is a scheduled crash due for this endpoint at `now`? Consumes the
@@ -334,14 +355,45 @@ impl Endpoint {
                 }
             }
         };
+        if self.busy_workers >= self.config.workers {
+            return;
+        }
+        // Node identity and speed are fixed for the lifetime of the block;
+        // resolve them once per pump rather than once per task.
+        let (node_hostname, node_speed) = {
+            let runtime = self.site.lock();
+            match role {
+                NodeRole::Login => (
+                    runtime
+                        .site
+                        .login_node()
+                        .map(|n| n.hostname.clone())
+                        .unwrap_or_else(|| "login".to_string()),
+                    runtime.site.login_node().map(|n| n.cpu_speed).unwrap_or(1.0),
+                ),
+                NodeRole::Compute => (
+                    nodes
+                        .first()
+                        .and_then(|id| runtime.site.node(*id).ok().map(|n| n.hostname.clone()))
+                        .unwrap_or_else(|| format!("{}-compute", runtime.site.id)),
+                    1.0,
+                ),
+            }
+        };
         while self.busy_workers < self.config.workers {
             let Some(task) = self.queue.pop_front() else {
                 break;
             };
             let started = self.now;
             let mut runtime = self.site.lock();
-            let account = match runtime.site.account(&self.config.local_user) {
-                Ok(a) => a.clone(),
+            match runtime.site.account(&self.config.local_user) {
+                Ok(a) => {
+                    // Revalidate the cached identity against the live site
+                    // account; only a changed account pays the clone.
+                    if self.exec_identity.as_ref().map(|(acc, _)| acc) != Some(a) {
+                        self.exec_identity = Some((a.clone(), Cred::of(a)));
+                    }
+                }
                 Err(e) => {
                     // Misconfigured endpoint: every task fails.
                     drop(runtime);
@@ -357,30 +409,17 @@ impl Endpoint {
                     self.finished.push((task.id, output));
                     continue;
                 }
-            };
-            let node_hostname = match role {
-                NodeRole::Login => runtime
-                    .site
-                    .login_node()
-                    .map(|n| n.hostname.clone())
-                    .unwrap_or_else(|| "login".to_string()),
-                NodeRole::Compute => nodes
-                    .first()
-                    .and_then(|id| runtime.site.node(*id).ok().map(|n| n.hostname.clone()))
-                    .unwrap_or_else(|| format!("{}-compute", runtime.site.id)),
-            };
-            let node_speed = match role {
-                NodeRole::Login => runtime.site.login_node().map(|n| n.cpu_speed).unwrap_or(1.0),
-                NodeRole::Compute => 1.0,
-            };
+            }
+            let (account, cred) = self.exec_identity.as_ref().expect("validated above");
             let outcome = runtime.execute(
                 &task.command,
-                &account,
+                account,
+                cred,
                 role,
                 &node_hostname,
                 started,
                 &mut self.rng,
-                self.config.container.clone(),
+                self.config.container.as_deref(),
             );
             let duration = runtime
                 .site
@@ -392,8 +431,8 @@ impl Endpoint {
                 stdout: outcome.stdout,
                 stderr: outcome.stderr,
                 result: outcome.result,
-                ran_as: account.username,
-                node: node_hostname,
+                ran_as: account.username.clone(),
+                node: node_hostname.clone(),
                 started,
                 ended,
             };

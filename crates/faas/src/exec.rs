@@ -70,21 +70,21 @@ pub struct TaskEnv<'a> {
     /// The site, for filesystem / env / image access.
     pub site: &'a mut Site,
     /// Credentials of the mapped local user — every fs call must use these.
-    pub cred: Cred,
+    pub cred: &'a Cred,
     /// The local account (home/scratch paths, allocation).
-    pub account: UserAccount,
+    pub account: &'a UserAccount,
     /// Role of the node the worker runs on.
     pub role: NodeRole,
     /// Hostname of the executing node.
-    pub node: String,
+    pub node: &'a str,
     /// Full command line (first token selected the handler).
-    pub command: String,
+    pub command: &'a str,
     /// Virtual time at execution start.
     pub now: SimTime,
     /// Deterministic randomness for the handler.
     pub rng: &'a mut DetRng,
     /// Container image reference the worker runs in, if any.
-    pub container: Option<String>,
+    pub container: Option<&'a str>,
 }
 
 impl TaskEnv<'_> {
@@ -175,16 +175,21 @@ impl SiteRuntime {
 
     /// Execute `command` as `account` on a node with `role`. This is the
     /// single gate through which all task execution flows.
+    ///
+    /// The environment borrows the caller's account and credentials: the
+    /// hot path (endpoint task start) caches both per endpoint, so a task
+    /// execution performs no name allocations of its own.
     #[allow(clippy::too_many_arguments)]
     pub fn execute(
         &mut self,
         command: &str,
         account: &UserAccount,
+        cred: &Cred,
         role: NodeRole,
         node: &str,
         now: SimTime,
         rng: &mut DetRng,
-        container: Option<String>,
+        container: Option<&str>,
     ) -> ExecOutcome {
         let Some(handler) = self.commands.resolve(command) else {
             let first = command.split_whitespace().next().unwrap_or("");
@@ -192,11 +197,11 @@ impl SiteRuntime {
         };
         let mut env = TaskEnv {
             site: &mut self.site,
-            cred: Cred::of(account),
-            account: account.clone(),
+            cred,
+            account,
             role,
-            node: node.to_string(),
-            command: command.to_string(),
+            node,
+            command,
             now,
             rng,
             container,
@@ -235,7 +240,7 @@ mod tests {
         });
         rt.commands.register("touchfile", |env| {
             let path = format!("{}/marker", env.account.scratch());
-            match env.site.fs.write(&path, &env.cred, "x", FileMode::PRIVATE) {
+            match env.site.fs.write(&path, env.cred, "x", FileMode::PRIVATE) {
                 Ok(()) => ExecOutcome::ok(path, 0.01),
                 Err(e) => ExecOutcome::fail(e.to_string(), 0.01),
             }
@@ -245,8 +250,9 @@ mod tests {
 
     fn run(rt: &mut SiteRuntime, cmd: &str, user: &str, role: NodeRole) -> ExecOutcome {
         let account = rt.site.account(user).unwrap().clone();
+        let cred = Cred::of(&account);
         let mut rng = DetRng::seed_from_u64(1);
-        rt.execute(cmd, &account, role, "test-node", SimTime::ZERO, &mut rng, None)
+        rt.execute(cmd, &account, &cred, role, "test-node", SimTime::ZERO, &mut rng, None)
     }
 
     #[test]
@@ -306,14 +312,15 @@ mod tests {
         let mut rt = runtime();
         rt.site.add_account("x-vhayot", "CIS230030");
         let account = rt.site.account("x-vhayot").unwrap().clone();
+        let cred = Cred::of(&account);
         let mut rng = DetRng::seed_from_u64(1);
         let mut env = TaskEnv {
             site: &mut rt.site,
-            cred: Cred::of(&account),
-            account: account.clone(),
+            cred: &cred,
+            account: &account,
             role: NodeRole::Login,
-            node: "n".into(),
-            command: "x".into(),
+            node: "n",
+            command: "x",
             now: SimTime::ZERO,
             rng: &mut rng,
             container: None,

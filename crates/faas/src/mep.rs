@@ -19,7 +19,7 @@ use crate::function::FunctionId;
 use crate::task::{TaskId, TaskOutput};
 use hpcci_auth::{HighAssurancePolicy, Identity, IdentityMapping};
 use hpcci_scheduler::{LocalProvider, SlurmProvider};
-use hpcci_sim::{Advance, FaultInjector, SimDuration, SimTime};
+use hpcci_sim::{Advance, FaultInjector, NextEventCache, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How the template provisions task workers.
@@ -83,6 +83,17 @@ impl MepTemplate {
 struct UepPair {
     login: Endpoint,
     task: Endpoint,
+    /// This pair's slot in the MEP's [`NextEventCache`].
+    slot: usize,
+}
+
+impl UepPair {
+    fn next_event(&self) -> Option<SimTime> {
+        match (self.login.next_event(), self.task.next_event()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
 }
 
 /// A multi-user endpoint at one site.
@@ -101,6 +112,14 @@ pub struct MultiUserEndpoint {
     /// Outputs of tasks that were in flight when the MEP crashed; drained by
     /// [`Self::take_finished`] alongside live UEP outputs.
     pending_crashed: Vec<(TaskId, TaskOutput)>,
+    /// Indexed event dispatch over UEP pairs: only pairs with a due event
+    /// are advanced (fault-free runs; with an injector the MEP falls back to
+    /// the exhaustive path so fault consult boundaries never move).
+    cache: NextEventCache,
+    /// Slot → local user of the pair occupying it.
+    slot_users: Vec<String>,
+    /// Scratch buffer of due slots, reused across advances.
+    due_scratch: Vec<usize>,
 }
 
 impl MultiUserEndpoint {
@@ -117,6 +136,9 @@ impl MultiUserEndpoint {
             seed: 0x6d65_7000,
             injector: None,
             pending_crashed: Vec::new(),
+            cache: NextEventCache::new(),
+            slot_users: Vec::new(),
+            due_scratch: Vec::new(),
         }
     }
 
@@ -125,12 +147,34 @@ impl MultiUserEndpoint {
         self.injector = Some(injector);
     }
 
+    /// Does this MEP (and hence every UEP it forks) consult a fault injector?
+    pub fn has_injector(&self) -> bool {
+        self.injector.is_some()
+    }
+
+    /// Can a UEP's next event move without the MEP being touched? True when
+    /// the template provisions task workers through the site's shared batch
+    /// scheduler (see [`Endpoint::shares_scheduler`]).
+    pub fn shares_scheduler(&self) -> bool {
+        matches!(self.template.task_provider, TaskProvider::Slurm { .. })
+    }
+
+    /// Re-probe dirty (and volatile) pair slots.
+    fn refresh_cache(&mut self) {
+        let ueps = &self.ueps;
+        let users = &self.slot_users;
+        self.cache
+            .refresh(|slot| ueps[&users[slot]].next_event());
+    }
+
     /// A MEP-level crash tears down every forked UEP. In-flight tasks fail
     /// with infrastructure-marked outputs; the UEP map is cleared so the next
     /// submission re-forks fresh UEPs (the privileged MEP service restarts).
     fn crash_all(&mut self, now: SimTime) {
         let mut pairs = std::mem::take(&mut self.ueps);
         let n = pairs.len();
+        self.cache = NextEventCache::new();
+        self.slot_users.clear();
         for pair in pairs.values_mut() {
             pair.login.force_crash(now);
             pair.task.force_crash(now);
@@ -255,11 +299,17 @@ impl MultiUserEndpoint {
             login_ep.set_fault_injector(inj.clone());
             task_ep.set_fault_injector(inj.clone());
         }
+        let slot = self.cache.register();
+        self.slot_users.push(local_user.to_string());
+        if task_ep.shares_scheduler() {
+            self.cache.set_volatile(slot, true);
+        }
         self.ueps.insert(
             local_user.to_string(),
             UepPair {
                 login: login_ep,
                 task: task_ep,
+                slot,
             },
         );
         Ok(())
@@ -295,6 +345,7 @@ impl MultiUserEndpoint {
         self.fork_uep(&local_user)?;
         self.audit_log.push((id, identity.username.clone(), local_user.clone()));
         let pair = self.ueps.get_mut(&local_user).expect("forked above");
+        self.cache.mark_dirty(pair.slot);
         if self.template.routes_to_login(command) {
             pair.login.enqueue(id, command, now)
         } else {
@@ -314,6 +365,7 @@ impl MultiUserEndpoint {
 
     /// Stop every UEP.
     pub fn stop(&mut self, now: SimTime) {
+        self.cache.mark_all_dirty();
         for pair in self.ueps.values_mut() {
             pair.login.stop(now);
             pair.task.stop(now);
@@ -323,25 +375,61 @@ impl MultiUserEndpoint {
 
 impl Advance for MultiUserEndpoint {
     fn next_event(&self) -> Option<SimTime> {
-        self.ueps
-            .values()
-            .flat_map(|p| [p.login.next_event(), p.task.next_event()])
-            .flatten()
-            .min()
+        if self.injector.is_some() || self.cache.any_dirty() {
+            return self
+                .ueps
+                .values()
+                .flat_map(|p| [p.login.next_event(), p.task.next_event()])
+                .flatten()
+                .min();
+        }
+        let mut next = self.cache.min_stable();
+        for &slot in self.cache.volatile_slots() {
+            if let Some(t) = self.ueps[&self.slot_users[slot]].next_event() {
+                next = Some(next.map_or(t, |n| n.min(t)));
+            }
+        }
+        next
     }
 
     fn advance_to(&mut self, t: SimTime) {
-        if self
-            .injector
-            .as_ref()
-            .is_some_and(|inj| inj.crash_due(&self.name, t))
-        {
-            self.crash_all(t);
+        if self.injector.is_some() {
+            // Fault-aware path: advance every pair so each UEP consults the
+            // injector at exactly the boundaries the exhaustive scan used.
+            if self
+                .injector
+                .as_ref()
+                .is_some_and(|inj| inj.crash_due(&self.name, t))
+            {
+                self.crash_all(t);
+            }
+            for pair in self.ueps.values_mut() {
+                pair.login.advance_to(t);
+                pair.task.advance_to(t);
+            }
+            return;
         }
-        for pair in self.ueps.values_mut() {
+        self.refresh_cache();
+        self.due_scratch.clear();
+        self.due_scratch.extend(self.cache.due(t));
+        // Process due pairs in local-user (map key) order — the same order
+        // the exhaustive scan advanced them in.
+        {
+            let users = &self.slot_users;
+            self.due_scratch
+                .sort_unstable_by(|&a, &b| users[a].cmp(&users[b]));
+        }
+        for i in 0..self.due_scratch.len() {
+            let slot = self.due_scratch[i];
+            let pair = self
+                .ueps
+                .get_mut(&self.slot_users[slot])
+                .expect("slot maps to a live uep");
             pair.login.advance_to(t);
             pair.task.advance_to(t);
+            self.cache.mark_dirty(slot);
         }
+        self.refresh_cache();
     }
 }
 

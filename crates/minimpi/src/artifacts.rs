@@ -277,8 +277,9 @@ mod tests {
         let mut rt = SiteRuntime::new(Site::chameleon_tacc());
         install_artifacts(&mut rt.commands);
         let account = rt.site.add_account("cc", "chameleon");
+        let cred = hpcci_cluster::Cred::of(&account);
         let mut rng = DetRng::seed_from_u64(1);
-        rt.execute(cmd, &account, NodeRole::Login, "chi", SimTime::ZERO, &mut rng, container)
+        rt.execute(cmd, &account, &cred, NodeRole::Login, "chi", SimTime::ZERO, &mut rng, container.as_deref())
     }
 
     #[test]

@@ -214,9 +214,11 @@ mod tests {
         let mut rt = SiteRuntime::new(Site::chameleon_tacc());
         install_pytest(&mut rt.commands, "parsl-docking-tutorial");
         let (account, mut rng) = env_fixture(&mut rt, true);
+        let cred = Cred::of(&account);
         let out = rt.execute(
             "pytest tests/",
             &account,
+            &cred,
             NodeRole::Login,
             "chi",
             SimTime::ZERO,
@@ -235,9 +237,11 @@ mod tests {
         let mut rt = SiteRuntime::new(Site::chameleon_tacc());
         install_pytest(&mut rt.commands, "parsl-docking-tutorial");
         let (account, mut rng) = env_fixture(&mut rt, false);
+        let cred = Cred::of(&account);
         let out = rt.execute(
             "pytest tests/",
             &account,
+            &cred,
             NodeRole::Login,
             "chi",
             SimTime::ZERO,

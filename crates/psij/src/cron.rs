@@ -10,7 +10,7 @@
 //! Implemented faithfully so the CORRECT-vs-cron comparison (Table 4 row,
 //! security property tests, overhead benches) is executable.
 
-use hpcci_cluster::NodeRole;
+use hpcci_cluster::{Cred, NodeRole};
 use hpcci_faas::exec::SharedSite;
 use hpcci_sim::{Advance, DetRng, EventQueue, SimDuration, SimTime};
 
@@ -127,9 +127,11 @@ impl CronCi {
             .login_node()
             .map(|n| n.hostname.clone())
             .unwrap_or_default();
+        let cred = Cred::of(&account);
         let out = runtime.execute(
             &self.command,
             &account,
+            &cred,
             NodeRole::Login,
             &node,
             at,

@@ -221,7 +221,7 @@ pub fn install_psij_pytest(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcci_cluster::{NodeId, NodeRole, Site};
+    use hpcci_cluster::{Cred, NodeId, NodeRole, Site};
     use hpcci_faas::SiteRuntime;
     use hpcci_sim::DetRng;
 
@@ -266,10 +266,12 @@ mod tests {
 
     fn run(rt: &mut SiteRuntime) -> ExecOutcome {
         let account = rt.site.account("x-vhayot").unwrap().clone();
+        let cred = Cred::of(&account);
         let mut rng = DetRng::seed_from_u64(1);
         rt.execute(
             "pytest tests/",
             &account,
+            &cred,
             NodeRole::Login,
             "anvil-login-1",
             SimTime::ZERO,

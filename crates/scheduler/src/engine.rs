@@ -405,13 +405,16 @@ impl BatchScheduler {
         self.now
     }
 
-    /// One scheduling pass at `self.now`.
+    /// One scheduling pass at `self.now`. Specs and partitions are read in
+    /// place — the only allocation a pass makes is the candidate id list
+    /// (the queue is mutated while backfilling) and the node sets of jobs
+    /// that actually start.
     fn schedule_pass(&mut self) {
         // Start queue-head jobs while resources allow.
         while let Some(&head) = self.queue.front() {
-            let spec = self.jobs[&head].spec.clone();
-            let partition = self.partitions[&spec.partition].clone();
-            match Self::find_nodes(&partition, &self.free, spec.nodes, spec.cores_per_node) {
+            let spec = &self.jobs[&head].spec;
+            let partition = &self.partitions[&spec.partition];
+            match Self::find_nodes(partition, &self.free, spec.nodes, spec.cores_per_node) {
                 Some(nodes) => {
                     self.queue.pop_front();
                     self.start_job(head, nodes);
@@ -425,18 +428,18 @@ impl BatchScheduler {
         // EASY backfill: the head is blocked; compute its shadow time and let
         // later jobs run iff they are guaranteed to finish before it.
         let head_id = *self.queue.front().expect("non-empty checked");
-        let head_spec = self.jobs[&head_id].spec.clone();
-        let head_partition = self.partitions[&head_spec.partition].clone();
-        let shadow = self.shadow_time(&head_spec, &head_partition);
+        let head_spec = &self.jobs[&head_id].spec;
+        let head_partition = &self.partitions[&head_spec.partition];
+        let shadow = self.shadow_time(head_spec, head_partition);
         let candidates: Vec<JobId> = self.queue.iter().skip(1).copied().collect();
         for id in candidates {
-            let spec = self.jobs[&id].spec.clone();
+            let spec = &self.jobs[&id].spec;
             if self.now + spec.walltime > shadow {
                 continue;
             }
-            let partition = self.partitions[&spec.partition].clone();
+            let partition = &self.partitions[&spec.partition];
             if let Some(nodes) =
-                Self::find_nodes(&partition, &self.free, spec.nodes, spec.cores_per_node)
+                Self::find_nodes(partition, &self.free, spec.nodes, spec.cores_per_node)
             {
                 self.queue.retain(|q| *q != id);
                 self.start_job(id, nodes);

@@ -1,0 +1,294 @@
+//! Indexed event dispatch.
+//!
+//! A container component (the FaaS cloud over its endpoints, a MEP over its
+//! forked UEP pairs) implements [`crate::Advance`] by aggregating the next
+//! event over its children. Done naïvely that is an O(children) deep rescan
+//! on **every** simulation step — and the federation's hot loop pays it
+//! twice, once in `next_event` and again inside `advance_to`.
+//!
+//! [`NextEventCache`] replaces the rescan with a per-child cached next-event
+//! time plus a dirty bit. The owner marks a child dirty whenever it touches
+//! it (advances it, enqueues into it, hands out `&mut`); a refresh pass
+//! recomputes only the dirty children. Between touches, `min()`/`due()` are
+//! shallow scans over a flat `Vec<Option<SimTime>>` — no child is asked
+//! anything, no heap walked, no lock taken.
+//!
+//! Children whose next event can shift *without the owner touching them* —
+//! e.g. pilot-job endpoints sharing one batch scheduler, where another
+//! tenant's job end re-times everyone — cannot be cached soundly by dirty
+//! bits alone. Mark those slots **volatile**: they are re-probed on every
+//! refresh and excluded from [`NextEventCache::min_stable`], so owners with
+//! only `&self` can combine the stable minimum with fresh probes of the
+//! (few) volatile slots.
+//!
+//! The cache is purely an index: it never reorders events and never makes a
+//! child observable earlier or later than the rescan would. Replays from a
+//! seed stay bit-identical (the golden-trace suite pins this).
+
+use crate::time::SimTime;
+
+/// Per-child cached next-event times with dirty-bit invalidation.
+#[derive(Debug, Default, Clone)]
+pub struct NextEventCache {
+    times: Vec<Option<SimTime>>,
+    dirty: Vec<bool>,
+    volatile: Vec<bool>,
+    volatile_slots: Vec<usize>,
+    dirty_count: usize,
+    min: Option<SimTime>,
+    min_stable: Option<SimTime>,
+}
+
+impl NextEventCache {
+    pub fn new() -> Self {
+        NextEventCache::default()
+    }
+
+    /// Add a slot for a new child; it starts dirty. Returns the slot index.
+    pub fn register(&mut self) -> usize {
+        self.times.push(None);
+        self.dirty.push(true);
+        self.volatile.push(false);
+        self.dirty_count += 1;
+        self.times.len() - 1
+    }
+
+    /// Flag a slot whose child's next event can change behind the owner's
+    /// back (shared mutable state with siblings). Volatile slots are
+    /// re-probed on every [`Self::refresh`].
+    pub fn set_volatile(&mut self, slot: usize, volatile: bool) {
+        if self.volatile[slot] == volatile {
+            return;
+        }
+        self.volatile[slot] = volatile;
+        if volatile {
+            self.volatile_slots.push(slot);
+            self.volatile_slots.sort_unstable();
+        } else {
+            self.volatile_slots.retain(|&s| s != slot);
+            self.mark_dirty(slot);
+        }
+    }
+
+    /// Slots flagged volatile, ascending. Owners with only `&self` probe
+    /// these fresh and combine with [`Self::min_stable`].
+    pub fn volatile_slots(&self) -> &[usize] {
+        &self.volatile_slots
+    }
+
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Invalidate one child's cached time (owner touched it).
+    pub fn mark_dirty(&mut self, slot: usize) {
+        if !self.dirty[slot] {
+            self.dirty[slot] = true;
+            self.dirty_count += 1;
+        }
+    }
+
+    /// Invalidate every slot (bulk state change of unknown extent).
+    pub fn mark_all_dirty(&mut self) {
+        for d in &mut self.dirty {
+            *d = true;
+        }
+        self.dirty_count = self.times.len();
+    }
+
+    pub fn any_dirty(&self) -> bool {
+        self.dirty_count > 0
+    }
+
+    /// Recompute every dirty or volatile slot by asking `probe(slot)` for
+    /// the child's current next-event time; clean stable slots are not
+    /// consulted.
+    pub fn refresh(&mut self, mut probe: impl FnMut(usize) -> Option<SimTime>) {
+        if self.dirty_count == 0 && self.volatile_slots.is_empty() {
+            return;
+        }
+        for (slot, dirty) in self.dirty.iter_mut().enumerate() {
+            if *dirty || self.volatile[slot] {
+                self.times[slot] = probe(slot);
+                *dirty = false;
+            }
+        }
+        self.dirty_count = 0;
+        // Fold the minima once here so min()/min_stable() are O(1) in the
+        // hot loop instead of rescanning the slot vector per call.
+        let mut min = None;
+        let mut min_stable = None;
+        for (slot, t) in self.times.iter().enumerate() {
+            let Some(t) = *t else { continue };
+            if min.is_none_or(|m| t < m) {
+                min = Some(t);
+            }
+            if !self.volatile[slot] && min_stable.is_none_or(|m| t < m) {
+                min_stable = Some(t);
+            }
+        }
+        self.min = min;
+        self.min_stable = min_stable;
+    }
+
+    /// Cached time for one slot (meaningful only when refreshed).
+    pub fn get(&self, slot: usize) -> Option<SimTime> {
+        debug_assert!(!self.dirty[slot], "reading a dirty slot");
+        self.times[slot]
+    }
+
+    /// Earliest cached next event across all children. Callers must refresh
+    /// first (which also re-probes volatile slots); a debug assert enforces
+    /// it.
+    pub fn min(&self) -> Option<SimTime> {
+        debug_assert!(self.dirty_count == 0, "min() over dirty cache");
+        self.min
+    }
+
+    /// Earliest cached next event across **stable** (non-volatile) children
+    /// only. Safe for `&self` owners between refreshes: stable slots cannot
+    /// have moved since the last refresh, while volatile slots must be
+    /// probed fresh (see [`Self::volatile_slots`]).
+    pub fn min_stable(&self) -> Option<SimTime> {
+        debug_assert!(self.dirty_count == 0, "min_stable() over dirty cache");
+        self.min_stable
+    }
+
+    /// Slots whose cached next event is due at or before `t`, ascending.
+    pub fn due(&self, t: SimTime) -> impl Iterator<Item = usize> + '_ {
+        debug_assert!(self.dirty_count == 0, "due() over dirty cache");
+        self.times
+            .iter()
+            .enumerate()
+            .filter(move |(_, cached)| cached.is_some_and(|at| at <= t))
+            .map(|(slot, _)| slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registers_and_refreshes_dirty_slots_only() {
+        let mut cache = NextEventCache::new();
+        let a = cache.register();
+        let b = cache.register();
+        assert!(cache.any_dirty());
+        let mut probes = Vec::new();
+        cache.refresh(|slot| {
+            probes.push(slot);
+            Some(SimTime::from_secs(slot as u64 + 1))
+        });
+        assert_eq!(probes, vec![a, b]);
+        assert_eq!(cache.min(), Some(SimTime::from_secs(1)));
+
+        // Only the dirty slot is re-probed.
+        cache.mark_dirty(b);
+        probes.clear();
+        cache.refresh(|slot| {
+            probes.push(slot);
+            Some(SimTime::from_secs(10))
+        });
+        assert_eq!(probes, vec![b]);
+        assert_eq!(cache.get(a), Some(SimTime::from_secs(1)));
+        assert_eq!(cache.get(b), Some(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn min_and_due_skip_quiescent_children() {
+        let mut cache = NextEventCache::new();
+        for _ in 0..4 {
+            cache.register();
+        }
+        cache.refresh(|slot| match slot {
+            0 => None,
+            1 => Some(SimTime::from_secs(5)),
+            2 => Some(SimTime::from_secs(2)),
+            _ => Some(SimTime::from_secs(9)),
+        });
+        assert_eq!(cache.min(), Some(SimTime::from_secs(2)));
+        let due: Vec<usize> = cache.due(SimTime::from_secs(5)).collect();
+        assert_eq!(due, vec![1, 2]);
+        assert_eq!(cache.due(SimTime::from_secs(1)).count(), 0);
+    }
+
+    #[test]
+    fn all_quiescent_is_none() {
+        let mut cache = NextEventCache::new();
+        cache.register();
+        cache.register();
+        cache.refresh(|_| None);
+        assert_eq!(cache.min(), None);
+        assert_eq!(cache.due(SimTime::FAR_FUTURE).count(), 0);
+    }
+
+    #[test]
+    fn mark_all_dirty_invalidates_every_slot() {
+        let mut cache = NextEventCache::new();
+        cache.register();
+        cache.register();
+        cache.refresh(|_| Some(SimTime::ZERO));
+        cache.mark_all_dirty();
+        let mut probed = 0;
+        cache.refresh(|_| {
+            probed += 1;
+            None
+        });
+        assert_eq!(probed, 2);
+        assert_eq!(cache.min(), None);
+    }
+
+    #[test]
+    fn volatile_slots_reprobe_every_refresh() {
+        let mut cache = NextEventCache::new();
+        let stable = cache.register();
+        let shared = cache.register();
+        cache.set_volatile(shared, true);
+        assert_eq!(cache.volatile_slots(), &[shared]);
+
+        let mut t = 5u64;
+        cache.refresh(|slot| match slot {
+            s if s == stable => Some(SimTime::from_secs(3)),
+            _ => Some(SimTime::from_secs(t)),
+        });
+        assert_eq!(cache.min(), Some(SimTime::from_secs(3)));
+        assert_eq!(cache.min_stable(), Some(SimTime::from_secs(3)));
+
+        // The shared child's time moved without any mark_dirty; a refresh
+        // still picks it up, and min_stable never trusted the stale value.
+        t = 1;
+        let mut probed = Vec::new();
+        cache.refresh(|slot| {
+            probed.push(slot);
+            Some(SimTime::from_secs(t))
+        });
+        assert_eq!(probed, vec![shared], "only the volatile slot re-probed");
+        assert_eq!(cache.min(), Some(SimTime::from_secs(1)));
+        assert_eq!(cache.min_stable(), Some(SimTime::from_secs(3)));
+
+        // Clearing volatility folds the slot back into dirty tracking.
+        cache.set_volatile(shared, false);
+        assert!(cache.any_dirty());
+        cache.refresh(|_| Some(SimTime::from_secs(8)));
+        assert_eq!(cache.min_stable(), Some(SimTime::from_secs(3)));
+        assert_eq!(cache.min(), Some(SimTime::from_secs(3)));
+        assert!(cache.volatile_slots().is_empty());
+    }
+
+    #[test]
+    fn double_mark_dirty_is_idempotent() {
+        let mut cache = NextEventCache::new();
+        let a = cache.register();
+        cache.refresh(|_| None);
+        cache.mark_dirty(a);
+        cache.mark_dirty(a);
+        assert!(cache.any_dirty());
+        cache.refresh(|_| Some(SimTime::ZERO));
+        assert_eq!(cache.min(), Some(SimTime::ZERO));
+    }
+}

@@ -189,8 +189,8 @@ impl FaultInjector {
     pub fn record(
         &self,
         at: SimTime,
-        component: impl Into<String>,
-        kind: impl Into<String>,
+        component: impl crate::trace::IntoSym,
+        kind: impl crate::trace::IntoSym,
         detail: impl Into<String>,
     ) {
         self.lock().trace.record(at, component, kind, detail);
@@ -203,9 +203,12 @@ impl FaultInjector {
     }
 
     /// Consume one due fault matched by `pick`, recording the injection.
-    fn take_due<F>(&self, now: SimTime, component: &str, pick: F) -> Option<FaultKind>
+    /// `component` is built lazily — the common consult is a miss, and the
+    /// miss path must stay allocation-free.
+    fn take_due<F, C>(&self, now: SimTime, component: C, pick: F) -> Option<FaultKind>
     where
         F: Fn(&FaultKind) -> bool,
+        C: FnOnce() -> String,
     {
         let mut st = self.lock();
         let idx = st
@@ -215,7 +218,7 @@ impl FaultInjector {
         let fault = st.pending.remove(idx);
         st.trace.record(
             now,
-            component,
+            component(),
             "fault.inject",
             format!("{} (scheduled {})", fault.kind, fault.at),
         );
@@ -224,7 +227,7 @@ impl FaultInjector {
 
     /// Endpoint boundary: should this endpoint crash now?
     pub fn crash_due(&self, endpoint: &str, now: SimTime) -> bool {
-        self.take_due(now, &format!("faas.ep.{endpoint}"), |k| {
+        self.take_due(now, || format!("faas.ep.{endpoint}"), |k| {
             matches!(k, FaultKind::EndpointCrash { endpoint: e } if e == endpoint)
         })
         .is_some()
@@ -233,7 +236,7 @@ impl FaultInjector {
     /// MEP boundary: should forking the UEP for `user` fail this once?
     /// A plan entry with user `"any"` matches every submitter.
     pub fn fork_failure_due(&self, endpoint: &str, user: &str, now: SimTime) -> bool {
-        self.take_due(now, &format!("faas.mep.{endpoint}"), |k| {
+        self.take_due(now, || format!("faas.mep.{endpoint}"), |k| {
             matches!(k, FaultKind::MepForkFailure { endpoint: e, user: u }
                 if e == endpoint && (u == "any" || u == user))
         })
@@ -242,7 +245,7 @@ impl FaultInjector {
 
     /// Scheduler boundary: should this scheduler drain a node now?
     pub fn drain_due(&self, scheduler: &str, now: SimTime) -> bool {
-        self.take_due(now, &format!("sched.{scheduler}"), |k| {
+        self.take_due(now, || format!("sched.{scheduler}"), |k| {
             matches!(k, FaultKind::NodeDrain { scheduler: s } if s == scheduler)
         })
         .is_some()
@@ -254,7 +257,7 @@ impl FaultInjector {
     pub fn partition_until(&self, endpoint: &str, now: SimTime) -> Option<SimTime> {
         // Activate any due partition fault for this endpoint.
         if let Some(FaultKind::WanPartition { heal_after, .. }) =
-            self.take_due(now, &format!("faas.wan.{endpoint}"), |k| {
+            self.take_due(now, || format!("faas.wan.{endpoint}"), |k| {
                 matches!(k, FaultKind::WanPartition { endpoint: e, .. } if e == endpoint)
             })
         {
@@ -292,7 +295,7 @@ impl FaultInjector {
     /// as the refresh recovery.
     pub fn token_expired(&self, token: &str, now: SimTime) -> bool {
         if self
-            .take_due(now, "auth", |k| matches!(k, FaultKind::TokenExpiry))
+            .take_due(now, || "auth".to_string(), |k| matches!(k, FaultKind::TokenExpiry))
             .is_some()
         {
             let mut st = self.lock();
@@ -314,7 +317,7 @@ impl FaultInjector {
 
     /// Artifact-store boundary: should this upload be corrupted?
     pub fn corruption_due(&self, name: &str, now: SimTime) -> bool {
-        self.take_due(now, "ci.artifacts", |k| {
+        self.take_due(now, || "ci.artifacts".to_string(), |k| {
             matches!(k, FaultKind::ArtifactCorruption { name: n } if n == name)
         })
         .is_some()

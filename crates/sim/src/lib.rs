@@ -21,6 +21,7 @@
 //! * [`metrics`] — summary statistics helpers for the benchmark harness.
 
 pub mod component;
+pub mod dispatch;
 pub mod faults;
 pub mod metrics;
 pub mod queue;
@@ -29,8 +30,9 @@ pub mod time;
 pub mod trace;
 
 pub use component::{drive, drive_until, Advance};
+pub use dispatch::NextEventCache;
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Interner, IntoSym, Sym, Trace, TraceAllocStats, TraceEvent};

@@ -85,10 +85,18 @@ impl<E> EventQueue<E> {
     /// of the owner).
     pub fn drain_due(&mut self, now: SimTime) -> Vec<(SimTime, E)> {
         let mut out = Vec::new();
+        self.drain_due_into(now, &mut out);
+        out
+    }
+
+    /// [`Self::drain_due`] into a caller-owned buffer: hot loops reuse one
+    /// allocation across steps instead of building a fresh `Vec` per step.
+    /// The buffer is **not** cleared — due events are appended — so callers
+    /// that recycle it must `clear()` between steps.
+    pub fn drain_due_into(&mut self, now: SimTime, out: &mut Vec<(SimTime, E)>) {
         while let Some(pair) = self.pop_due(now) {
             out.push(pair);
         }
-        out
     }
 
     pub fn len(&self) -> usize {
@@ -143,6 +151,21 @@ mod tests {
         let (at, e) = q.pop_due(SimTime::from_secs(5)).unwrap();
         assert_eq!((at, e), (SimTime::from_secs(5), "later"));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_due_into_reuses_buffer() {
+        let mut q = EventQueue::new();
+        let mut buf: Vec<(SimTime, &str)> = Vec::with_capacity(8);
+        q.push(SimTime::from_secs(1), "a");
+        q.push(SimTime::from_secs(2), "b");
+        q.drain_due_into(SimTime::from_secs(1), &mut buf);
+        assert_eq!(buf.len(), 1);
+        let cap = buf.capacity();
+        buf.clear();
+        q.drain_due_into(SimTime::from_secs(5), &mut buf);
+        assert_eq!(buf, vec![(SimTime::from_secs(2), "b")]);
+        assert_eq!(buf.capacity(), cap, "no reallocation for a smaller drain");
     }
 
     #[test]

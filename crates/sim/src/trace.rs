@@ -5,9 +5,174 @@
 //! (§5 of the paper argues provenance + re-execution substitutes for resource
 //! access), and it regenerates the paper's Fig. 2 system-overview as a
 //! component/message timeline.
+//!
+//! ## Allocation discipline
+//!
+//! Component and kind names repeat millions of times across a long run
+//! (`"faas.cloud"`, `"task.submit"`, …), so [`TraceEvent`] stores them as
+//! interned [`Sym`]s rather than `String`s: a `&'static str` is wrapped for
+//! free, and owned strings are deduplicated through the trace's [`Interner`]
+//! so each distinct name is allocated exactly once per trace. Only `detail`
+//! — genuinely free-form — stays a `String`.
 
 use crate::time::SimTime;
+use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
+
+/// An interned string: either a `'static` literal (zero-cost) or a shared,
+/// deduplicated allocation handed out by an [`Interner`]. Dereferences to
+/// `str`; equality, ordering and hashing are by content.
+#[derive(Clone)]
+pub enum Sym {
+    /// Literal fast path: no allocation, no interner consult.
+    Static(&'static str),
+    /// Interned allocation, shared by every event using the same name.
+    Shared(Arc<str>),
+}
+
+impl Sym {
+    pub fn as_str(&self) -> &str {
+        match self {
+            Sym::Static(s) => s,
+            Sym::Shared(s) => s,
+        }
+    }
+}
+
+impl std::ops::Deref for Sym {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+impl Eq for Sym {}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for Sym {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+/// Deduplicating string cache: each distinct name is allocated once and
+/// every subsequent intern of the same text reuses the `Arc`.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    strings: BTreeSet<Arc<str>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Intern `s`: returns a [`Sym`] sharing the single allocation for this
+    /// text (allocating it on first sight).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(existing) = self.strings.get(s) {
+            self.hits += 1;
+            return Sym::Shared(existing.clone());
+        }
+        self.misses += 1;
+        let arc: Arc<str> = Arc::from(s);
+        self.strings.insert(arc.clone());
+        Sym::Shared(arc)
+    }
+
+    /// Distinct strings held.
+    pub fn unique(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Interns that reused an existing allocation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    fn absorb(&mut self, other: Interner) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.strings.extend(other.strings);
+    }
+}
+
+/// Conversion into an interned [`Sym`]. `&'static str` takes the zero-cost
+/// literal path; owned strings go through the interner.
+pub trait IntoSym {
+    fn into_sym(self, interner: &mut Interner) -> Sym;
+}
+
+impl IntoSym for &'static str {
+    fn into_sym(self, _interner: &mut Interner) -> Sym {
+        Sym::Static(self)
+    }
+}
+
+impl IntoSym for String {
+    fn into_sym(self, interner: &mut Interner) -> Sym {
+        interner.intern(&self)
+    }
+}
+
+impl IntoSym for &String {
+    fn into_sym(self, interner: &mut Interner) -> Sym {
+        interner.intern(self)
+    }
+}
+
+impl IntoSym for Sym {
+    fn into_sym(self, _interner: &mut Interner) -> Sym {
+        self
+    }
+}
+
+impl IntoSym for &Sym {
+    fn into_sym(self, _interner: &mut Interner) -> Sym {
+        self.clone()
+    }
+}
 
 /// One traced occurrence in the federation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,9 +180,9 @@ pub struct TraceEvent {
     /// Virtual timestamp.
     pub at_us: u64,
     /// Emitting component, e.g. `"faas.mep.anvil"` or `"ci.runner.hosted-3"`.
-    pub component: String,
+    pub component: Sym,
     /// Short machine-readable kind, e.g. `"task.submit"`.
-    pub kind: String,
+    pub kind: Sym,
     /// Free-form human-readable detail.
     pub detail: String,
 }
@@ -41,12 +206,42 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// Allocation accounting for the benchmark harness: how many name strings a
+/// trace actually allocated versus how many a naïve `String`-per-field trace
+/// would have.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceAllocStats {
+    /// Events recorded.
+    pub events: u64,
+    /// Distinct interned names (each cost exactly one allocation).
+    pub unique_interned: usize,
+    /// Interns satisfied by an existing allocation.
+    pub interner_hits: u64,
+    /// Names that took the `&'static str` fast path (no allocation at all).
+    pub static_syms: u64,
+}
+
+impl TraceAllocStats {
+    /// Name allocations a pre-interning trace would have performed
+    /// (component + kind per event).
+    pub fn naive_allocs(&self) -> u64 {
+        2 * self.events
+    }
+
+    /// Allocations avoided by interning and the static fast path.
+    pub fn saved_allocs(&self) -> u64 {
+        self.naive_allocs().saturating_sub(self.unique_interned as u64)
+    }
+}
+
 /// An append-only event log. Cheap to clone handles are not provided here on
 /// purpose: owners thread `&mut Trace` (or wrap it in a lock at the
 /// federation layer) so ownership of the log is always explicit.
 #[derive(Debug, Default, Clone)]
 pub struct Trace {
     events: Vec<TraceEvent>,
+    interner: Interner,
+    static_syms: u64,
 }
 
 impl Trace {
@@ -54,18 +249,29 @@ impl Trace {
         Trace::default()
     }
 
+    /// Intern a name against this trace's interner without recording an
+    /// event — lets hot components pre-compute their [`Sym`] once and pass
+    /// it to every subsequent [`Trace::record`] for free.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        self.interner.intern(s)
+    }
+
     /// Append an event.
     pub fn record(
         &mut self,
         at: SimTime,
-        component: impl Into<String>,
-        kind: impl Into<String>,
+        component: impl IntoSym,
+        kind: impl IntoSym,
         detail: impl Into<String>,
     ) {
+        let component = component.into_sym(&mut self.interner);
+        let kind = kind.into_sym(&mut self.interner);
+        self.static_syms += matches!(component, Sym::Static(_)) as u64
+            + matches!(kind, Sym::Static(_)) as u64;
         self.events.push(TraceEvent {
             at_us: at.as_micros(),
-            component: component.into(),
-            kind: kind.into(),
+            component,
+            kind,
             detail: detail.into(),
         });
     }
@@ -82,9 +288,19 @@ impl Trace {
         self.events.is_empty()
     }
 
+    /// Allocation accounting for the benchmark harness.
+    pub fn alloc_stats(&self) -> TraceAllocStats {
+        TraceAllocStats {
+            events: self.events.len() as u64,
+            unique_interned: self.interner.unique(),
+            interner_hits: self.interner.hits(),
+            static_syms: self.static_syms,
+        }
+    }
+
     /// Events whose kind matches `kind` exactly.
     pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.kind == kind)
+        self.events.iter().filter(move |e| e.kind.as_str() == kind)
     }
 
     /// Events emitted by components whose name starts with `prefix`.
@@ -96,9 +312,52 @@ impl Trace {
 
     /// Merge another trace into this one, keeping global timestamp order.
     /// Stable: within equal timestamps, `self`'s events precede `other`'s.
+    ///
+    /// Both traces are appended in time order in practice, so this is a
+    /// linear two-run merge — with an O(1) fast path when the runs don't
+    /// overlap at all. Should either log ever be out of order (a caller
+    /// recorded into the past), it falls back to a stable sort so the
+    /// result is identical either way.
     pub fn merge(&mut self, other: Trace) {
-        self.events.extend(other.events);
-        self.events.sort_by_key(|e| e.at_us);
+        let sorted = |events: &[TraceEvent]| events.windows(2).all(|w| w[0].at_us <= w[1].at_us);
+        self.static_syms += other.static_syms;
+        self.interner.absorb(other.interner);
+        if !sorted(&self.events) || !sorted(&other.events) {
+            // Degenerate input: preserve the historical extend-then-stable-
+            // sort semantics exactly (even when `other` is empty, an
+            // out-of-order self must come out sorted).
+            self.events.extend(other.events);
+            self.events.sort_by_key(|e| e.at_us);
+            return;
+        }
+        if other.events.is_empty() {
+            return;
+        }
+        match self.events.last() {
+            // Fast path: `other` begins at or after our last event.
+            Some(last) if last.at_us <= other.events[0].at_us => {
+                self.events.extend(other.events);
+            }
+            None => self.events = other.events,
+            Some(_) => {
+                let ours = std::mem::take(&mut self.events);
+                self.events = Vec::with_capacity(ours.len() + other.events.len());
+                let mut a = ours.into_iter().peekable();
+                let mut b = other.events.into_iter().peekable();
+                while let (Some(x), Some(y)) = (a.peek(), b.peek()) {
+                    // `<=` keeps self's events first within equal stamps.
+                    if x.at_us <= y.at_us {
+                        let e = a.next().expect("peeked");
+                        self.events.push(e);
+                    } else {
+                        let e = b.next().expect("peeked");
+                        self.events.push(e);
+                    }
+                }
+                self.events.extend(a);
+                self.events.extend(b);
+            }
+        }
     }
 
     /// Render the whole trace as text, one event per line.
@@ -147,6 +406,50 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_stable_within_equal_timestamps() {
+        let mut a = Trace::new();
+        a.record(SimTime::from_secs(1), "a", "k", "a1");
+        a.record(SimTime::from_secs(2), "a", "k", "a2");
+        let mut b = Trace::new();
+        b.record(SimTime::from_secs(1), "b", "k", "b1");
+        b.record(SimTime::from_secs(2), "b", "k", "b2");
+        a.merge(b);
+        let details: Vec<&str> = a.events().iter().map(|e| e.detail.as_str()).collect();
+        assert_eq!(details, vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_disjoint_runs() {
+        let mut a = sample();
+        a.merge(Trace::new());
+        assert_eq!(a.len(), 3);
+        let mut empty = Trace::new();
+        empty.merge(sample());
+        assert_eq!(empty.len(), 3);
+        // Disjoint: all of b after all of a (exercise the fast path).
+        let mut b = Trace::new();
+        b.record(SimTime::from_secs(10), "late", "k", "x");
+        a.merge(b);
+        assert_eq!(a.events().last().unwrap().detail, "x");
+    }
+
+    #[test]
+    fn merge_unsorted_falls_back_to_stable_sort() {
+        let mut a = Trace::new();
+        a.record(SimTime::from_secs(5), "a", "k", "late");
+        a.record(SimTime::from_secs(1), "a", "k", "early");
+        let mut b = Trace::new();
+        b.record(SimTime::from_secs(3), "b", "k", "mid");
+        a.merge(b);
+        let times: Vec<u64> = a.events().iter().map(|e| e.at_us).collect();
+        assert_eq!(
+            times,
+            vec![1_000_000, 3_000_000, 5_000_000],
+            "unsorted input still merges into time order"
+        );
+    }
+
+    #[test]
     fn render_contains_all_lines() {
         let t = sample();
         let s = t.render();
@@ -163,5 +466,57 @@ mod tests {
         let cloned = e.clone();
         assert_eq!(*e, cloned);
         assert_eq!(e.at(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn interner_dedupes_owned_names() {
+        let mut t = Trace::new();
+        for i in 0..100 {
+            t.record(
+                SimTime::from_secs(i),
+                format!("faas.ep.{}", i % 4),
+                "task.deliver",
+                format!("tid={i}"),
+            );
+        }
+        let stats = t.alloc_stats();
+        assert_eq!(stats.events, 100);
+        assert_eq!(stats.unique_interned, 4, "four endpoint names interned once each");
+        assert_eq!(stats.static_syms, 100, "kind literal takes the static path");
+        assert_eq!(stats.interner_hits, 96);
+        assert!(stats.saved_allocs() >= 196);
+        // Events sharing a name share the allocation.
+        let a = &t.events()[0].component;
+        let b = &t.events()[4].component;
+        match (a, b) {
+            (Sym::Shared(x), Sym::Shared(y)) => assert!(Arc::ptr_eq(x, y)),
+            other => panic!("expected shared syms, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sym_compares_and_displays_by_content() {
+        let mut interner = Interner::new();
+        let a = interner.intern("faas.cloud");
+        let b = Sym::Static("faas.cloud");
+        assert_eq!(a, b);
+        assert_eq!(a, *"faas.cloud");
+        assert_eq!(format!("{a:>12}"), format!("{:>12}", "faas.cloud"));
+        assert!(a.starts_with("faas"));
+        assert_eq!(interner.hits(), 0);
+        let _again = interner.intern("faas.cloud");
+        assert_eq!(interner.hits(), 1);
+        assert_eq!(interner.unique(), 1);
+    }
+
+    #[test]
+    fn pre_interned_syms_record_for_free() {
+        let mut t = Trace::new();
+        let component = t.intern("faas.ep.hot");
+        t.record(SimTime::ZERO, &component, "task.deliver", "tid=1");
+        t.record(SimTime::from_secs(1), component, "task.deliver", "tid=2");
+        let stats = t.alloc_stats();
+        assert_eq!(stats.unique_interned, 1);
+        assert_eq!(t.of_component("faas.ep.hot").count(), 2);
     }
 }

@@ -28,7 +28,7 @@ fn shared_mep_world() -> World {
         });
         rt.commands.register("writemark", |env| {
             let path = format!("{}/mark.txt", env.account.scratch());
-            match env.site.fs.write(&path, &env.cred, env.account.username.clone(), hpcci::cluster::FileMode::PRIVATE) {
+            match env.site.fs.write(&path, env.cred, env.account.username.clone(), hpcci::cluster::FileMode::PRIVATE) {
                 Ok(()) => ExecOutcome::ok(path, 0.5),
                 Err(e) => ExecOutcome::fail(e.to_string(), 0.5),
             }

@@ -377,6 +377,60 @@ fn fault_schedules_are_seed_deterministic() {
     }
 }
 
+/// Trace::merge equals the reference extend-then-stable-sort for arbitrary
+/// inputs: sorted logs (the linear merge paths) and out-of-order logs (the
+/// fallback) must produce byte-identical renderings, with self's events
+/// ahead of other's within equal timestamps.
+#[test]
+fn trace_merge_matches_stable_sort() {
+    use hpcci::sim::Trace;
+    for case in 0..CASES {
+        let mut rng = case_rng("trace_merge", case);
+        let mut serial = 0u64;
+        let mut gen_trace = |rng: &mut DetRng, sorted: bool| {
+            let n = rng.range_u64(0, 24);
+            let mut stamps: Vec<u64> = (0..n).map(|_| rng.range_u64(0, 8)).collect();
+            if sorted {
+                stamps.sort_unstable();
+            }
+            let mut t = Trace::new();
+            for at in stamps {
+                // A unique detail per event makes any reordering visible.
+                serial += 1;
+                let comp = ["faas.ep.a", "faas.ep.b", "ci.runner"]
+                    [rng.range_u64(0, 3) as usize];
+                t.record(SimTime::from_micros(at), comp, "task.step", format!("e{serial}"));
+            }
+            t
+        };
+        // Mix sorted and unsorted inputs so both merge paths are exercised.
+        let ours_sorted = rng.chance(0.75);
+        let other_sorted = rng.chance(0.75);
+        let ours = gen_trace(&mut rng, ours_sorted);
+        let other = gen_trace(&mut rng, other_sorted);
+
+        let mut reference: Vec<(u64, String)> = ours
+            .events()
+            .iter()
+            .chain(other.events())
+            .map(|e| (e.at_us, e.to_string()))
+            .collect();
+        reference.sort_by_key(|(at, _)| *at);
+        let expected: String = reference
+            .into_iter()
+            .map(|(_, line)| line + "\n")
+            .collect();
+
+        let mut merged = ours;
+        merged.merge(other);
+        assert_eq!(merged.render(), expected, "case {case}: merge diverged from stable sort");
+        assert!(
+            merged.events().windows(2).all(|w| w[0].at_us <= w[1].at_us),
+            "case {case}: merged trace not sorted"
+        );
+    }
+}
+
 /// Chaos determinism, end to end: the same seed with the same fault plan
 /// replays the whole federation bit-identically — run log, functional
 /// trace, and chaos trace all byte-equal across replays.

@@ -24,7 +24,7 @@ fn two_user_world() -> (Federation, hpcci::correct::federation::OnboardedUser, h
         rt.site.add_account("x-bob", "projB");
         // A command that tries to read another user's private file.
         rt.commands.register("snoop", |env| {
-            match env.site.fs.read_text("/home/x-bob/secret.txt", &env.cred) {
+            match env.site.fs.read_text("/home/x-bob/secret.txt", env.cred) {
                 Ok(contents) => hpcci::faas::ExecOutcome::ok(contents, 0.1),
                 Err(e) => hpcci::faas::ExecOutcome::fail(e.to_string(), 0.1),
             }
