@@ -4,6 +4,7 @@ use crate::client::{ClientId, ClientSecret, ConfidentialClient};
 use crate::error::AuthError;
 use crate::identity::{Identity, IdentityId, IdentityProvider};
 use crate::token::{AccessToken, Scope, TokenInfo};
+use hpcci_obs::Obs;
 use hpcci_sim::{FaultInjector, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -25,6 +26,7 @@ pub struct AuthService {
     next_identity: u64,
     next_serial: u64,
     injector: Option<FaultInjector>,
+    obs: Obs,
 }
 
 impl AuthService {
@@ -36,6 +38,11 @@ impl AuthService {
     /// introspection; re-authenticating (a fresh token) clears the fault.
     pub fn set_fault_injector(&mut self, injector: FaultInjector) {
         self.injector = Some(injector);
+    }
+
+    /// Attach an observability handle.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Register a federated identity and return it.
@@ -58,6 +65,7 @@ impl AuthService {
             .get_mut(&id)
             .ok_or_else(|| AuthError::UnknownIdentity(format!("{id}")))?;
         identity.last_authentication_us = now.as_micros();
+        self.obs.inc("auth.token_refreshes");
         Ok(())
     }
 
@@ -127,6 +135,7 @@ impl AuthService {
                 revoked: false,
             },
         );
+        self.obs.inc("auth.tokens_issued");
         Ok(AccessToken::new(raw))
     }
 

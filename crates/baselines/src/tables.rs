@@ -109,7 +109,7 @@ mod tests {
         // Only OSC and CORRECT are lightweight in our models.
         // The characteristics list also has a "Lightweight" row; the
         // computed satisfied-by line is the last one.
-        let lightweight_line = t.lines().filter(|l| l.starts_with("Lightweight")).next_back().unwrap();
+        let lightweight_line = t.lines().rfind(|l| l.starts_with("Lightweight")).unwrap();
         assert!(lightweight_line.contains("OSC"));
         assert!(lightweight_line.contains("CORRECT"));
         assert!(!lightweight_line.contains("Jacamar"));

@@ -15,7 +15,7 @@ fn run_workload(policy: SchedulingPolicy, jobs: usize) {
     let mut rng = DetRng::seed_from_u64(9);
     let mut at = SimTime::ZERO;
     for i in 0..jobs {
-        at = at + SimDuration::from_secs(rng.range_u64(1, 30));
+        at += SimDuration::from_secs(rng.range_u64(1, 30));
         let spec = JobSpec {
             name: format!("j{i}"),
             user: Uid(1),

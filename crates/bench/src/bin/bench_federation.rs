@@ -7,7 +7,12 @@
 //! run to `BENCH_federation.json` at the repo root so future PRs can track
 //! perf regressions.
 //!
-//! Usage: `bench_federation [--smoke] [--label <name>]`
+//! Usage: `bench_federation [--smoke] [--label <name>] [--obs-gate <pct>]`
+//!
+//! `--obs-gate <pct>` re-runs the event-loop bench with the observability
+//! layer enabled and exits non-zero when enabled-vs-disabled throughput
+//! regresses by more than `<pct>` percent — CI's guard that
+//! `ObsConfig::disabled()` stays a no-op and the enabled path stays cheap.
 
 use hpcci::auth::{AuthService, Scope};
 use hpcci::cluster::Site;
@@ -20,6 +25,7 @@ use hpcci::scenarios::{parse_durations, parsldock_scenario};
 use hpcci::scheduler::LocalProvider;
 use hpcci::sim::{drive, SimTime};
 use hpcci_bench::sweep;
+use hpcci_obs::{Obs, ObsConfig};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
@@ -30,12 +36,14 @@ struct LoopSample {
     trace_events: u64,
     string_allocs: u64,
     allocs_saved: u64,
+    /// Metrics snapshot when the run was observed (`None` with obs disabled).
+    metrics: Option<hpcci_obs::MetricsSnapshot>,
 }
 
 /// Build a federation of `n_endpoints` single-user endpoints, each on its own
 /// workstation site, submit `n_tasks` shell tasks round-robin, and drive the
 /// cloud to quiescence. Returns wall time of the drive phase only.
-fn event_loop_run(n_endpoints: usize, n_tasks: usize) -> LoopSample {
+fn event_loop_run(n_endpoints: usize, n_tasks: usize, obs: Obs) -> LoopSample {
     let auth = Arc::new(Mutex::new(AuthService::new()));
     let (token, owner) = {
         let mut a = auth.lock();
@@ -47,6 +55,7 @@ fn event_loop_run(n_endpoints: usize, n_tasks: usize) -> LoopSample {
         (token, identity.id)
     };
     let mut cloud = CloudService::new(auth);
+    cloud.set_obs(obs.clone());
     let mut endpoint_ids = Vec::new();
     for i in 0..n_endpoints {
         let mut rt = SiteRuntime::new(Site::workstation(&format!("bench-{i}")));
@@ -72,6 +81,10 @@ fn event_loop_run(n_endpoints: usize, n_tasks: usize) -> LoopSample {
     let start = Instant::now();
     drive(&mut [&mut cloud]);
     let wall_secs = start.elapsed().as_secs_f64();
+    let metrics = obs.is_enabled().then(|| {
+        cloud.harvest_metrics();
+        obs.snapshot()
+    });
     let stats = cloud.trace.alloc_stats();
     LoopSample {
         wall_secs,
@@ -80,6 +93,7 @@ fn event_loop_run(n_endpoints: usize, n_tasks: usize) -> LoopSample {
         // name; static and interner-hit names allocate nothing.
         string_allocs: stats.unique_interned as u64,
         allocs_saved: stats.saved_allocs(),
+        metrics,
     }
 }
 
@@ -141,16 +155,24 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "dev".to_string());
+    let obs_gate: Option<f64> = args
+        .iter()
+        .position(|a| a == "--obs-gate")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--obs-gate takes a percentage"));
 
     let (endpoints, tasks, samples, reps) = if smoke { (4, 64, 2, 1) } else { (16, 2048, 7, 5) };
 
     hpcci_bench::section(&format!(
         "BENCH_federation — event-loop throughput ({endpoints} endpoints, {tasks} tasks)"
     ));
+    // Discard one warm-up run so allocator/cache warm-up lands outside the
+    // samples — the obs gate compares medians of the two passes below.
+    let _ = event_loop_run(endpoints, tasks, Obs::disabled());
     let mut walls = Vec::new();
     let mut last = None;
     for _ in 0..samples {
-        let s = event_loop_run(endpoints, tasks);
+        let s = event_loop_run(endpoints, tasks, Obs::disabled());
         walls.push(s.wall_secs);
         last = Some(s);
     }
@@ -162,6 +184,30 @@ fn main() {
     println!("event throughput          {:>12.0} events/s", events_per_sec);
     println!("trace string allocs       {:>12}", last.string_allocs);
     println!("trace allocs saved        {:>12}", last.allocs_saved);
+
+    // Same bench with the obs layer recording, to price the enabled path and
+    // pull latency percentiles out of the metrics snapshot.
+    hpcci_bench::section("event loop with observability enabled");
+    let mut obs_walls = Vec::new();
+    let mut obs_last = None;
+    for _ in 0..samples {
+        let s = event_loop_run(endpoints, tasks, Obs::new(ObsConfig::enabled()));
+        obs_walls.push(s.wall_secs);
+        obs_last = Some(s);
+    }
+    let obs_last = obs_last.unwrap();
+    let obs_wall = median(obs_walls);
+    let obs_events_per_sec = obs_last.trace_events as f64 / obs_wall;
+    let obs_overhead_pct = (1.0 - obs_events_per_sec / events_per_sec) * 100.0;
+    let snap = obs_last.metrics.as_ref().expect("obs-enabled run snapshots");
+    let latency = snap
+        .histogram("faas.task_latency_us")
+        .expect("task latency histogram populated");
+    println!("event throughput (obs)    {:>12.0} events/s", obs_events_per_sec);
+    println!("obs overhead              {:>12.1} %", obs_overhead_pct);
+    println!("tasks completed           {:>12}", snap.counter("faas.tasks_completed"));
+    println!("task latency p50          {:>12} us", latency.p50);
+    println!("task latency p99          {:>12} us", latency.p99);
 
     let threads = sweep::default_threads();
     hpcci_bench::section(&format!("fig4 sweep ({reps} reps) — serial vs {threads} threads"));
@@ -181,11 +227,16 @@ fn main() {
         "  {{\"label\": \"{label}\", \"endpoints\": {endpoints}, \"tasks\": {tasks}, \
          \"events_per_sec\": {events_per_sec:.0}, \"trace_events\": {trace_events}, \
          \"trace_string_allocs\": {string_allocs}, \"trace_allocs_saved\": {allocs_saved}, \
+         \"obs_events_per_sec\": {obs_events_per_sec:.0}, \
+         \"obs_overhead_pct\": {obs_overhead_pct:.1}, \
+         \"task_latency_p50_us\": {p50}, \"task_latency_p99_us\": {p99}, \
          \"fig4_reps\": {reps}, \"fig4_serial_secs\": {serial_secs:.4}, \
          \"fig4_parallel_secs\": {parallel_secs:.4}, \"sweep_threads\": {threads}}}",
         trace_events = last.trace_events,
         string_allocs = last.string_allocs,
         allocs_saved = last.allocs_saved,
+        p50 = latency.p50,
+        p99 = latency.p99,
     );
     let path = "BENCH_federation.json";
     let body = match std::fs::read_to_string(path) {
@@ -197,4 +248,15 @@ fn main() {
     };
     std::fs::write(path, body).expect("write BENCH_federation.json");
     println!("\nappended entry '{label}' to {path}");
+
+    if let Some(gate) = obs_gate {
+        if obs_overhead_pct > gate {
+            eprintln!(
+                "obs gate FAILED: enabled-vs-disabled throughput regression \
+                 {obs_overhead_pct:.1}% exceeds the {gate:.1}% budget"
+            );
+            std::process::exit(1);
+        }
+        println!("obs gate ok: {obs_overhead_pct:.1}% <= {gate:.1}%");
+    }
 }

@@ -7,7 +7,7 @@
 //!    task + artifact), i.e. everything the paper's workflow pays.
 
 use hpcci::cluster::{NodeRole, Site};
-use hpcci::correct::Federation;
+use hpcci::correct::{EndpointSpec, Federation};
 use hpcci::faas::{EndpointId, ExecOutcome};
 use hpcci::sim::DetRng;
 use hpcci::vcs::WorkTree;
@@ -49,17 +49,22 @@ fn main() {
 
     // 2 + 3 share a federation.
     let build = || {
-        let mut fed = Federation::new(7);
+        let mut fed = Federation::builder(7).build();
         let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
-        let handle = fed.add_site(Site::purdue_anvil(), 128);
+        let site = fed.add_site(Site::purdue_anvil(), 128);
         {
-            let mut rt = handle.shared.lock();
+            let mut rt = fed.site(site).shared.lock();
             rt.site.add_account("x-vhayot", "CIS230030");
             register_tox(&mut rt);
         }
         let mut mapping = hpcci::auth::IdentityMapping::new("purdue-anvil");
         mapping.add_explicit("vhayot@uchicago.edu", "x-vhayot");
-        fed.register_mep("ep-anvil", &handle, mapping, hpcci::faas::MepTemplate::login_only());
+        fed.register(EndpointSpec::multi_user(
+            "ep-anvil",
+            site,
+            mapping,
+            hpcci::faas::MepTemplate::login_only(),
+        ));
         (fed, user)
     };
 

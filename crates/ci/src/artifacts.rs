@@ -74,7 +74,10 @@ impl ArtifactStore {
         self.artifacts
             .iter()
             .find(|a| a.run == run && a.name == name && now < a.expires_at)
-            .ok_or_else(|| CiError::UnknownArtifact(name.to_string()))
+            .ok_or_else(|| CiError::UnknownArtifact {
+                run,
+                name: name.to_string(),
+            })
     }
 
     /// All live artifacts of a run.

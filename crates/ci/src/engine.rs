@@ -8,6 +8,7 @@ use crate::run::{RunId, RunStatus, StepRun, WorkflowRun};
 use crate::runner::RunnerPool;
 use crate::secrets::{mask_secrets, SecretStore};
 use crate::workflow::{interpolate, StepAction, StepDef, TriggerEvent, WorkflowDef};
+use hpcci_obs::Obs;
 use hpcci_sim::{SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
@@ -36,6 +37,7 @@ pub struct CiEngine {
     ready: VecDeque<(RunId, SimTime)>,
     schedules: Vec<Schedule>,
     next_run: u64,
+    obs: Obs,
 }
 
 impl Default for CiEngine {
@@ -58,7 +60,13 @@ impl CiEngine {
             ready: VecDeque::new(),
             schedules: Vec::new(),
             next_run: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attach an observability handle (run telemetry and artifact accounting).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Register a marketplace/custom action under its `uses:` name.
@@ -270,6 +278,7 @@ impl CiEngine {
         if status == RunStatus::Queued {
             self.ready.push_back((id, now));
         }
+        self.obs.inc("ci.runs_total");
         Ok(id)
     }
 
@@ -367,6 +376,11 @@ impl CiEngine {
             .workflow_def(&repo, &workflow)
             .expect("validated at instantiation")
             .clone();
+        let span = self.obs.span_start(
+            "ci.run",
+            format!("{repo}/{workflow} {id}"),
+            driver.now(),
+        );
         let org = repo.split('/').next().unwrap_or(&repo).to_string();
         let repo_env_vars = self.env_vars.get(&repo).cloned().unwrap_or_default();
         let mask_values = self.secrets.all_values();
@@ -410,6 +424,7 @@ impl CiEngine {
                 let ended = driver.now();
                 let success = result.success;
                 for (name, content) in result.artifacts {
+                    self.obs.add("ci.artifact_bytes", content.len() as u64);
                     self.artifacts.upload(id, &name, content, ended);
                 }
                 steps_acc.push(StepRun {
@@ -440,6 +455,7 @@ impl CiEngine {
             }
         }
 
+        self.obs.span_end(span, driver.now());
         let run = self.runs.get_mut(&id).expect("still exists");
         run.steps = steps_acc;
         run.ended_at = Some(driver.now());

@@ -10,7 +10,8 @@ pub enum CiError {
     UnknownEnvironment(String),
     UnknownAction(String),
     UnknownSecret(String),
-    UnknownArtifact(String),
+    /// No live artifact with `name` exists for `run` (missing or expired).
+    UnknownArtifact { run: RunId, name: String },
     /// The run is not awaiting approval (already approved/executed/rejected).
     NotAwaitingApproval(RunId),
     /// The approving user is not a required reviewer of the environment.
@@ -33,7 +34,9 @@ impl fmt::Display for CiError {
             CiError::UnknownEnvironment(e) => write!(f, "unknown environment {e}"),
             CiError::UnknownAction(a) => write!(f, "unknown action {a}"),
             CiError::UnknownSecret(s) => write!(f, "unknown secret {s}"),
-            CiError::UnknownArtifact(a) => write!(f, "unknown artifact {a}"),
+            CiError::UnknownArtifact { run, name } => {
+                write!(f, "unknown artifact {name} for run {run}")
+            }
             CiError::NotAwaitingApproval(id) => write!(f, "run {id} is not awaiting approval"),
             CiError::NotARequiredReviewer { run, user } => {
                 write!(f, "{user} is not a required reviewer for run {run}")

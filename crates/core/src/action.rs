@@ -19,6 +19,7 @@ use crate::inputs::CorrectInputs;
 use hpcci_auth::{AccessToken, AuthError, ClientId, ClientSecret, Scope};
 use hpcci_ci::{Action, StepContext, StepResult, WorldDriver};
 use hpcci_faas::{CloudService, EndpointId, FaasError, FunctionId, TaskId, TaskOutput};
+use hpcci_obs::Obs;
 use hpcci_sim::{DetRng, SimDuration, SimTime};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -55,9 +56,10 @@ enum Attempted {
     Infra(String),
 }
 
-fn note_failover(log: &mut String, endpoints: &[EndpointId], ep_idx: &mut usize) {
+fn note_failover(log: &mut String, endpoints: &[EndpointId], ep_idx: &mut usize, obs: &Obs) {
     if *ep_idx + 1 < endpoints.len() {
         *ep_idx += 1;
+        obs.inc("action.failovers");
         log.push_str(&format!(
             "Failing over to sibling endpoint {}\n",
             endpoints[*ep_idx]
@@ -86,11 +88,20 @@ fn infra_step_result(log: &str, detail: &str) -> StepResult {
 /// cloud's REST API; it never reaches the site directly).
 pub struct CorrectAction {
     cloud: Arc<Mutex<CloudService>>,
+    obs: Obs,
 }
 
 impl CorrectAction {
     pub fn new(cloud: Arc<Mutex<CloudService>>) -> Self {
-        CorrectAction { cloud }
+        CorrectAction {
+            cloud,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attach an observability handle (retry/failover/refresh counters).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Block until `task` finishes, advancing the virtual world. Errors if
@@ -152,8 +163,10 @@ impl CorrectAction {
         loop {
             if attempt > 0 {
                 if attempt > max_retries {
+                    self.obs.inc("action.infra_failures");
                     return Attempted::Infra(last_infra);
                 }
+                self.obs.inc("action.retries");
                 // Deterministic exponential backoff: base * 2^(attempt-1),
                 // jittered from a stream seeded by commit+endpoint.
                 let factor = (1u64 << (attempt - 1).min(16)) as f64 * rng.range_f64(0.8, 1.2);
@@ -184,6 +197,7 @@ impl CorrectAction {
                     };
                     match refreshed {
                         Ok(t) => {
+                            self.obs.inc("action.token_refreshes");
                             *token = t;
                             last_infra = "expired access token (refreshed)".to_string();
                             attempt += 1;
@@ -200,7 +214,7 @@ impl CorrectAction {
                     let msg = e.to_string();
                     if is_infra(&msg) {
                         last_infra = msg;
-                        note_failover(log, endpoints, &mut ep_idx);
+                        note_failover(log, endpoints, &mut ep_idx, &self.obs);
                         attempt += 1;
                         continue;
                     }
@@ -217,7 +231,7 @@ impl CorrectAction {
                         } else {
                             out.stderr.clone()
                         };
-                        note_failover(log, endpoints, &mut ep_idx);
+                        note_failover(log, endpoints, &mut ep_idx, &self.obs);
                         attempt += 1;
                         continue;
                     }
@@ -227,7 +241,7 @@ impl CorrectAction {
                 Err(e) => {
                     if is_infra(&e) {
                         last_infra = e;
-                        note_failover(log, endpoints, &mut ep_idx);
+                        note_failover(log, endpoints, &mut ep_idx, &self.obs);
                         attempt += 1;
                         continue;
                     }

@@ -6,26 +6,133 @@
 //! "system overview" of the paper's Fig. 2, as an object graph.
 
 use crate::action::{CorrectAction, CORRECT_ACTION_NAME};
-use hpcci_auth::{AuthService, IdentityMapping};
-use hpcci_ci::{CiEngine, RunId, WorldDriver};
+use hpcci_auth::{AuthService, IdentityId, IdentityMapping};
+use hpcci_ci::{CiEngine, CiError, RunId, RunStatus, WorkflowRun, WorldDriver};
 use hpcci_cluster::{FileMode, Site};
 use hpcci_faas::{
     CloudService, Endpoint, EndpointConfig, EndpointId, EndpointRegistration, ExecOutcome,
     MepTemplate, MultiUserEndpoint, SiteRuntime, WorkerProvider,
 };
+use hpcci_obs::{MetricsSnapshot, Obs, ObsConfig, RunReport};
 use hpcci_provenance::EnvironmentCapture;
 use hpcci_scheduler::{LocalProvider, SlurmProvider};
 use hpcci_sim::{Advance, FaultInjector, FaultPlan, SimDuration, SimTime, Trace};
 use hpcci_vcs::{HostingService, RepoEvent};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::fmt;
 use std::sync::Arc;
+
+/// Typed identifier of a registered site, minted by [`Federation::add_site`].
+///
+/// Replaces the stringly `site(&str)` lookups: a `SiteId` can only come from
+/// a successful registration, so site references cannot dangle or typo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SiteId(u32);
+
+impl SiteId {
+    /// Position in the federation's site table (registration order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
 
 /// Handle to a registered site.
 #[derive(Clone)]
 pub struct SiteHandle {
+    pub id: SiteId,
     pub name: String,
     pub shared: hpcci_faas::exec::SharedSite,
+}
+
+/// What kind of compute endpoint an [`EndpointSpec`] describes.
+pub enum EndpointKind {
+    /// Single-user endpoint with workers on the site's login node
+    /// (workstation-style execution).
+    Single,
+    /// Single-user endpoint whose workers live inside SLURM pilot jobs.
+    Pilot { cores: u32, walltime: SimDuration },
+    /// Multi-user endpoint that forks per-user endpoint pairs on demand.
+    MultiUser {
+        mapping: IdentityMapping,
+        template: MepTemplate,
+    },
+}
+
+/// Declarative endpoint registration, consumed by [`Federation::register`].
+///
+/// One spec type replaces the three historical `register_*` methods; the
+/// convenience constructors cover each kind.
+pub struct EndpointSpec {
+    pub name: String,
+    pub site: SiteId,
+    pub kind: EndpointKind,
+    /// Owning identity — required for the single-user kinds.
+    pub owner: Option<IdentityId>,
+    /// Local account the endpoint runs as — required for the single-user kinds.
+    pub local_user: Option<String>,
+}
+
+impl EndpointSpec {
+    /// A login-node (workstation) endpoint.
+    pub fn single(name: &str, site: SiteId, owner: IdentityId, local_user: &str) -> Self {
+        EndpointSpec {
+            name: name.to_string(),
+            site,
+            kind: EndpointKind::Single,
+            owner: Some(owner),
+            local_user: Some(local_user.to_string()),
+        }
+    }
+
+    /// A SLURM pilot-job endpoint.
+    pub fn pilot(
+        name: &str,
+        site: SiteId,
+        owner: IdentityId,
+        local_user: &str,
+        cores: u32,
+        walltime: SimDuration,
+    ) -> Self {
+        EndpointSpec {
+            name: name.to_string(),
+            site,
+            kind: EndpointKind::Pilot { cores, walltime },
+            owner: Some(owner),
+            local_user: Some(local_user.to_string()),
+        }
+    }
+
+    /// A multi-user endpoint.
+    pub fn multi_user(
+        name: &str,
+        site: SiteId,
+        mapping: IdentityMapping,
+        template: MepTemplate,
+    ) -> Self {
+        EndpointSpec {
+            name: name.to_string(),
+            site,
+            kind: EndpointKind::MultiUser { mapping, template },
+            owner: None,
+            local_user: None,
+        }
+    }
+}
+
+/// What [`Federation::register`] hands back: the cloud-side endpoint id plus
+/// where the endpoint lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointHandle {
+    pub id: EndpointId,
+    pub name: String,
+    pub site: SiteId,
 }
 
 /// The virtual-world driver handed to executing actions.
@@ -64,6 +171,47 @@ pub struct OnboardedUser {
     pub client_secret: String,
 }
 
+/// Step-wise constructor for [`Federation`] — the single construction path.
+///
+/// ```ignore
+/// let fed = Federation::builder(seed)
+///     .faults(plan)               // optional
+///     .obs(ObsConfig::enabled())  // optional
+///     .build();
+/// ```
+#[must_use = "a builder does nothing until `.build()` is called"]
+pub struct FederationBuilder {
+    seed: u64,
+    plan: Option<FaultPlan>,
+    obs: ObsConfig,
+}
+
+impl FederationBuilder {
+    /// Install a fault plan. Every component consults the shared
+    /// [`FaultInjector`] at its event boundaries; with an empty plan the
+    /// federation behaves bit-identically to a fault-free build.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Configure observability. [`ObsConfig::disabled`] (the default) makes
+    /// every recording call a no-op branch; enabling it never perturbs
+    /// simulated time, RNG streams, or component traces.
+    pub fn obs(mut self, cfg: ObsConfig) -> Self {
+        self.obs = cfg;
+        self
+    }
+
+    pub fn build(self) -> Federation {
+        Federation::build_parts(
+            self.seed,
+            self.plan.map(FaultInjector::new),
+            Obs::new(self.obs),
+        )
+    }
+}
+
 /// The full federation.
 pub struct Federation {
     pub auth: Arc<Mutex<AuthService>>,
@@ -71,47 +219,63 @@ pub struct Federation {
     pub hosting: Arc<Mutex<HostingService>>,
     pub engine: CiEngine,
     world: World,
-    sites: BTreeMap<String, SiteHandle>,
+    /// Registered sites, indexed by [`SiteId`] (registration order).
+    sites: Vec<SiteHandle>,
+    site_names: BTreeMap<String, SiteId>,
     seed: u64,
     injector: Option<FaultInjector>,
+    obs: Obs,
 }
 
 impl Federation {
+    /// Start building a federation. `seed` drives every stochastic component.
+    pub fn builder(seed: u64) -> FederationBuilder {
+        FederationBuilder {
+            seed,
+            plan: None,
+            obs: ObsConfig::disabled(),
+        }
+    }
+
     /// Build an empty federation. `seed` drives every stochastic component.
+    #[deprecated(note = "use `Federation::builder(seed).build()`")]
     pub fn new(seed: u64) -> Self {
-        Federation::build(seed, None)
+        Federation::builder(seed).build()
     }
 
-    /// Build a federation with a fault plan. Every component consults the
-    /// shared [`FaultInjector`] at its event boundaries; with an empty plan
-    /// the federation behaves bit-identically to [`Federation::new`].
+    /// Build a federation with a fault plan.
+    #[deprecated(note = "use `Federation::builder(seed).faults(plan).build()`")]
     pub fn with_faults(seed: u64, plan: FaultPlan) -> Self {
-        Federation::build(seed, Some(FaultInjector::new(plan)))
+        Federation::builder(seed).faults(plan).build()
     }
 
-    fn build(seed: u64, injector: Option<FaultInjector>) -> Self {
+    fn build_parts(seed: u64, injector: Option<FaultInjector>, obs: Obs) -> Self {
         let auth = Arc::new(Mutex::new(AuthService::new()));
         let cloud = Arc::new(Mutex::new(CloudService::new(auth.clone())));
         let hosting = Arc::new(Mutex::new(HostingService::new()));
         let mut engine = CiEngine::new();
-        engine.register_action(
-            CORRECT_ACTION_NAME,
-            Arc::new(CorrectAction::new(cloud.clone())),
-        );
+        let mut action = CorrectAction::new(cloud.clone());
+        action.set_obs(obs.clone());
+        engine.register_action(CORRECT_ACTION_NAME, Arc::new(action));
         if let Some(inj) = &injector {
             auth.lock().set_fault_injector(inj.clone());
             cloud.lock().set_fault_injector(inj.clone());
             engine.artifacts.set_fault_injector(inj.clone());
         }
+        auth.lock().set_obs(obs.clone());
+        cloud.lock().set_obs(obs.clone());
+        engine.set_obs(obs.clone());
         Federation {
             auth,
             cloud: cloud.clone(),
             hosting,
             engine,
             world: World { cloud },
-            sites: BTreeMap::new(),
+            sites: Vec::new(),
+            site_names: BTreeMap::new(),
             seed,
             injector,
+            obs,
         }
     }
 
@@ -135,24 +299,46 @@ impl Federation {
 
     /// Register a site, attach a scheduler when it has compute nodes, and
     /// install the standard federation commands (`git`, `gc-capture-env`).
-    pub fn add_site(&mut self, site: Site, scheduler_cores: u32) -> SiteHandle {
+    /// Returns the typed id every later site reference goes through.
+    pub fn add_site(&mut self, site: Site, scheduler_cores: u32) -> SiteId {
         let name = site.id.to_string();
         let mut runtime = SiteRuntime::new(site).with_scheduler(scheduler_cores);
         self.install_standard_commands(&mut runtime);
         if let (Some(inj), Some(scheduler)) = (&self.injector, &runtime.scheduler) {
             scheduler.lock().set_fault_injector(inj.clone(), &name);
         }
+        if self.obs.is_enabled() {
+            if let Some(scheduler) = &runtime.scheduler {
+                scheduler.lock().set_obs(self.obs.clone(), &name);
+            }
+        }
         let shared = hpcci_faas::exec::shared(runtime);
-        let handle = SiteHandle {
+        let id = SiteId(self.sites.len() as u32);
+        self.sites.push(SiteHandle {
+            id,
             name: name.clone(),
             shared,
-        };
-        self.sites.insert(name, handle.clone());
-        handle
+        });
+        self.site_names.insert(name, id);
+        id
     }
 
-    pub fn site(&self, name: &str) -> Option<&SiteHandle> {
-        self.sites.get(name)
+    /// Handle of a registered site.
+    ///
+    /// # Panics
+    /// If `id` was not minted by this federation's [`add_site`](Self::add_site).
+    pub fn site(&self, id: SiteId) -> &SiteHandle {
+        &self.sites[id.index()]
+    }
+
+    /// Look a site up by its human-readable name.
+    pub fn site_by_name(&self, name: &str) -> Option<&SiteHandle> {
+        self.site_names.get(name).map(|id| &self.sites[id.index()])
+    }
+
+    /// All registered sites in registration order.
+    pub fn sites(&self) -> impl Iterator<Item = &SiteHandle> {
+        self.sites.iter()
     }
 
     /// The `git` handler clones from the federation's hosting service into
@@ -262,89 +448,134 @@ impl Federation {
     // Endpoints
     // ------------------------------------------------------------------
 
+    /// Register a compute endpoint described by `spec` — the single entry
+    /// point behind which the historical `register_*` trio now forwards.
+    ///
+    /// # Panics
+    /// If a single-user spec omits `owner`/`local_user`, or a pilot spec
+    /// targets a site without a scheduler.
+    pub fn register(&mut self, spec: EndpointSpec) -> EndpointHandle {
+        let EndpointSpec {
+            name,
+            site,
+            kind,
+            owner,
+            local_user,
+        } = spec;
+        let shared = self.site(site).shared.clone();
+        let id = match kind {
+            EndpointKind::Single => {
+                let owner = owner.expect("single-user endpoint needs an owner");
+                let local_user = local_user.expect("single-user endpoint needs a local user");
+                let login = shared
+                    .lock()
+                    .site
+                    .login_node()
+                    .expect("sites have a login node")
+                    .id;
+                self.seed += 1;
+                let mut ep = Endpoint::new(
+                    EndpointConfig::new(&name, owner, &local_user),
+                    shared,
+                    WorkerProvider::Local(LocalProvider::new(login, 8)),
+                    self.seed,
+                );
+                if let Some(inj) = &self.injector {
+                    ep.set_fault_injector(inj.clone());
+                }
+                self.cloud
+                    .lock()
+                    .register_endpoint(&name, EndpointRegistration::Single(ep))
+            }
+            EndpointKind::Pilot { cores, walltime } => {
+                let owner = owner.expect("single-user endpoint needs an owner");
+                let local_user = local_user.expect("single-user endpoint needs a local user");
+                let (scheduler, account) = {
+                    let rt = shared.lock();
+                    (
+                        rt.scheduler.clone().expect("pilot endpoint needs a scheduler"),
+                        rt.site.account(&local_user).expect("local account exists").clone(),
+                    )
+                };
+                self.seed += 1;
+                let mut ep = Endpoint::new(
+                    EndpointConfig::new(&name, owner, &local_user),
+                    shared,
+                    WorkerProvider::Slurm(SlurmProvider::new(
+                        scheduler,
+                        account.uid,
+                        &account.allocation,
+                        cores,
+                        walltime,
+                    )),
+                    self.seed,
+                );
+                if let Some(inj) = &self.injector {
+                    ep.set_fault_injector(inj.clone());
+                }
+                self.cloud
+                    .lock()
+                    .register_endpoint(&name, EndpointRegistration::Single(ep))
+            }
+            EndpointKind::MultiUser { mapping, template } => {
+                let mut mep = MultiUserEndpoint::new(&name, shared, mapping, template);
+                if let Some(inj) = &self.injector {
+                    mep.set_fault_injector(inj.clone());
+                }
+                self.cloud
+                    .lock()
+                    .register_endpoint(&name, EndpointRegistration::Multi(mep))
+            }
+        };
+        EndpointHandle { id, name, site }
+    }
+
     /// Register a multi-user endpoint at a site.
+    #[deprecated(note = "use `Federation::register(EndpointSpec::multi_user(..))`")]
     pub fn register_mep(
         &mut self,
         endpoint_name: &str,
-        site: &SiteHandle,
+        site: SiteId,
         mapping: IdentityMapping,
         template: MepTemplate,
     ) -> EndpointId {
-        let mut mep = MultiUserEndpoint::new(endpoint_name, site.shared.clone(), mapping, template);
-        if let Some(inj) = &self.injector {
-            mep.set_fault_injector(inj.clone());
-        }
-        self.cloud
-            .lock()
-            .register_endpoint(endpoint_name, EndpointRegistration::Multi(mep))
+        self.register(EndpointSpec::multi_user(endpoint_name, site, mapping, template))
+            .id
     }
 
     /// Register a single-user endpoint on a site's login node.
+    #[deprecated(note = "use `Federation::register(EndpointSpec::single(..))`")]
     pub fn register_single_endpoint(
         &mut self,
         endpoint_name: &str,
-        site: &SiteHandle,
-        owner: hpcci_auth::IdentityId,
+        site: SiteId,
+        owner: IdentityId,
         local_user: &str,
     ) -> EndpointId {
-        let login = site
-            .shared
-            .lock()
-            .site
-            .login_node()
-            .expect("sites have a login node")
-            .id;
-        self.seed += 1;
-        let mut ep = Endpoint::new(
-            EndpointConfig::new(endpoint_name, owner, local_user),
-            site.shared.clone(),
-            WorkerProvider::Local(LocalProvider::new(login, 8)),
-            self.seed,
-        );
-        if let Some(inj) = &self.injector {
-            ep.set_fault_injector(inj.clone());
-        }
-        self.cloud
-            .lock()
-            .register_endpoint(endpoint_name, EndpointRegistration::Single(ep))
+        self.register(EndpointSpec::single(endpoint_name, site, owner, local_user))
+            .id
     }
 
     /// Register a single-user endpoint whose workers are SLURM pilots.
+    #[deprecated(note = "use `Federation::register(EndpointSpec::pilot(..))`")]
     pub fn register_pilot_endpoint(
         &mut self,
         endpoint_name: &str,
-        site: &SiteHandle,
-        owner: hpcci_auth::IdentityId,
+        site: SiteId,
+        owner: IdentityId,
         local_user: &str,
         cores: u32,
         walltime: SimDuration,
     ) -> EndpointId {
-        let (scheduler, account) = {
-            let rt = site.shared.lock();
-            (
-                rt.scheduler.clone().expect("pilot endpoint needs a scheduler"),
-                rt.site.account(local_user).expect("local account exists").clone(),
-            )
-        };
-        self.seed += 1;
-        let mut ep = Endpoint::new(
-            EndpointConfig::new(endpoint_name, owner, local_user),
-            site.shared.clone(),
-            WorkerProvider::Slurm(SlurmProvider::new(
-                scheduler,
-                account.uid,
-                &account.allocation,
-                cores,
-                walltime,
-            )),
-            self.seed,
-        );
-        if let Some(inj) = &self.injector {
-            ep.set_fault_injector(inj.clone());
-        }
-        self.cloud
-            .lock()
-            .register_endpoint(endpoint_name, EndpointRegistration::Single(ep))
+        self.register(EndpointSpec::pilot(
+            endpoint_name,
+            site,
+            owner,
+            local_user,
+            cores,
+            walltime,
+        ))
+        .id
     }
 
     // ------------------------------------------------------------------
@@ -440,11 +671,90 @@ impl Federation {
     }
 
     /// Approve one awaiting run and execute it.
-    pub fn approve_and_run(&mut self, run: RunId, reviewer: &str) -> Result<(), hpcci_ci::CiError> {
+    pub fn approve_and_run(&mut self, run: RunId, reviewer: &str) -> Result<(), CiError> {
         let now = self.world.now();
         self.engine.approve(run, reviewer, now)?;
         self.run_all();
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// The observability handle components record into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Harvest component-local counters and return a deterministic snapshot
+    /// of every metric series. With observability disabled the snapshot is
+    /// empty. Two same-seed runs yield byte-identical snapshots
+    /// ([`MetricsSnapshot::to_json`] / [`MetricsSnapshot::to_prometheus`]).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.cloud.lock().harvest_metrics();
+        if self.obs.is_enabled() {
+            let injected = self.fault_trace().of_kind("fault.inject").count() as u64;
+            self.obs.set_counter("faults.injected", injected);
+        }
+        self.obs.snapshot()
+    }
+
+    /// Per-run telemetry summary (the paper's Fig. 4 columns: submit, start,
+    /// finish, outcome, artifact volume, failure kind).
+    pub fn run_report(&self, run: RunId) -> Result<RunReport, CiError> {
+        let record = self.engine.run(run)?;
+        Ok(self.report_of(record))
+    }
+
+    /// Reports for every run the engine knows, in [`RunId`] order.
+    pub fn run_reports(&self) -> Vec<RunReport> {
+        let mut reports: Vec<RunReport> = self.engine.runs().map(|r| self.report_of(r)).collect();
+        reports.sort_by_key(|r| r.run);
+        reports
+    }
+
+    fn report_of(&self, record: &WorkflowRun) -> RunReport {
+        let now = self.world.now();
+        let status = match record.status {
+            RunStatus::AwaitingApproval => "awaiting-approval",
+            RunStatus::Queued => "queued",
+            RunStatus::Running => "running",
+            RunStatus::Success => "success",
+            RunStatus::Failure => "failure",
+            RunStatus::Rejected => "rejected",
+        };
+        let artifact_bytes: u64 = self
+            .engine
+            .artifacts
+            .of_run(record.id, now)
+            .iter()
+            .map(|a| a.content.len() as u64)
+            .sum();
+        // Infrastructure failures are flagged by the action's `failure_kind`
+        // step output (§2.1); anything else that failed is a test failure.
+        let failure_kind = record
+            .steps
+            .iter()
+            .find_map(|s| s.outputs.get("failure_kind").cloned())
+            .or_else(|| {
+                (record.status == RunStatus::Failure).then(|| "test".to_string())
+            });
+        RunReport {
+            run: record.id.0,
+            repo: record.repo.clone(),
+            workflow: record.workflow.clone(),
+            branch: record.branch.clone(),
+            commit: record.commit.clone(),
+            status: status.to_string(),
+            triggered_at_us: record.triggered_at.as_micros(),
+            started_at_us: record.started_at.map(|t| t.as_micros()),
+            ended_at_us: record.ended_at.map(|t| t.as_micros()),
+            steps: record.steps.len() as u32,
+            failed_steps: record.steps.iter().filter(|s| !s.success).count() as u32,
+            artifact_bytes,
+            failure_kind,
+        }
     }
 }
 
@@ -454,15 +764,40 @@ mod tests {
 
     #[test]
     fn federation_builds_and_registers_sites() {
-        let mut fed = Federation::new(1);
+        let mut fed = Federation::builder(1).build();
         let cham = fed.add_site(Site::chameleon_tacc(), 64);
         let faster = fed.add_site(Site::tamu_faster(), 64);
-        assert!(fed.site("chameleon-tacc").is_some());
-        assert!(fed.site("nope").is_none());
-        assert!(cham.shared.lock().scheduler.is_none());
-        assert!(faster.shared.lock().scheduler.is_some());
+        assert_eq!(fed.site_by_name("chameleon-tacc").map(|s| s.id), Some(cham));
+        assert!(fed.site_by_name("nope").is_none());
+        assert_eq!(fed.site(cham).name, "chameleon-tacc");
+        assert!(fed.site(cham).shared.lock().scheduler.is_none());
+        assert!(fed.site(faster).shared.lock().scheduler.is_some());
         // Standard commands installed.
+        let cham = fed.site(cham);
         assert!(cham.shared.lock().commands.resolve("git clone x").is_some());
         assert!(cham.shared.lock().commands.resolve("gc-capture-env").is_some());
+    }
+
+    #[test]
+    fn deprecated_constructors_still_build() {
+        #[allow(deprecated)]
+        let mut fed = Federation::new(7);
+        let site = fed.add_site(Site::tamu_faster(), 64);
+        assert_eq!(site.index(), 0);
+        // Disabled observability yields an empty snapshot.
+        let snap = fed.metrics();
+        assert!(snap.counters.is_empty());
+    }
+
+    #[test]
+    fn metrics_snapshot_exposes_core_series_when_enabled() {
+        let fed = Federation::builder(3).obs(ObsConfig::enabled()).build();
+        let snap = fed.metrics();
+        for series in ["sched.queue_wait_us", "faas.pilot_provision_us", "faas.task_latency_us"] {
+            assert!(snap.histogram(series).is_some(), "missing {series}");
+        }
+        for counter in ["action.retries", "faults.injected", "sim.events_dispatched"] {
+            assert!(snap.counters.contains_key(counter), "missing {counter}");
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! Tool*, §5.3) is a CI action that lets workflow code defined on the hosting
 //! service execute at arbitrary remote computing sites through the federated
 //! FaaS layer — *"whereas HPC CI frameworks install runners directly on HPC
-//! infrastructure, CORRECT runs within [hosted] runners"*, reaching HPC only
+//! infrastructure, CORRECT runs within \[hosted\] runners"*, reaching HPC only
 //! through authenticated, auditable FaaS tasks.
 //!
 //! * [`inputs::CorrectInputs`] — the action's parameter schema (client
@@ -28,7 +28,10 @@ pub mod persist;
 pub mod recipes;
 
 pub use action::{CorrectAction, CORRECT_ACTION_NAME};
-pub use federation::{Federation, SiteHandle};
+pub use federation::{
+    EndpointHandle, EndpointKind, EndpointSpec, Federation, FederationBuilder, OnboardedUser,
+    SiteHandle, SiteId,
+};
 pub use inputs::CorrectInputs;
 pub use persist::{archive_from_engine, archive_run};
 

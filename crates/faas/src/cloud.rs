@@ -11,6 +11,7 @@ use crate::function::{Function, FunctionBody, FunctionId};
 use crate::mep::MultiUserEndpoint;
 use crate::task::{Task, TaskId, TaskOutput, TaskState};
 use hpcci_auth::{AuthService, Identity, Scope};
+use hpcci_obs::Obs;
 use hpcci_sim::{Advance, EventQueue, FaultInjector, NextEventCache, SimTime, Sym, Trace};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -142,6 +143,13 @@ pub struct CloudService {
     /// An `endpoint_mut` borrow escaped; re-evaluate `fault_aware` before
     /// the next advance.
     recheck_faults: bool,
+    /// Observability handle, propagated to endpoints at registration.
+    obs: Obs,
+    /// Hot-loop counters kept as plain fields (no lock, no branch beyond the
+    /// add) and harvested into `obs` by [`Self::harvest_metrics`].
+    tasks_submitted: u64,
+    tasks_completed: u64,
+    events_dispatched: u64,
 }
 
 impl CloudService {
@@ -166,6 +174,10 @@ impl CloudService {
             wire_scratch: Vec::new(),
             fault_aware: false,
             recheck_faults: false,
+            obs: Obs::disabled(),
+            tasks_submitted: 0,
+            tasks_completed: 0,
+            events_dispatched: 0,
         }
     }
 
@@ -174,6 +186,41 @@ impl CloudService {
     pub fn set_fault_injector(&mut self, injector: FaultInjector) {
         self.injector = Some(injector);
         self.fault_aware = true;
+    }
+
+    /// Attach an observability handle. Propagates to every endpoint already
+    /// registered and to every endpoint registered afterwards. Recording is
+    /// sim-time only and never feeds back into timing, so traces are
+    /// unchanged whether the handle is enabled or disabled.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        for registration in self.endpoints.values_mut() {
+            match registration {
+                EndpointRegistration::Single(e) => e.set_obs(self.obs.clone()),
+                EndpointRegistration::Multi(m) => m.set_obs(self.obs.clone()),
+            }
+        }
+    }
+
+    /// The cloud's observability handle (disabled unless [`Self::set_obs`]).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Harvest hot-loop counters (kept as plain fields while the event loop
+    /// runs) plus dispatch-cache effectiveness into the obs registry.
+    pub fn harvest_metrics(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        self.obs.set_counter("faas.tasks_submitted", self.tasks_submitted);
+        self.obs.set_counter("faas.tasks_completed", self.tasks_completed);
+        self.obs.set_counter("sim.events_dispatched", self.events_dispatched);
+        let stats = self.cache.stats();
+        self.obs.set_counter("sim.cache_refreshes", stats.refreshes);
+        self.obs.set_counter("sim.cache_refresh_hot_hits", stats.hot_hits);
+        self.obs.set_counter("sim.cache_probes", stats.probes);
+        self.obs.set_counter("sim.cache_volatile_probes", stats.volatile_probes);
     }
 
     /// Earliest instant a message can cross the WAN towards/from `endpoint`:
@@ -190,8 +237,14 @@ impl CloudService {
     }
 
     /// Register an endpoint under a name.
-    pub fn register_endpoint(&mut self, id: &str, registration: EndpointRegistration) -> EndpointId {
+    pub fn register_endpoint(&mut self, id: &str, mut registration: EndpointRegistration) -> EndpointId {
         let eid = EndpointId(id.to_string());
+        if self.obs.is_enabled() {
+            match &mut registration {
+                EndpointRegistration::Single(e) => e.set_obs(self.obs.clone()),
+                EndpointRegistration::Multi(m) => m.set_obs(self.obs.clone()),
+            }
+        }
         self.fault_aware |= registration.has_injector();
         let volatile = registration.shares_scheduler();
         let slot = match self.slots.get(&eid) {
@@ -340,6 +393,7 @@ impl CloudService {
         now: SimTime,
     ) -> TaskId {
         self.next_task += 1;
+        self.tasks_submitted += 1;
         let id = TaskId(self.next_task);
         self.tasks.insert(
             id,
@@ -348,6 +402,7 @@ impl CloudService {
                 submitter: identity.id,
                 endpoint: endpoint.0.clone(),
                 command: command.clone(),
+                submitted_at: now,
                 state: TaskState::Submitted { at: now },
             },
         );
@@ -508,8 +563,14 @@ impl CloudService {
                     output.success()
                 );
                 let record = self.tasks.get_mut(&task).expect("task exists");
+                let submitted_at = record.submitted_at;
                 match record.transition(TaskState::Done(output)) {
-                    Ok(()) => self.trace.record(at, "faas.cloud", "task.done", detail),
+                    Ok(()) => {
+                        self.tasks_completed += 1;
+                        self.obs
+                            .observe("faas.task_latency_us", at.since(submitted_at).as_micros());
+                        self.trace.record(at, "faas.cloud", "task.done", detail)
+                    }
                     Err(e) => self.trace.record(
                         at,
                         "faas.cloud",
@@ -540,11 +601,13 @@ impl CloudService {
                 break;
             }
             self.now = step;
+            self.events_dispatched += self.endpoints.len() as u64;
             for ep in self.endpoints.values_mut() {
                 ep.advance_to(step);
             }
             self.collect_returns(step);
             while let Some((at, event)) = self.wire.pop_due(step) {
+                self.events_dispatched += 1;
                 self.handle_wire_event(at, event);
             }
         }
@@ -618,6 +681,7 @@ impl Advance for CloudService {
                 let ids = &self.slot_ids;
                 self.due_scratch.sort_unstable_by(|&a, &b| ids[a].cmp(&ids[b]));
             }
+            self.events_dispatched += self.due_scratch.len() as u64;
             for i in 0..self.due_scratch.len() {
                 let slot = self.due_scratch[i];
                 self.endpoints
@@ -634,6 +698,7 @@ impl Advance for CloudService {
             let mut wire_scratch = std::mem::take(&mut self.wire_scratch);
             wire_scratch.clear();
             self.wire.drain_due_into(step, &mut wire_scratch);
+            self.events_dispatched += wire_scratch.len() as u64;
             for (at, event) in wire_scratch.drain(..) {
                 self.handle_wire_event(at, event);
             }

@@ -13,6 +13,7 @@ use crate::function::FunctionId;
 use crate::task::{TaskId, TaskOutput};
 use hpcci_auth::{HighAssurancePolicy, IdentityId};
 use hpcci_cluster::{Cred, NodeRole, UserAccount};
+use hpcci_obs::Obs;
 use hpcci_scheduler::{BlockId, BlockState, ExecutionProvider, LocalProvider, SlurmProvider};
 use hpcci_sim::{Advance, DetRng, EventQueue, FaultInjector, SimDuration, SimTime};
 use std::collections::{BTreeSet, VecDeque};
@@ -142,6 +143,11 @@ pub struct Endpoint {
     now: SimTime,
     rng: DetRng,
     injector: Option<FaultInjector>,
+    /// Observability handle (disabled by default; see [`Self::set_obs`]).
+    obs: Obs,
+    /// When the currently outstanding pilot block was requested; taken when
+    /// the block first turns active to observe provisioning latency.
+    provision_pending: Option<SimTime>,
     /// Cached resolution of `config.local_user` at the site, paired with its
     /// credentials. Revalidated (by comparison, not by cloning) on every
     /// task start, so account changes at the site are still observed.
@@ -163,8 +169,17 @@ impl Endpoint {
             now: SimTime::ZERO,
             rng: DetRng::seed_from_u64(seed),
             injector: None,
+            obs: Obs::disabled(),
+            provision_pending: None,
             exec_identity: None,
         }
+    }
+
+    /// Attach an observability handle. The endpoint records pilot
+    /// provisioning latency, task execution time, and pilot re-provisions;
+    /// recording is sim-time only and never perturbs behaviour.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Attach a fault injector. The endpoint consults it at its event
@@ -280,6 +295,9 @@ impl Endpoint {
             // Lazy provisioning: the first task requests the worker block.
             if let Ok(b) = self.provider.request_block(now) {
                 self.block = Some(b);
+                if self.shares_scheduler() {
+                    self.provision_pending = Some(now);
+                }
             }
         }
         self.pump();
@@ -330,7 +348,15 @@ impl Endpoint {
                 Err(_) => return,
             };
             match state {
-                BlockState::Active { nodes, role, .. } => break (nodes, role),
+                BlockState::Active { nodes, role, .. } => {
+                    if let Some(requested) = self.provision_pending.take() {
+                        self.obs.observe_duration(
+                            "faas.pilot_provision_us",
+                            self.now.since(requested),
+                        );
+                    }
+                    break (nodes, role);
+                }
                 BlockState::Requested { .. } => return,
                 BlockState::Terminated { .. } => {
                     // Pilot died (walltime or preemption); provision a fresh
@@ -344,6 +370,10 @@ impl Endpoint {
                     reprovisioned = true;
                     match self.provider.request_block(self.now) {
                         Ok(b) => {
+                            self.obs.inc("faas.pilot_reprovisions");
+                            if self.shares_scheduler() {
+                                self.provision_pending = Some(self.now);
+                            }
                             self.block = Some(b);
                             block = b;
                         }
@@ -460,6 +490,8 @@ impl Advance for Endpoint {
         while let Some((at, completion)) = self.completions.pop_due(t) {
             self.now = at;
             self.busy_workers = self.busy_workers.saturating_sub(1);
+            self.obs
+                .observe_duration("faas.task_exec_us", completion.output.runtime());
             self.finished.push((completion.id, completion.output));
             self.pump();
         }

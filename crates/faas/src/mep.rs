@@ -18,6 +18,7 @@ use crate::exec::SharedSite;
 use crate::function::FunctionId;
 use crate::task::{TaskId, TaskOutput};
 use hpcci_auth::{HighAssurancePolicy, Identity, IdentityMapping};
+use hpcci_obs::Obs;
 use hpcci_scheduler::{LocalProvider, SlurmProvider};
 use hpcci_sim::{Advance, FaultInjector, NextEventCache, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
@@ -109,6 +110,8 @@ pub struct MultiUserEndpoint {
     audit_log: Vec<(TaskId, String, String)>,
     seed: u64,
     injector: Option<FaultInjector>,
+    /// Observability handle, propagated into every forked UEP.
+    obs: Obs,
     /// Outputs of tasks that were in flight when the MEP crashed; drained by
     /// [`Self::take_finished`] alongside live UEP outputs.
     pending_crashed: Vec<(TaskId, TaskOutput)>,
@@ -135,6 +138,7 @@ impl MultiUserEndpoint {
             audit_log: Vec::new(),
             seed: 0x6d65_7000,
             injector: None,
+            obs: Obs::disabled(),
             pending_crashed: Vec::new(),
             cache: NextEventCache::new(),
             slot_users: Vec::new(),
@@ -145,6 +149,16 @@ impl MultiUserEndpoint {
     /// Attach a fault injector consulted at enqueue/advance boundaries.
     pub fn set_fault_injector(&mut self, injector: FaultInjector) {
         self.injector = Some(injector);
+    }
+
+    /// Attach an observability handle, propagated into every UEP this MEP
+    /// forks (already-forked UEPs are updated too).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+        for pair in self.ueps.values_mut() {
+            pair.login.set_obs(self.obs.clone());
+            pair.task.set_obs(self.obs.clone());
+        }
     }
 
     /// Does this MEP (and hence every UEP it forks) consult a fault injector?
@@ -298,6 +312,10 @@ impl MultiUserEndpoint {
         if let Some(inj) = &self.injector {
             login_ep.set_fault_injector(inj.clone());
             task_ep.set_fault_injector(inj.clone());
+        }
+        if self.obs.is_enabled() {
+            login_ep.set_obs(self.obs.clone());
+            task_ep.set_obs(self.obs.clone());
         }
         let slot = self.cache.register();
         self.slot_users.push(local_user.to_string());

@@ -83,6 +83,10 @@ pub struct Task {
     pub endpoint: String,
     /// The resolved command line the endpoint will execute.
     pub command: String,
+    /// When the cloud accepted the task (start of the latency clock; the
+    /// `Submitted` state is transient but this timestamp survives the
+    /// lifecycle for end-to-end latency accounting).
+    pub submitted_at: SimTime,
     pub state: TaskState,
 }
 
@@ -149,6 +153,7 @@ mod tests {
             submitter: IdentityId(1),
             endpoint: "ep".into(),
             command: "true".into(),
+            submitted_at: SimTime::ZERO,
             state,
         }
     }

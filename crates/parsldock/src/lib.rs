@@ -11,7 +11,7 @@
 //!   radius, charge) generated deterministically from names;
 //! * [`prep`] — receptor/ligand preparation (protonation, partial-charge
 //!   assignment): the AutoDock-Tools/MGLTools step;
-//! * [`dock`] — rigid-body grid docking with a Lennard-Jones + Coulomb
+//! * [`mod@dock`] — rigid-body grid docking with a Lennard-Jones + Coulomb
 //!   scoring function: the AutoDock-Vina step;
 //! * [`ml`] — descriptor computation and a linear ridge-SGD surrogate model
 //!   that ranks candidate ligands by predicted binding score;

@@ -29,7 +29,7 @@ pub struct Artifact {
     pub publicly_archived: bool,
     /// Documentation sufficient to understand core functionality.
     pub documented: bool,
-    /// Quality of the Artifact Evaluation instructions in [0,1] — drives
+    /// Quality of the Artifact Evaluation instructions in \[0,1\] — drives
     /// install success and time.
     pub ae_quality: f64,
     /// Artifact ships an automated CI test suite (§3.1.1's "ideally").
@@ -41,7 +41,7 @@ pub struct Artifact {
     pub remote_ci_evidence: bool,
     /// Hours to re-run the (downscaled) key experiments.
     pub experiment_hours: f64,
-    /// Run-to-run variance of results in [0,1]; high variance makes the
+    /// Run-to-run variance of results in \[0,1\]; high variance makes the
     /// "validate central claims" judgement fail more often.
     pub result_variance: f64,
 }

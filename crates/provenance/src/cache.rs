@@ -1,5 +1,5 @@
 //! NeuroCI-style task provenance cache (§4.3.3): "all task provenance data
-//! is gathered and stored within a task provenance cache file [storing] IDs
+//! is gathered and stored within a task provenance cache file \[storing\] IDs
 //! pointing to the location of the tasks and files … exported as artifacts
 //! … and made available through an API."
 //!

@@ -12,7 +12,7 @@
 //!   user, timings, outputs, and the federation trace slice;
 //! * [`research_object::ResearchObject`] — an RO-Crate-like bundle of code
 //!   reference + data + environment + execution records (§2);
-//! * [`badges::`] — the SC/CCGrid three-level badge taxonomy (§3.1), the
+//! * [`badges`] — the SC/CCGrid three-level badge taxonomy (§3.1), the
 //!   AD/AE artifact model, a reviewer-process simulator with the canonical
 //!   eight-hour budget, and a calibrated cohort generator that regenerates
 //!   the Fig. 1 time series.

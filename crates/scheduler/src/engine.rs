@@ -13,7 +13,8 @@ use crate::error::SchedulerError;
 use crate::job::{JobEvent, JobId, JobPayload, JobSpec, JobState};
 use crate::partition::Partition;
 use hpcci_cluster::NodeId;
-use hpcci_sim::{Advance, EventQueue, FaultInjector, SimTime};
+use hpcci_obs::Obs;
+use hpcci_sim::{Advance, EventQueue, FaultInjector, SimTime, Sym};
 use std::collections::{BTreeMap, VecDeque};
 
 /// Queueing policy.
@@ -79,6 +80,10 @@ pub struct BatchScheduler {
     next_id: u64,
     /// Fault injector plus the scheduler's label in fault plans (site name).
     injector: Option<(FaultInjector, String)>,
+    obs: Obs,
+    /// Pre-interned per-site queue-wait series (`sched.{site}.queue_wait_us`)
+    /// so `start_job` never allocates a metric name.
+    obs_site_queue_wait: Sym,
 }
 
 impl BatchScheduler {
@@ -97,6 +102,8 @@ impl BatchScheduler {
             now: SimTime::ZERO,
             next_id: 1,
             injector: None,
+            obs: Obs::disabled(),
+            obs_site_queue_wait: Sym::Static(""),
         }
     }
 
@@ -104,6 +111,13 @@ impl BatchScheduler {
     /// scheduler (the site name at the federation layer).
     pub fn set_fault_injector(&mut self, injector: FaultInjector, label: &str) {
         self.injector = Some((injector, label.to_string()));
+    }
+
+    /// Attach an observability handle; `label` names this scheduler's
+    /// per-site metric series (the site name at the federation layer).
+    pub fn set_obs(&mut self, obs: Obs, label: &str) {
+        self.obs_site_queue_wait = obs.intern(&format!("sched.{label}.queue_wait_us"));
+        self.obs = obs;
     }
 
     /// Register a partition; its nodes become schedulable.
@@ -149,6 +163,7 @@ impl BatchScheduler {
             },
         );
         self.queue.push_back(id);
+        self.obs.gauge_set("sched.queue_depth", self.queue.len() as u64);
         self.schedule_pass();
         Ok(id)
     }
@@ -258,13 +273,21 @@ impl BatchScheduler {
         None
     }
 
-    fn start_job(&mut self, id: JobId, nodes: Vec<NodeId>) {
+    fn start_job(&mut self, id: JobId, nodes: Vec<NodeId>, backfill: bool) {
         let record = self.jobs.get_mut(&id).expect("queued job exists");
         let JobState::Pending { submitted } = record.state else {
             panic!("starting a non-pending job");
         };
         let started = self.now;
         record.state = JobState::Running { submitted, started };
+        if self.obs.is_enabled() {
+            let wait = started.since(submitted);
+            self.obs.observe_duration("sched.queue_wait_us", wait);
+            self.obs.observe_duration(&self.obs_site_queue_wait, wait);
+            if backfill {
+                self.obs.observe_duration("sched.backfill_wait_us", wait);
+            }
+        }
         let spec = &record.spec;
         let (end_at, ends_as_timeout, fixed_success) = match spec.payload {
             JobPayload::Fixed { duration, success } => {
@@ -417,7 +440,7 @@ impl BatchScheduler {
             match Self::find_nodes(partition, &self.free, spec.nodes, spec.cores_per_node) {
                 Some(nodes) => {
                     self.queue.pop_front();
-                    self.start_job(head, nodes);
+                    self.start_job(head, nodes, false);
                 }
                 None => break,
             }
@@ -442,7 +465,7 @@ impl BatchScheduler {
                 Self::find_nodes(partition, &self.free, spec.nodes, spec.cores_per_node)
             {
                 self.queue.retain(|q| *q != id);
-                self.start_job(id, nodes);
+                self.start_job(id, nodes, true);
             }
         }
     }
@@ -692,6 +715,31 @@ mod tests {
         s.advance_to(SimTime::from_secs(60));
         assert_eq!(s.accounting().len(), 2);
         assert_eq!(s.accounting().usage("alloc"), 4.0 * 50.0);
+    }
+
+    #[test]
+    fn obs_records_queue_wait_depth_and_backfill() {
+        let mut s = scheduler(2, 8);
+        let obs = Obs::enabled();
+        s.set_obs(obs.clone(), "anvil");
+        // a starts immediately; b (needs both nodes) waits for a; c backfills.
+        let _a = s.submit(fixed("a", 1, 8, 100, 10), SimTime::ZERO).unwrap();
+        let b = s.submit(fixed("b", 2, 8, 10, 10), SimTime::ZERO).unwrap();
+        let _c = s.submit(fixed("c", 1, 8, 20, 1), SimTime::ZERO).unwrap();
+        s.advance_to(SimTime::from_secs(100));
+        assert!(s.state(b).unwrap().is_running());
+        let snap = obs.snapshot();
+        let wait = snap.histogram("sched.queue_wait_us").expect("global series");
+        assert_eq!(wait.count, 3, "a, b, and c each started once");
+        assert_eq!(wait.max, 100_000_000, "b waited 100s");
+        let site = snap
+            .histogram("sched.anvil.queue_wait_us")
+            .expect("per-site series");
+        assert_eq!(site.count, 3);
+        let backfill = snap.histogram("sched.backfill_wait_us").expect("backfill series");
+        assert_eq!(backfill.count, 1, "only c backfilled");
+        let depth = snap.gauge("sched.queue_depth").expect("queue depth gauge");
+        assert_eq!(depth.max, 2, "b and c were queued together");
     }
 
     #[test]

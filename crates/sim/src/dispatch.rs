@@ -27,6 +27,32 @@
 
 use crate::time::SimTime;
 
+/// Dispatch-cache effectiveness counters, kept as plain fields so counting
+/// costs a few integer adds inside work [`NextEventCache::refresh`] is
+/// already doing. Harvested (not sampled) by the observability layer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `refresh` calls that had work to do (some slot dirty or volatile).
+    pub refreshes: u64,
+    /// `refresh` calls that returned immediately: nothing dirty, nothing
+    /// volatile — the cache absorbed the whole rescan.
+    pub hot_hits: u64,
+    /// Children actually re-probed across all refreshes.
+    pub probes: u64,
+    /// The subset of probes forced by volatile slots rather than dirty bits.
+    pub volatile_probes: u64,
+}
+
+impl CacheStats {
+    /// Merge another cache's counters (containers nesting caches).
+    pub fn absorb(&mut self, other: CacheStats) {
+        self.refreshes += other.refreshes;
+        self.hot_hits += other.hot_hits;
+        self.probes += other.probes;
+        self.volatile_probes += other.volatile_probes;
+    }
+}
+
 /// Per-child cached next-event times with dirty-bit invalidation.
 #[derive(Debug, Default, Clone)]
 pub struct NextEventCache {
@@ -37,6 +63,7 @@ pub struct NextEventCache {
     dirty_count: usize,
     min: Option<SimTime>,
     min_stable: Option<SimTime>,
+    stats: CacheStats,
 }
 
 impl NextEventCache {
@@ -109,10 +136,14 @@ impl NextEventCache {
     /// consulted.
     pub fn refresh(&mut self, mut probe: impl FnMut(usize) -> Option<SimTime>) {
         if self.dirty_count == 0 && self.volatile_slots.is_empty() {
+            self.stats.hot_hits += 1;
             return;
         }
+        self.stats.refreshes += 1;
         for (slot, dirty) in self.dirty.iter_mut().enumerate() {
             if *dirty || self.volatile[slot] {
+                self.stats.probes += 1;
+                self.stats.volatile_probes += (!*dirty) as u64;
                 self.times[slot] = probe(slot);
                 *dirty = false;
             }
@@ -156,6 +187,11 @@ impl NextEventCache {
     pub fn min_stable(&self) -> Option<SimTime> {
         debug_assert!(self.dirty_count == 0, "min_stable() over dirty cache");
         self.min_stable
+    }
+
+    /// Effectiveness counters accumulated since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
     }
 
     /// Slots whose cached next event is due at or before `t`, ascending.
@@ -278,6 +314,28 @@ mod tests {
         assert_eq!(cache.min_stable(), Some(SimTime::from_secs(3)));
         assert_eq!(cache.min(), Some(SimTime::from_secs(3)));
         assert!(cache.volatile_slots().is_empty());
+    }
+
+    #[test]
+    fn stats_count_refreshes_probes_and_hot_hits() {
+        let mut cache = NextEventCache::new();
+        let a = cache.register();
+        let b = cache.register();
+        cache.refresh(|_| Some(SimTime::from_secs(1))); // 2 dirty probes
+        cache.refresh(|_| None); // nothing to do: hot hit
+        cache.set_volatile(b, true);
+        cache.refresh(|_| Some(SimTime::from_secs(2))); // b re-probed (volatile only)
+        cache.mark_dirty(a);
+        cache.refresh(|_| Some(SimTime::from_secs(3))); // a dirty + b volatile
+        let stats = cache.stats();
+        assert_eq!(stats.hot_hits, 1);
+        assert_eq!(stats.refreshes, 3);
+        assert_eq!(stats.probes, 5);
+        assert_eq!(stats.volatile_probes, 2);
+        let mut total = CacheStats::default();
+        total.absorb(stats);
+        total.absorb(stats);
+        assert_eq!(total.probes, 10);
     }
 
     #[test]

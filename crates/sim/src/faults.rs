@@ -9,7 +9,7 @@
 //! and figure outputs are bit-identical to a run without an injector.
 //!
 //! Faults are one-shot: a consult that matches a due fault consumes it.
-//! Every injection and recovery is recorded as a [`TraceEvent`] in the
+//! Every injection and recovery is recorded as a [`TraceEvent`](crate::trace::TraceEvent) in the
 //! injector's own trace (`fault.inject` / `fault.recover` kinds), keeping
 //! the chaos log separate from the functional trace.
 

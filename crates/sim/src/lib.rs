@@ -30,7 +30,7 @@ pub mod time;
 pub mod trace;
 
 pub use component::{drive, drive_until, Advance};
-pub use dispatch::NextEventCache;
+pub use dispatch::{CacheStats, NextEventCache};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use queue::EventQueue;
 pub use rng::DetRng;

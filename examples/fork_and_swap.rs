@@ -11,15 +11,15 @@
 use hpcci::auth::IdentityMapping;
 use hpcci::ci::workflow::{JobDef, TriggerEvent, WorkflowDef};
 use hpcci::cluster::Site;
-use hpcci::correct::{recipes, Federation};
+use hpcci::correct::{recipes, EndpointSpec, Federation};
 use hpcci::faas::{ExecOutcome, MepTemplate};
 use hpcci::provenance::{EnvironmentCapture, ExecutionRecord};
 use hpcci::vcs::WorkTree;
 
 fn install_site(fed: &mut Federation, site: Site, local_user: &str, federated: &str, ep: &str) {
-    let handle = fed.add_site(site, 64);
+    let site_id = fed.add_site(site, 64);
     {
-        let mut rt = handle.shared.lock();
+        let mut rt = fed.site(site_id).shared.lock();
         rt.site.add_account(local_user, "repro");
         rt.commands.register("pytest", |env| {
             ExecOutcome::ok(
@@ -28,16 +28,16 @@ fn install_site(fed: &mut Federation, site: Site, local_user: &str, federated: &
             )
         });
     }
-    let site_name = handle.name.clone();
+    let site_name = fed.site(site_id).name.clone();
     let mut mapping = IdentityMapping::new(&site_name);
     mapping.add_explicit(federated, local_user);
-    fed.register_mep(ep, &handle, mapping, MepTemplate::login_only());
+    fed.register(EndpointSpec::multi_user(ep, site_id, mapping, MepTemplate::login_only()));
 }
 
 fn record_of(fed: &Federation, run: hpcci::ci::RunId, repo: &str, site: &str) -> ExecutionRecord {
     let r = fed.engine.run(run).unwrap();
     let step = r.step("run").unwrap();
-    let handle = fed.site(site).unwrap();
+    let handle = fed.site_by_name(site).unwrap();
     ExecutionRecord {
         repo: repo.to_string(),
         commit: r.commit.clone(),
@@ -54,7 +54,7 @@ fn record_of(fed: &Federation, run: hpcci::ci::RunId, repo: &str, site: &str) ->
 }
 
 fn main() {
-    let mut fed = Federation::new(777);
+    let mut fed = Federation::builder(777).build();
 
     // The original author publishes the repo + workflow bound to her site.
     let author = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");

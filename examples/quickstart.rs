@@ -11,17 +11,17 @@
 use hpcci::auth::IdentityMapping;
 use hpcci::ci::workflow::{JobDef, TriggerEvent, WorkflowDef};
 use hpcci::cluster::Site;
-use hpcci::correct::{recipes, Federation};
+use hpcci::correct::{recipes, EndpointSpec, Federation};
 use hpcci::faas::{ExecOutcome, MepTemplate};
 use hpcci::vcs::WorkTree;
 
 fn main() {
     // 1. A federation with one remote site: a lab workstation.
-    let mut fed = Federation::new(2025);
+    let mut fed = Federation::builder(2025).build();
     let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
     let site = fed.add_site(Site::workstation("lab-server"), 16);
     {
-        let mut rt = site.shared.lock();
+        let mut rt = fed.site(site).shared.lock();
         rt.site.add_account("vhayot", "lab");
         // The remote test runner the Fig. 3 step invokes.
         rt.commands.register("tox", |env| {
@@ -35,7 +35,7 @@ fn main() {
     }
     let mut mapping = IdentityMapping::new("lab-server");
     mapping.add_explicit("vhayot@uchicago.edu", "vhayot");
-    fed.register_mep("ep-lab", &site, mapping, MepTemplate::login_only());
+    fed.register(EndpointSpec::multi_user("ep-lab", site, mapping, MepTemplate::login_only()));
 
     // 2. A repository with the Fig. 3 workflow.
     let repo = "globus-labs/quickstart-demo";

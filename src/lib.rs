@@ -33,6 +33,7 @@ pub use hpcci_ci as ci;
 pub use hpcci_cluster as cluster;
 pub use hpcci_faas as faas;
 pub use hpcci_minimpi as minimpi;
+pub use hpcci_obs as obs;
 pub use hpcci_parsldock as parsldock;
 pub use hpcci_provenance as provenance;
 pub use hpcci_psij as psij;

@@ -6,7 +6,7 @@
 //! inspect.
 
 use correct_core::federation::OnboardedUser;
-use correct_core::{recipes, Federation};
+use correct_core::{recipes, EndpointSpec, Federation};
 use hpcci_auth::IdentityMapping;
 use hpcci_ci::RunId;
 use hpcci_cluster::{ImageSpec, Site};
@@ -120,16 +120,19 @@ fn parsldock_tree() -> WorkTree {
 ///   template splits providers — `git` on the login node, `pytest` in a
 ///   SLURM pilot on compute nodes.
 pub fn parsldock_scenario(seed: u64) -> Scenario {
-    parsldock_scenario_on(Federation::new(seed))
+    parsldock_scenario_on(Federation::builder(seed).build())
 }
 
 /// [`parsldock_scenario`] with a fault plan installed: same sites, same
 /// endpoints, same workflow, but every component consults the injector.
 pub fn parsldock_scenario_with_faults(seed: u64, plan: FaultPlan) -> Scenario {
-    parsldock_scenario_on(Federation::with_faults(seed, plan))
+    parsldock_scenario_on(Federation::builder(seed).faults(plan).build())
 }
 
-fn parsldock_scenario_on(mut fed: Federation) -> Scenario {
+/// [`parsldock_scenario`] on a caller-built [`Federation`] — use this to
+/// layer builder options (fault plans, observability) under the standard
+/// §6.1 site/endpoint/workflow wiring.
+pub fn parsldock_scenario_on(mut fed: Federation) -> Scenario {
     let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
     let repo = "parsl/parsl-docking-tutorial".to_string();
 
@@ -142,9 +145,10 @@ fn parsldock_scenario_on(mut fed: Federation) -> Scenario {
         (Site::sdsc_expanse(), "expanse-vhayot", 128),
     ] {
         let site_name = site.id.to_string();
-        let handle = fed.add_site(site, cores);
+        let site_id = fed.add_site(site, cores);
+        let shared = fed.site(site_id).shared.clone();
         {
-            let mut rt = handle.shared.lock();
+            let mut rt = shared.lock();
             let env = rt.site.envs.create("docking");
             env.install("autodock-vina", "1.2.6");
             env.install("vmd", "1.9.3");
@@ -153,18 +157,23 @@ fn parsldock_scenario_on(mut fed: Federation) -> Scenario {
         }
         let endpoint_name = format!("ep-{site_name}");
         if site_name == "chameleon-tacc" {
-            handle.shared.lock().site.add_account("cc", "chameleon");
-            fed.register_single_endpoint(&endpoint_name, &handle, user.identity.id, "cc");
+            shared.lock().site.add_account("cc", "chameleon");
+            fed.register(EndpointSpec::single(
+                &endpoint_name,
+                site_id,
+                user.identity.id,
+                "cc",
+            ));
         } else {
-            handle.shared.lock().site.add_account("x-vhayot", "CIS230030");
+            shared.lock().site.add_account("x-vhayot", "CIS230030");
             let mut mapping = IdentityMapping::new(&site_name);
             mapping.add_explicit("vhayot@uchicago.edu", "x-vhayot");
-            fed.register_mep(
+            fed.register(EndpointSpec::multi_user(
                 &endpoint_name,
-                &handle,
+                site_id,
                 mapping,
                 MepTemplate::hpc_split(cores, 3600),
-            );
+            ));
         }
         environments.push(env_name.to_string());
         endpoints.push(endpoint_name);
@@ -203,23 +212,26 @@ fn parsldock_scenario_on(mut fed: Federation) -> Scenario {
 /// `typeguard` out of the site's `psij` Conda environment, reproducing the
 /// dependency failure of Fig. 5.
 pub fn psij_scenario(seed: u64, inject_fault: bool) -> Scenario {
-    psij_scenario_on(Federation::new(seed), inject_fault)
+    psij_scenario_on(Federation::builder(seed).build(), inject_fault)
 }
 
 /// [`psij_scenario`] with a fault plan installed on top of the (optional)
 /// missing-typeguard dependency fault — the two are orthogonal: one breaks
 /// the tests, the other breaks the infrastructure.
 pub fn psij_scenario_with_faults(seed: u64, inject_fault: bool, plan: FaultPlan) -> Scenario {
-    psij_scenario_on(Federation::with_faults(seed, plan), inject_fault)
+    psij_scenario_on(Federation::builder(seed).faults(plan).build(), inject_fault)
 }
 
-fn psij_scenario_on(mut fed: Federation, inject_fault: bool) -> Scenario {
+/// [`psij_scenario`] on a caller-built [`Federation`] — use this to layer
+/// builder options (fault plans, observability) under the §6.2 wiring.
+pub fn psij_scenario_on(mut fed: Federation, inject_fault: bool) -> Scenario {
     let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
     let repo = "ExaWorks/psij-python".to_string();
 
-    let handle = fed.add_site(Site::purdue_anvil(), 128);
+    let site_id = fed.add_site(Site::purdue_anvil(), 128);
+    let shared = fed.site(site_id).shared.clone();
     {
-        let mut rt = handle.shared.lock();
+        let mut rt = shared.lock();
         rt.site.add_account("x-vhayot", "CIS230030");
         let env = rt.site.envs.create("psij");
         env.install("psij-python", "0.9.9");
@@ -235,7 +247,12 @@ fn psij_scenario_on(mut fed: Federation, inject_fault: bool) -> Scenario {
     // be run on the login node."
     let mut mapping = IdentityMapping::new("purdue-anvil");
     mapping.add_explicit("vhayot@uchicago.edu", "x-vhayot");
-    fed.register_mep("ep-anvil", &handle, mapping, MepTemplate::login_only());
+    fed.register(EndpointSpec::multi_user(
+        "ep-anvil",
+        site_id,
+        mapping,
+        MepTemplate::login_only(),
+    ));
 
     let now = fed.now();
     fed.hosting.lock().create_repo("ExaWorks", "psij-python", now);
@@ -265,14 +282,15 @@ fn psij_scenario_on(mut fed: Federation, inject_fault: bool) -> Scenario {
 /// §6.3: the KaMPIng reproducibility artifacts on a Chameleon instance, with
 /// the MEP configured inside the published container image.
 pub fn kamping_scenario(seed: u64) -> Scenario {
-    let mut fed = Federation::new(seed);
+    let mut fed = Federation::builder(seed).build();
     let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
     let repo = "kamping-site/kamping-reproducibility".to_string();
     let image = "ghcr.io/kamping-site/kamping-reproducibility:v1";
 
-    let handle = fed.add_site(Site::chameleon_tacc(), 64);
+    let site_id = fed.add_site(Site::chameleon_tacc(), 64);
+    let shared = fed.site(site_id).shared.clone();
     {
-        let mut rt = handle.shared.lock();
+        let mut rt = shared.lock();
         rt.site.add_account("cc", "chameleon");
         rt.site
             .images
@@ -288,12 +306,12 @@ pub fn kamping_scenario(seed: u64) -> Scenario {
     // container".
     let mut mapping = IdentityMapping::new("chameleon-tacc");
     mapping.add_explicit("vhayot@uchicago.edu", "cc");
-    fed.register_mep(
+    fed.register(EndpointSpec::multi_user(
         "ep-cham-kamping",
-        &handle,
+        site_id,
         mapping,
         MepTemplate::login_only().in_container(image),
-    );
+    ));
 
     let now = fed.now();
     fed.hosting.lock().create_repo("kamping-site", "kamping-reproducibility", now);

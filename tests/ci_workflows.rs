@@ -5,24 +5,24 @@
 use hpcci::ci::workflow::{JobDef, StepDef, TriggerEvent, WorkflowDef};
 use hpcci::ci::{Environment, RunStatus};
 use hpcci::cluster::Site;
-use hpcci::correct::{recipes, Federation};
+use hpcci::correct::{recipes, EndpointSpec, Federation};
 use hpcci::faas::MepTemplate;
 use hpcci::sim::SimTime;
 use hpcci::vcs::WorkTree;
 
 fn base_world() -> Federation {
-    let mut fed = Federation::new(23);
+    let mut fed = Federation::builder(23).build();
     let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
-    let handle = fed.add_site(Site::purdue_anvil(), 128);
+    let site = fed.add_site(Site::purdue_anvil(), 128);
     {
-        let mut rt = handle.shared.lock();
+        let mut rt = fed.site(site).shared.lock();
         rt.site.add_account("x-vhayot", "CIS230030");
         rt.commands
             .register("pytest", |_| hpcci::faas::ExecOutcome::ok("6 passed", 5.0));
     }
     let mut mapping = hpcci::auth::IdentityMapping::new("purdue-anvil");
     mapping.add_explicit("vhayot@uchicago.edu", "x-vhayot");
-    fed.register_mep("ep-anvil", &handle, mapping, MepTemplate::login_only());
+    fed.register(EndpointSpec::multi_user("ep-anvil", site, mapping, MepTemplate::login_only()));
     let now = fed.now();
     fed.hosting.lock().create_repo("lab", "app", now);
     fed.hosting

@@ -4,7 +4,7 @@
 
 use hpcci::auth::{IdentityMapping, Scope};
 use hpcci::cluster::{ImageSpec, Site};
-use hpcci::correct::Federation;
+use hpcci::correct::{EndpointSpec, Federation};
 use hpcci::faas::{EndpointId, ExecOutcome, MepTemplate, TaskState};
 use hpcci::sim::SimTime;
 
@@ -15,12 +15,12 @@ struct World {
 
 /// Two mapped users sharing one MEP on FASTER.
 fn shared_mep_world() -> World {
-    let mut fed = Federation::new(31);
+    let mut fed = Federation::builder(31).build();
     let alice = fed.onboard_user("alice@access-ci.org", "access-ci.org");
     let bob = fed.onboard_user("bob@access-ci.org", "access-ci.org");
-    let handle = fed.add_site(Site::tamu_faster(), 64);
+    let site = fed.add_site(Site::tamu_faster(), 64);
     {
-        let mut rt = handle.shared.lock();
+        let mut rt = fed.site(site).shared.lock();
         rt.site.add_account("x-alice", "projA");
         rt.site.add_account("x-bob", "projB");
         rt.commands.register("whoami", |env| {
@@ -36,7 +36,7 @@ fn shared_mep_world() -> World {
     }
     let mut mapping = IdentityMapping::new("tamu-faster");
     mapping.add_provider_rule("access-ci.org", "x-");
-    fed.register_mep("mep", &handle, mapping, MepTemplate::login_only());
+    fed.register(EndpointSpec::multi_user("mep", site, mapping, MepTemplate::login_only()));
 
     let tokens = [&alice, &bob]
         .iter()
@@ -77,7 +77,7 @@ fn one_mep_isolates_concurrent_users() {
     assert!(out_a.stdout.contains("/scratch/x-alice/"));
     assert!(out_b.stdout.contains("/scratch/x-bob/"));
     drop(cloud);
-    let handle = w.fed.site("tamu-faster").unwrap().clone();
+    let handle = w.fed.site_by_name("tamu-faster").unwrap().clone();
     let rt = handle.shared.lock();
     assert_eq!(
         rt.site.fs.owner_of("/scratch/x-alice/mark.txt").unwrap(),
@@ -89,24 +89,24 @@ fn one_mep_isolates_concurrent_users() {
 fn pilot_walltime_expiry_reprovisions_for_queued_tasks() {
     // A SLURM-pilot endpoint whose pilot dies at walltime must request a
     // fresh block for the remaining queue rather than stranding it.
-    let mut fed = Federation::new(33);
+    let mut fed = Federation::builder(33).build();
     let user = fed.onboard_user("u@access-ci.org", "access-ci.org");
-    let handle = fed.add_site(Site::tamu_faster(), 64);
+    let site = fed.add_site(Site::tamu_faster(), 64);
     {
-        let mut rt = handle.shared.lock();
+        let mut rt = fed.site(site).shared.lock();
         rt.site.add_account("x-u", "proj");
         // Each task takes ~400 reference-seconds; walltime is 600s, so the
         // second task cannot finish inside the first pilot.
         rt.commands.register("slow", |_| ExecOutcome::ok("done", 400.0));
     }
-    fed.register_pilot_endpoint(
+    fed.register(EndpointSpec::pilot(
         "ep-pilot",
-        &handle,
+        site,
         user.identity.id,
         "x-u",
         64,
         hpcci::sim::SimDuration::from_secs(600),
-    );
+    ));
     let token = fed
         .auth
         .lock()
@@ -141,6 +141,7 @@ fn pilot_walltime_expiry_reprovisions_for_queued_tasks() {
     // The scheduler saw at least one pilot job; expiry-and-reprovision would
     // show as more than one.
     drop(cloud);
+    let handle = fed.site(site).clone();
     let rt = handle.shared.lock();
     let sched = rt.scheduler.as_ref().unwrap().lock();
     assert!(sched.accounting().len() + sched.running_count() >= 1);

@@ -11,7 +11,7 @@
 
 use hpcci::ci::workflow::{JobDef, StepDef, TriggerEvent, WorkflowDef};
 use hpcci::ci::RunStatus;
-use hpcci::correct::CORRECT_ACTION_NAME;
+use hpcci::correct::{EndpointSpec, CORRECT_ACTION_NAME};
 use hpcci::scenarios::{
     parsldock_scenario, parsldock_scenario_with_faults, psij_scenario, psij_scenario_with_faults,
 };
@@ -131,7 +131,7 @@ fn node_drain_preempts_pilot_and_the_suite_recovers() {
     );
     // The preemption is visible in the scheduler's accounting, like sacct
     // would show it.
-    let handle = s.fed.site("tamu-faster").unwrap().clone();
+    let handle = s.fed.site_by_name("tamu-faster").unwrap().clone();
     let rt = handle.shared.lock();
     let sched = rt.scheduler.as_ref().unwrap().lock();
     use hpcci::scheduler::JobState;
@@ -210,10 +210,10 @@ fn endpoint_crash_fails_over_to_sibling_endpoint() {
     let mut s = psij_scenario_with_faults(86, false, plan);
     // A second, single-user endpoint on the Anvil login node — the primary
     // for this workflow; the scenario's MEP serves as its fallback sibling.
-    let handle = s.fed.site("purdue-anvil").unwrap().clone();
+    let site = s.fed.site_by_name("purdue-anvil").unwrap().id;
     let owner = s.user.identity.id;
     s.fed
-        .register_single_endpoint("ep-anvil-login", &handle, owner, "x-vhayot");
+        .register(EndpointSpec::single("ep-anvil-login", site, owner, "x-vhayot"));
     let step = StepDef::uses(
         "run",
         CORRECT_ACTION_NAME,

@@ -38,18 +38,18 @@ fn artifacts_run_inside_the_container() {
     use hpcci::correct::recipes;
     use hpcci::faas::MepTemplate;
 
-    let mut fed = hpcci::correct::Federation::new(82);
+    let mut fed = hpcci::correct::Federation::builder(82).build();
     let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
-    let handle = fed.add_site(Site::chameleon_tacc(), 64);
+    let site = fed.add_site(Site::chameleon_tacc(), 64);
     {
-        let mut rt = handle.shared.lock();
+        let mut rt = fed.site(site).shared.lock();
         rt.site.add_account("cc", "chameleon");
         hpcci::minimpi::install_artifacts(&mut rt.commands);
     }
     let mut mapping = IdentityMapping::new("chameleon-tacc");
     mapping.add_explicit("vhayot@uchicago.edu", "cc");
     // No .in_container(...) here.
-    fed.register_mep("ep-bare", &handle, mapping, MepTemplate::login_only());
+    fed.register(hpcci::correct::EndpointSpec::multi_user("ep-bare", site, mapping, MepTemplate::login_only()));
 
     let now = fed.now();
     fed.hosting.lock().create_repo("kamping-site", "kamping-reproducibility", now);

@@ -78,7 +78,7 @@ fn tests_on_hpc_sites_run_on_compute_nodes() {
     let mut s = parsldock_scenario(63);
     s.push_approve_run("vhayot");
     for site_name in ["tamu-faster", "sdsc-expanse"] {
-        let handle = s.fed.site(site_name).unwrap().clone();
+        let handle = s.fed.site_by_name(site_name).unwrap().clone();
         let rt = handle.shared.lock();
         let sched = rt.scheduler.as_ref().expect("HPC site has scheduler").lock();
         assert!(
@@ -87,7 +87,7 @@ fn tests_on_hpc_sites_run_on_compute_nodes() {
         );
     }
     // Chameleon has no scheduler at all — FaaS ran directly on the instance.
-    let cham = s.fed.site("chameleon-tacc").unwrap().clone();
+    let cham = s.fed.site_by_name("chameleon-tacc").unwrap().clone();
     assert!(cham.shared.lock().scheduler.is_none());
 }
 

@@ -5,17 +5,17 @@
 
 use hpcci::auth::IdentityMapping;
 use hpcci::cluster::Site;
-use hpcci::correct::{recipes, Federation};
+use hpcci::correct::{recipes, EndpointSpec, Federation};
 use hpcci::faas::MepTemplate;
 use hpcci::ci::RunStatus;
 use hpcci::vcs::WorkTree;
 
 fn faster_world(split_template: bool) -> (Federation, hpcci::ci::RunId) {
-    let mut fed = Federation::new(11);
+    let mut fed = Federation::builder(11).build();
     let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
-    let handle = fed.add_site(Site::tamu_faster(), 64);
+    let site = fed.add_site(Site::tamu_faster(), 64);
     {
-        let mut rt = handle.shared.lock();
+        let mut rt = fed.site(site).shared.lock();
         rt.site.add_account("x-vhayot", "CIS230030");
         hpcci::parsldock::install_pytest(&mut rt.commands, "app");
     }
@@ -29,7 +29,7 @@ fn faster_world(split_template: bool) -> (Federation, hpcci::ci::RunId) {
         t.login_commands.clear();
         t
     };
-    fed.register_mep("ep-faster", &handle, mapping, template);
+    fed.register(EndpointSpec::multi_user("ep-faster", site, mapping, template));
 
     let now = fed.now();
     fed.hosting.lock().create_repo("lab", "app", now);

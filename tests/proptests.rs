@@ -149,9 +149,9 @@ fn private_files_stay_private() {
             let _ = fs.write(&format!("/home/bob-{name}/f"), &bob, "x", FileMode::REGULAR);
         }
         // ...but never read or overwrite alice's secret.
-        assert!(fs.read(&"/home/alice/secret".to_string(), &bob).is_err(), "case {case}");
+        assert!(fs.read("/home/alice/secret", &bob).is_err(), "case {case}");
         assert!(
-            fs.write(&"/home/alice/secret".to_string(), &bob, "evil", FileMode::REGULAR)
+            fs.write("/home/alice/secret", &bob, "evil", FileMode::REGULAR)
                 .is_err(),
             "case {case}"
         );

@@ -8,18 +8,18 @@ use hpcci::auth::IdentityMapping;
 use hpcci::ci::workflow::{JobDef, StepDef, TriggerEvent, WorkflowDef};
 use hpcci::ci::RunStatus;
 use hpcci::cluster::Site;
-use hpcci::correct::{archive_from_engine, recipes, Federation};
+use hpcci::correct::{archive_from_engine, recipes, EndpointSpec, Federation};
 use hpcci::faas::MepTemplate;
 use hpcci::provenance::badges::{Artifact, BadgeLevel, Reviewer};
 use hpcci::sim::DetRng;
 use hpcci::vcs::WorkTree;
 
 fn world() -> (Federation, hpcci::ci::RunId) {
-    let mut fed = Federation::new(17);
+    let mut fed = Federation::builder(17).build();
     let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
-    let handle = fed.add_site(Site::purdue_anvil(), 128);
+    let site = fed.add_site(Site::purdue_anvil(), 128);
     {
-        let mut rt = handle.shared.lock();
+        let mut rt = fed.site(site).shared.lock();
         rt.site.add_account("x-vhayot", "CIS230030");
         let env = rt.site.envs.create("psij");
         env.install("psij-python", "0.9.9");
@@ -29,7 +29,7 @@ fn world() -> (Federation, hpcci::ci::RunId) {
     }
     let mut mapping = IdentityMapping::new("purdue-anvil");
     mapping.add_explicit("vhayot@uchicago.edu", "x-vhayot");
-    fed.register_mep("ep-anvil", &handle, mapping, MepTemplate::login_only());
+    fed.register(EndpointSpec::multi_user("ep-anvil", site, mapping, MepTemplate::login_only()));
 
     let repo = "ExaWorks/psij-python";
     let now = fed.now();

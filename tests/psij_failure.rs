@@ -50,7 +50,7 @@ fn cron_baseline_reports_the_same_failure_on_its_dashboard() {
     use hpcci::sim::{Advance, SimDuration, SimTime};
 
     let s = psij_scenario(73, true);
-    let handle = s.fed.site("purdue-anvil").unwrap().clone();
+    let handle = s.fed.site_by_name("purdue-anvil").unwrap().clone();
     let mut cron = CronCi::new(
         handle.shared.clone(),
         "x-vhayot",

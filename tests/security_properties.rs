@@ -8,18 +8,18 @@
 
 use hpcci::auth::{IdentityMapping, Scope};
 use hpcci::cluster::{Cred, FileMode, Site};
-use hpcci::correct::Federation;
+use hpcci::correct::{EndpointSpec, Federation};
 use hpcci::faas::{EndpointId, FunctionBody, MepTemplate, TaskState};
 use hpcci::sim::SimTime;
 
 /// Build a small federation with one HPC site, two local users, and a MEP.
 fn two_user_world() -> (Federation, hpcci::correct::federation::OnboardedUser, hpcci::correct::federation::OnboardedUser) {
-    let mut fed = Federation::new(7);
+    let mut fed = Federation::builder(7).build();
     let alice = fed.onboard_user("alice@uchicago.edu", "uchicago.edu");
     let mallory = fed.onboard_user("mallory@evil.example", "evil.example");
-    let handle = fed.add_site(Site::tamu_faster(), 64);
+    let site = fed.add_site(Site::tamu_faster(), 64);
     {
-        let mut rt = handle.shared.lock();
+        let mut rt = fed.site(site).shared.lock();
         rt.site.add_account("x-alice", "projA");
         rt.site.add_account("x-bob", "projB");
         // A command that tries to read another user's private file.
@@ -43,7 +43,7 @@ fn two_user_world() -> (Federation, hpcci::correct::federation::OnboardedUser, h
     }
     let mut mapping = IdentityMapping::new("tamu-faster");
     mapping.add_explicit("alice@uchicago.edu", "x-alice");
-    fed.register_mep("mep-faster", &handle, mapping, MepTemplate::login_only());
+    fed.register(EndpointSpec::multi_user("mep-faster", site, mapping, MepTemplate::login_only()));
     (fed, alice, mallory)
 }
 
@@ -133,7 +133,7 @@ fn function_allowlist_rejects_everything_unapproved() {
             .unwrap();
         (a, d)
     };
-    let handle = fed.site("tamu-faster").unwrap().clone();
+    let handle = fed.site_by_name("tamu-faster").unwrap().clone();
     let mut mapping = IdentityMapping::new("tamu-faster");
     mapping.add_explicit("alice@uchicago.edu", "x-alice");
     let mep = hpcci::faas::MultiUserEndpoint::new(
@@ -195,7 +195,7 @@ fn revoked_token_cannot_submit() {
 fn ha_policy_restricts_identity_providers_at_the_endpoint() {
     let (mut fed, alice, _) = two_user_world();
     // Re-register the MEP with a policy requiring access-ci.org identities.
-    let handle = fed.site("tamu-faster").unwrap().clone();
+    let handle = fed.site_by_name("tamu-faster").unwrap().clone();
     let mut mapping = IdentityMapping::new("tamu-faster");
     mapping.add_explicit("alice@uchicago.edu", "x-alice");
     let mep = hpcci::faas::MultiUserEndpoint::new(
