@@ -7,12 +7,17 @@
 //! run to `BENCH_federation.json` at the repo root so future PRs can track
 //! perf regressions.
 //!
-//! Usage: `bench_federation [--smoke] [--label <name>] [--obs-gate <pct>]`
+//! Usage: `bench_federation [--smoke] [--label <name>] [--obs-gate <pct>]
+//! [--cache-gate <x>]`
 //!
 //! `--obs-gate <pct>` re-runs the event-loop bench with the observability
 //! layer enabled and exits non-zero when enabled-vs-disabled throughput
 //! regresses by more than `<pct>` percent — CI's guard that
 //! `ObsConfig::disabled()` stays a no-op and the enabled path stays cheap.
+//!
+//! `--cache-gate <x>` exits non-zero when the warm (Replay) fig4 sweep is
+//! less than `<x>` times faster than the cold (Record) sweep — CI's guard
+//! that the step cache keeps paying for itself.
 
 use hpcci::auth::{AuthService, Scope};
 use hpcci::cluster::Site;
@@ -21,7 +26,9 @@ use hpcci::faas::{
     CloudService, Endpoint, EndpointConfig, EndpointRegistration, ExecOutcome, SiteRuntime,
     WorkerProvider,
 };
-use hpcci::scenarios::{parse_durations, parsldock_scenario};
+use hpcci::ci::{CacheMode, StepCache};
+use hpcci::correct::Federation;
+use hpcci::scenarios::{parse_durations, parsldock_scenario, parsldock_scenario_on, Scenario};
 use hpcci::scheduler::LocalProvider;
 use hpcci::sim::{drive, SimTime};
 use hpcci_bench::sweep;
@@ -97,11 +104,9 @@ fn event_loop_run(n_endpoints: usize, n_tasks: usize, obs: Obs) -> LoopSample {
     }
 }
 
-/// One fig4-style repetition: run the seeded ParslDock scenario and fold its
-/// parsed per-test durations into an FNV-1a digest fragment.
-fn fig4_rep(seed: u64) -> u64 {
-    let mut s = parsldock_scenario(seed);
-    let runs = s.push_approve_run("vhayot");
+/// Digest a finished fig4 scenario: fold the parsed per-test durations of
+/// every site artifact into an FNV-1a fragment.
+fn fig4_digest(s: &mut Scenario, runs: &[hpcci::ci::RunId]) -> u64 {
     let now = s.fed.now();
     let mut digest = 0xcbf29ce484222325u64;
     for env in s.environments.clone() {
@@ -120,6 +125,34 @@ fn fig4_rep(seed: u64) -> u64 {
         }
     }
     digest
+}
+
+/// One fig4-style repetition: run the seeded ParslDock scenario and fold its
+/// parsed per-test durations into an FNV-1a digest fragment.
+fn fig4_rep(seed: u64) -> u64 {
+    let mut s = parsldock_scenario(seed);
+    let runs = s.push_approve_run("vhayot");
+    fig4_digest(&mut s, &runs)
+}
+
+/// A fig4 repetition through a shared step cache (Record to populate on the
+/// cold pass, Replay to serve hits on the warm pass).
+fn fig4_cached_rep(seed: u64, cache: &StepCache, mode: CacheMode) -> u64 {
+    let fed = Federation::builder(seed)
+        .step_cache_shared(cache.clone(), mode)
+        .build();
+    let mut s = parsldock_scenario_on(fed);
+    let runs = s.push_approve_run("vhayot");
+    fig4_digest(&mut s, &runs)
+}
+
+/// Serial fig4 sweep through a shared step cache.
+fn fig4_cached_sweep(reps: u64, cache: &StepCache, mode: CacheMode) -> (f64, u64) {
+    let start = Instant::now();
+    let digests: Vec<u64> = (0..reps)
+        .map(|rep| fig4_cached_rep(1000 + rep, cache, mode))
+        .collect();
+    (start.elapsed().as_secs_f64(), combine(&digests))
 }
 
 /// Combine per-rep digests in submission order (order-sensitive on purpose:
@@ -160,6 +193,11 @@ fn main() {
         .position(|a| a == "--obs-gate")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--obs-gate takes a percentage"));
+    let cache_gate: Option<f64> = args
+        .iter()
+        .position(|a| a == "--cache-gate")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--cache-gate takes a speedup factor"));
 
     let (endpoints, tasks, samples, reps) = if smoke { (4, 64, 2, 1) } else { (16, 2048, 7, 5) };
 
@@ -222,6 +260,33 @@ fn main() {
         "parallel sweep must be bit-identical to the serial sweep"
     );
 
+    // Cold-vs-warm incremental CI: a Record pass populates a shared step
+    // cache (executing everything), then a Replay pass over the same seeds
+    // serves every step from the cache. Both must be bit-identical to the
+    // uncached sweep above.
+    hpcci_bench::section(&format!("fig4 sweep ({reps} reps) — cold (record) vs warm (replay)"));
+    let cache = StepCache::new();
+    let (cold_secs, cold_digest) = fig4_cached_sweep(reps, &cache, CacheMode::Record);
+    let (warm_secs, warm_digest) = fig4_cached_sweep(reps, &cache, CacheMode::Replay);
+    assert_eq!(
+        cold_digest, serial_digest,
+        "record-mode sweep must be bit-identical to the uncached sweep"
+    );
+    assert_eq!(
+        warm_digest, cold_digest,
+        "replay-mode sweep must be bit-identical to its recording"
+    );
+    let cache_stats = cache.stats();
+    let cas_stats = cache.cas().stats();
+    let cache_speedup = cold_secs / warm_secs;
+    println!("cold (record) wall        {:>12.3} s", cold_secs);
+    println!("warm (replay) wall        {:>12.3} s", warm_secs);
+    println!("warm speedup              {:>12.2}x", cache_speedup);
+    println!("cache entries             {:>12}", cache_stats.entries);
+    println!("cache hits / misses       {:>6} / {:<6}", cache_stats.hits, cache_stats.misses);
+    println!("artifact logical bytes    {:>12}", cas_stats.logical_bytes);
+    println!("artifact stored bytes     {:>12}", cas_stats.stored_bytes);
+
     // Append the entry to the trajectory file at the repo root.
     let entry = format!(
         "  {{\"label\": \"{label}\", \"endpoints\": {endpoints}, \"tasks\": {tasks}, \
@@ -231,12 +296,20 @@ fn main() {
          \"obs_overhead_pct\": {obs_overhead_pct:.1}, \
          \"task_latency_p50_us\": {p50}, \"task_latency_p99_us\": {p99}, \
          \"fig4_reps\": {reps}, \"fig4_serial_secs\": {serial_secs:.4}, \
-         \"fig4_parallel_secs\": {parallel_secs:.4}, \"sweep_threads\": {threads}}}",
+         \"fig4_parallel_secs\": {parallel_secs:.4}, \"sweep_threads\": {threads}, \
+         \"cache_cold_secs\": {cold_secs:.4}, \"cache_warm_secs\": {warm_secs:.4}, \
+         \"cache_speedup\": {cache_speedup:.2}, \"cache_hits\": {hits}, \
+         \"cache_misses\": {misses}, \"artifact_logical_bytes\": {logical}, \
+         \"artifact_stored_bytes\": {stored}}}",
         trace_events = last.trace_events,
         string_allocs = last.string_allocs,
         allocs_saved = last.allocs_saved,
         p50 = latency.p50,
         p99 = latency.p99,
+        hits = cache_stats.hits,
+        misses = cache_stats.misses,
+        logical = cas_stats.logical_bytes,
+        stored = cas_stats.stored_bytes,
     );
     let path = "BENCH_federation.json";
     let body = match std::fs::read_to_string(path) {
@@ -258,5 +331,16 @@ fn main() {
             std::process::exit(1);
         }
         println!("obs gate ok: {obs_overhead_pct:.1}% <= {gate:.1}%");
+    }
+
+    if let Some(gate) = cache_gate {
+        if cache_speedup < gate {
+            eprintln!(
+                "cache gate FAILED: warm-over-cold speedup {cache_speedup:.2}x is below \
+                 the {gate:.2}x floor"
+            );
+            std::process::exit(1);
+        }
+        println!("cache gate ok: {cache_speedup:.2}x >= {gate:.2}x");
     }
 }

@@ -7,6 +7,7 @@
 use crate::error::CiError;
 use crate::run::RunId;
 use bytes::Bytes;
+use hpcci_cas::{CasStore, Digest};
 use hpcci_sim::{FaultInjector, SimDuration, SimTime};
 
 /// Default retention window.
@@ -17,7 +18,11 @@ pub const RETENTION: SimDuration = SimDuration::from_hours(90 * 24);
 pub struct Artifact {
     pub run: RunId,
     pub name: String,
+    /// With a CAS attached this view shares storage with every other upload
+    /// of the same content; without one it owns its bytes.
     pub content: Bytes,
+    /// CAS address of the content; [`Digest::NONE`] when no store is attached.
+    pub digest: Digest,
     pub uploaded_at: SimTime,
     pub expires_at: SimTime,
 }
@@ -29,10 +34,11 @@ impl Artifact {
 }
 
 /// The artifact store for the CI service.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct ArtifactStore {
     artifacts: Vec<Artifact>,
     injector: Option<FaultInjector>,
+    cas: Option<CasStore>,
 }
 
 impl ArtifactStore {
@@ -45,7 +51,25 @@ impl ArtifactStore {
         self.injector = Some(injector);
     }
 
-    pub fn upload(&mut self, run: RunId, name: &str, content: impl Into<Bytes>, now: SimTime) {
+    /// Back the store with a content-addressed store: uploads dedup into it
+    /// and expired artifacts release their references on purge.
+    pub fn attach_cas(&mut self, cas: CasStore) {
+        self.cas = Some(cas);
+    }
+
+    pub fn cas(&self) -> Option<&CasStore> {
+        self.cas.as_ref()
+    }
+
+    /// Store an artifact; returns the content digest ([`Digest::NONE`] when
+    /// no CAS is attached).
+    pub fn upload(
+        &mut self,
+        run: RunId,
+        name: &str,
+        content: impl Into<Bytes>,
+        now: SimTime,
+    ) -> Digest {
         let content = content.into();
         if let Some(inj) = &self.injector {
             if inj.corruption_due(name, now) {
@@ -60,13 +84,24 @@ impl ArtifactStore {
                 );
             }
         }
+        let (content, digest) = match &self.cas {
+            Some(cas) => {
+                let digest = cas.put(&content);
+                // The store's view of the content is the CAS object itself:
+                // duplicate uploads share one allocation.
+                (cas.get(digest).expect("just stored"), digest)
+            }
+            None => (content, Digest::NONE),
+        };
         self.artifacts.push(Artifact {
             run,
             name: name.to_string(),
             content,
+            digest,
             uploaded_at: now,
             expires_at: now + RETENTION,
         });
+        digest
     }
 
     /// Fetch a live artifact by run and name.
@@ -88,10 +123,20 @@ impl ArtifactStore {
             .collect()
     }
 
-    /// Drop expired artifacts; returns how many were purged.
+    /// Drop expired artifacts, releasing their CAS references; returns how
+    /// many were purged.
     pub fn purge_expired(&mut self, now: SimTime) -> usize {
         let before = self.artifacts.len();
-        self.artifacts.retain(|a| now < a.expires_at);
+        let cas = self.cas.clone();
+        self.artifacts.retain(|a| {
+            let live = now < a.expires_at;
+            if !live {
+                if let (Some(cas), false) = (&cas, a.digest.is_none()) {
+                    cas.release(a.digest);
+                }
+            }
+            live
+        });
         before - self.artifacts.len()
     }
 
@@ -128,6 +173,38 @@ mod tests {
         assert!(store.fetch(RunId(1), "log", day91).is_err());
         assert_eq!(store.purge_expired(day91), 1);
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn cas_backed_uploads_dedup() {
+        let mut store = ArtifactStore::new();
+        store.attach_cas(CasStore::new());
+        let d1 = store.upload(RunId(1), "out", "same payload", SimTime::ZERO);
+        let d2 = store.upload(RunId(2), "out", "same payload", SimTime::ZERO);
+        assert_eq!(d1, d2);
+        assert!(!d1.is_none());
+        let stats = store.cas().unwrap().stats();
+        assert_eq!(stats.logical_bytes, 24);
+        assert_eq!(stats.stored_bytes, 12, "second upload stored nothing");
+        assert_eq!(
+            store.fetch(RunId(2), "out", SimTime::from_secs(1)).unwrap().text(),
+            "same payload"
+        );
+    }
+
+    #[test]
+    fn purge_releases_cas_references() {
+        let mut store = ArtifactStore::new();
+        let cas = CasStore::new();
+        store.attach_cas(cas.clone());
+        let day = |n: u64| SimTime::from_secs(n * 24 * 3600);
+        let d = store.upload(RunId(1), "log", "x", SimTime::ZERO);
+        store.upload(RunId(2), "log", "x", day(2));
+        assert_eq!(store.purge_expired(day(91)), 1, "only run 1's upload expired");
+        assert!(cas.contains(d), "run 2 still references the content");
+        assert_eq!(store.purge_expired(day(93)), 1);
+        assert!(!cas.contains(d), "last reference released");
+        assert_eq!(cas.stats().stored_bytes, 0);
     }
 
     #[test]

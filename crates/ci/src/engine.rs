@@ -2,12 +2,14 @@
 
 use crate::action::{Action, StepContext, WorldDriver};
 use crate::artifacts::ArtifactStore;
+use crate::cache::{chain_digest, infra_tainted, CacheMode, CachedStep, StepCache, StepKey};
 use crate::environment::Environment;
 use crate::error::CiError;
 use crate::run::{RunId, RunStatus, StepRun, WorkflowRun};
 use crate::runner::RunnerPool;
 use crate::secrets::{mask_secrets, SecretStore};
 use crate::workflow::{interpolate, StepAction, StepDef, TriggerEvent, WorkflowDef};
+use hpcci_cas::Digest;
 use hpcci_obs::Obs;
 use hpcci_sim::{SimDuration, SimTime};
 use std::collections::{BTreeMap, VecDeque};
@@ -38,6 +40,15 @@ pub struct CiEngine {
     schedules: Vec<Schedule>,
     next_run: u64,
     obs: Obs,
+    step_cache: Option<StepCache>,
+    cache_mode: CacheMode,
+    /// Extra digest folded into every step key's prior-result chain; see
+    /// [`CiEngine::set_cache_salt`].
+    cache_salt: Digest,
+    /// Software-stack fingerprints keyed by endpoint name (`"*"` is the
+    /// fallback for steps that name no endpoint). Part of every step key:
+    /// a package upgrade at a site must invalidate that site's entries.
+    stack_fingerprints: BTreeMap<String, Digest>,
 }
 
 impl Default for CiEngine {
@@ -61,12 +72,58 @@ impl CiEngine {
             schedules: Vec::new(),
             next_run: 0,
             obs: Obs::disabled(),
+            step_cache: None,
+            cache_mode: CacheMode::Off,
+            cache_salt: Digest::NONE,
+            stack_fingerprints: BTreeMap::new(),
         }
     }
 
     /// Attach an observability handle (run telemetry and artifact accounting).
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Install a step-result cache. The artifact store is re-pointed at the
+    /// cache's CAS so step results and artifacts dedup against each other.
+    /// With [`CacheMode::Off`] the engine never consults the cache and
+    /// execution is bit-identical to an engine without one.
+    pub fn set_step_cache(&mut self, cache: StepCache, mode: CacheMode) {
+        self.artifacts.attach_cas(cache.cas().clone());
+        self.step_cache = Some(cache);
+        self.cache_mode = mode;
+    }
+
+    pub fn step_cache(&self) -> Option<&StepCache> {
+        self.step_cache.as_ref()
+    }
+
+    pub fn cache_mode(&self) -> CacheMode {
+        self.cache_mode
+    }
+
+    /// Salt folded into every step key's prior-result chain. Callers set
+    /// this to a digest of whatever world state influences execution but is
+    /// not visible in the step inputs themselves (e.g. the simulation seed
+    /// that jitters runtimes) so recordings from one world are never
+    /// replayed into another.
+    pub fn set_cache_salt(&mut self, salt: Digest) {
+        self.cache_salt = salt;
+    }
+
+    pub fn cache_salt(&self) -> Digest {
+        self.cache_salt
+    }
+
+    /// Register (or refresh) the software-stack fingerprint for an endpoint
+    /// name, `"*"` for the global fallback.
+    pub fn set_stack_fingerprint(&mut self, endpoint: &str, digest: Digest) {
+        self.stack_fingerprints.insert(endpoint.to_string(), digest);
+    }
+
+    /// The currently registered stack fingerprint for an endpoint name.
+    pub fn stack_fingerprint(&self, endpoint: &str) -> Option<Digest> {
+        self.stack_fingerprints.get(endpoint).copied()
     }
 
     /// Register a marketplace/custom action under its `uses:` name.
@@ -389,6 +446,13 @@ impl CiEngine {
         let mut failed_jobs: Vec<String> = Vec::new();
         let mut run_failed = false;
         let mut steps_acc: Vec<StepRun> = Vec::new();
+        let cache = match self.cache_mode {
+            CacheMode::Off => None,
+            _ => self.step_cache.clone(),
+        };
+        // Running digest over every prior step result in the run: later step
+        // keys depend on it, so an upstream change invalidates downstream.
+        let mut chain = self.cache_salt;
 
         for job in order {
             if job.needs.iter().any(|n| failed_jobs.contains(n)) {
@@ -400,7 +464,7 @@ impl CiEngine {
                 Err(e) => {
                     run_failed = true;
                     failed_jobs.push(job.id.clone());
-                    steps_acc.push(StepRun {
+                    let rec = StepRun {
                         job: job.id.clone(),
                         step: "<runner>".to_string(),
                         success: false,
@@ -409,25 +473,85 @@ impl CiEngine {
                         outputs: BTreeMap::new(),
                         started: driver.now(),
                         ended: driver.now(),
-                    });
+                    };
+                    chain = chain_digest(chain, &rec);
+                    steps_acc.push(rec);
                     continue;
                 }
             };
             driver.sleep(runner.startup);
             let secrets = self.secrets.resolve(&org, &repo, job.environment.as_deref());
+            let runner_label = runner.cache_label();
             let mut job_failed = false;
             for step in &job.steps {
+                let key = cache.as_ref().map(|_| {
+                    StepKey::derive(
+                        &commit,
+                        &job.id,
+                        step,
+                        &secrets,
+                        &repo_env_vars,
+                        self.stack_digest_for(step, &secrets, &repo_env_vars),
+                        &runner_label,
+                        chain,
+                    )
+                });
+
+                // Replay: a hit skips execution entirely — the recorded
+                // verdict/outputs/artifacts are materialized and virtual
+                // time advances by the recorded duration, so the replayed
+                // timeline matches the recorded one exactly.
+                if self.cache_mode == CacheMode::Replay {
+                    if let (Some(cache), Some(key)) = (&cache, &key) {
+                        if let Some(hit) = cache.lookup(key) {
+                            cache.note_hit();
+                            self.obs.inc("ci.step_cache_hits");
+                            self.obs.observe("ci.step_replay_us", hit.duration_us);
+                            let started = driver.now();
+                            driver.sleep(SimDuration::from_micros(hit.duration_us));
+                            let ended = driver.now();
+                            for (name, digest, _len) in &hit.artifacts {
+                                let content =
+                                    cache.cas().get(*digest).expect("cached artifact in CAS");
+                                self.upload_accounted(id, name, content, ended);
+                            }
+                            let success = hit.success;
+                            let rec = StepRun {
+                                job: job.id.clone(),
+                                step: step.id.clone(),
+                                success,
+                                stdout: hit.stdout,
+                                stderr: hit.stderr,
+                                outputs: hit.outputs,
+                                started,
+                                ended,
+                            };
+                            chain = chain_digest(chain, &rec);
+                            steps_acc.push(rec);
+                            if !success {
+                                run_failed = true;
+                                if !step.continue_on_error {
+                                    job_failed = true;
+                                    break;
+                                }
+                            }
+                            continue;
+                        }
+                    }
+                }
+
                 let started = driver.now();
                 let result = self.execute_step(
                     step, &repo, &branch, &commit, &secrets, &repo_env_vars, &steps_acc, driver,
                 );
                 let ended = driver.now();
                 let success = result.success;
+                let mut artifact_refs: Vec<(String, Digest, u64)> = Vec::new();
                 for (name, content) in result.artifacts {
-                    self.obs.add("ci.artifact_bytes", content.len() as u64);
-                    self.artifacts.upload(id, &name, content, ended);
+                    let (digest, len) = self.upload_accounted(id, &name, content, ended);
+                    artifact_refs.push((name, digest, len));
                 }
-                steps_acc.push(StepRun {
+                let rec = StepRun {
                     job: job.id.clone(),
                     step: step.id.clone(),
                     success,
@@ -436,7 +560,32 @@ impl CiEngine {
                     outputs: result.outputs,
                     started,
                     ended,
-                });
+                };
+                if let (Some(cache), Some(key)) = (&cache, &key) {
+                    if infra_tainted(&rec.stdout, &rec.stderr, &rec.outputs) {
+                        // A verdict shaped by an endpoint outage, retry, or
+                        // token refresh reflects that moment's infrastructure,
+                        // not the code — never cache it.
+                        cache.note_uncacheable();
+                        self.obs.inc("ci.step_cache_uncacheable");
+                    } else {
+                        cache.note_miss();
+                        self.obs.inc("ci.step_cache_misses");
+                        cache.record(
+                            key,
+                            CachedStep {
+                                success,
+                                stdout: rec.stdout.clone(),
+                                stderr: rec.stderr.clone(),
+                                outputs: rec.outputs.clone(),
+                                artifacts: artifact_refs,
+                                duration_us: ended.since(started).as_micros(),
+                            },
+                        );
+                    }
+                }
+                chain = chain_digest(chain, &rec);
+                steps_acc.push(rec);
                 if !success {
                     // Soft failure (`continue-on-error`): later steps still
                     // run (so stdout/stderr artifacts upload regardless of
@@ -460,6 +609,48 @@ impl CiEngine {
         run.steps = steps_acc;
         run.ended_at = Some(driver.now());
         run.status = if run_failed { RunStatus::Failure } else { RunStatus::Success };
+    }
+
+    /// Software-stack fingerprint a step's key should carry: the named
+    /// endpoint's stack when the step targets one (the `endpoint_uuid`
+    /// input CORRECT steps pass), else the `"*"` fallback.
+    fn stack_digest_for(
+        &self,
+        step: &StepDef,
+        secrets: &BTreeMap<String, String>,
+        env_vars: &BTreeMap<String, String>,
+    ) -> Digest {
+        if let StepAction::Uses { with, .. } = &step.action {
+            if let Some(raw) = with.get("endpoint_uuid") {
+                let endpoint = interpolate(raw, secrets, env_vars);
+                if let Some(d) = self.stack_fingerprints.get(&endpoint) {
+                    return *d;
+                }
+            }
+        }
+        self.stack_fingerprints.get("*").copied().unwrap_or(Digest::NONE)
+    }
+
+    /// Upload one artifact with logical-vs-stored byte accounting: logical
+    /// is what the step produced, stored is what the CAS actually grew by
+    /// (zero for a duplicate). Without a CAS the two are equal.
+    fn upload_accounted(
+        &mut self,
+        id: RunId,
+        name: &str,
+        content: bytes::Bytes,
+        now: SimTime,
+    ) -> (Digest, u64) {
+        let len = content.len() as u64;
+        let before = self.artifacts.cas().map(|c| c.stats().stored_bytes);
+        let digest = self.artifacts.upload(id, name, content, now);
+        let stored = match (before, self.artifacts.cas()) {
+            (Some(b), Some(c)) => c.stats().stored_bytes - b,
+            _ => len,
+        };
+        self.obs.add("ci.artifact_logical_bytes", len);
+        self.obs.add("ci.artifact_stored_bytes", stored);
+        (digest, len)
     }
 
     #[allow(clippy::too_many_arguments)]

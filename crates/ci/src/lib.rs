@@ -14,7 +14,12 @@
 //! * [`runner::RunnerPool`] — GitHub-hosted VM runners and self-hosted
 //!   runners pinned to a site;
 //! * [`artifacts::ArtifactStore`] — uploaded artifacts with the 90-day
-//!   retention window §7.4 calls out;
+//!   retention window §7.4 calls out, deduplicated into a shared
+//!   content-addressed store when one is attached;
+//! * [`cache::StepCache`] — content-addressed step-result memoization:
+//!   reproducible CI means *same inputs → same outputs*, so a step whose
+//!   canonical input digest was already executed replays its recorded
+//!   verdict instead of re-running (infrastructure failures excluded);
 //! * [`engine::CiEngine`] — consumes repository webhooks, instantiates
 //!   workflow runs, gates them on approvals, and executes them step by step
 //!   through a pluggable [`action::Action`] registry (CORRECT registers
@@ -26,6 +31,7 @@
 
 pub mod action;
 pub mod artifacts;
+pub mod cache;
 pub mod engine;
 pub mod environment;
 pub mod error;
@@ -37,6 +43,7 @@ pub mod workflow;
 
 pub use action::{Action, StepContext, StepResult, WorldDriver};
 pub use artifacts::{Artifact, ArtifactStore};
+pub use cache::{CacheMode, CacheStats, CachedStep, StepCache, StepKey};
 pub use engine::CiEngine;
 pub use environment::Environment;
 pub use error::CiError;

@@ -49,6 +49,15 @@ impl Runner {
         }
     }
 
+    /// Stable identity of the execution substrate, used in step-cache keys:
+    /// a result computed on one runner class must not replay on another.
+    pub fn cache_label(&self) -> String {
+        match &self.kind {
+            RunnerKind::Hosted { label, arch } => format!("hosted/{label}/{arch}"),
+            RunnerKind::SelfHosted { site } => format!("self-hosted/{site}"),
+        }
+    }
+
     pub fn satisfies(&self, selector: &RunsOn) -> bool {
         match (selector, &self.kind) {
             (RunsOn::Hosted(want), RunnerKind::Hosted { label, .. }) => want == label,

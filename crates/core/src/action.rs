@@ -448,4 +448,27 @@ mod tests {
         assert!(!r.success);
         assert!(r.stderr.contains("authentication failed"), "{}", r.stderr);
     }
+
+    /// Every resilience log line this action can emit must be recognized by
+    /// the step cache's taint check — otherwise a verdict shaped by an
+    /// outage could be memoized and replayed as if it were reproducible.
+    #[test]
+    fn resilience_log_lines_are_never_cacheable() {
+        use hpcci_ci::cache::infra_tainted;
+        let empty: BTreeMap<String, String> = BTreeMap::new();
+        for line in [
+            "infrastructure: worker pool lost",
+            "Infrastructure failure (endpoint ep-1 is stopped); retry 1/3 in 2.0s",
+            "Failing over to sibling endpoint ep-2",
+            "Access token rejected mid-run; re-authenticating",
+            "endpoint ep-1 is stopped",
+        ] {
+            assert!(infra_tainted(line, "", &empty), "stdout marker missed: {line}");
+            assert!(infra_tainted("", line, &empty), "stderr marker missed: {line}");
+        }
+        let mut outputs = BTreeMap::new();
+        outputs.insert("failure_kind".to_string(), "infrastructure".to_string());
+        assert!(infra_tainted("6 passed", "", &outputs), "failure_kind output missed");
+        assert!(!infra_tainted("6 passed", "1 warning", &empty), "clean result wrongly tainted");
+    }
 }

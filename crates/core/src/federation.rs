@@ -7,7 +7,10 @@
 
 use crate::action::{CorrectAction, CORRECT_ACTION_NAME};
 use hpcci_auth::{AuthService, IdentityId, IdentityMapping};
-use hpcci_ci::{CiEngine, CiError, RunId, RunStatus, WorkflowRun, WorldDriver};
+use hpcci_cas::{Digest, DigestBuilder};
+use hpcci_ci::{
+    CacheMode, CiEngine, CiError, RunId, RunStatus, StepCache, WorkflowRun, WorldDriver,
+};
 use hpcci_cluster::{FileMode, Site};
 use hpcci_faas::{
     CloudService, Endpoint, EndpointConfig, EndpointId, EndpointRegistration, ExecOutcome,
@@ -184,6 +187,7 @@ pub struct FederationBuilder {
     seed: u64,
     plan: Option<FaultPlan>,
     obs: ObsConfig,
+    step_cache: Option<(StepCache, CacheMode)>,
 }
 
 impl FederationBuilder {
@@ -203,11 +207,28 @@ impl FederationBuilder {
         self
     }
 
+    /// Enable incremental CI with a fresh step cache. `Record` executes
+    /// everything and memoizes cacheable results; `Replay` serves hits
+    /// without dispatching and fills in on miss; `Off` (the default, also
+    /// when this method is never called) is bit-identical to a federation
+    /// without a cache.
+    pub fn step_cache(self, mode: CacheMode) -> Self {
+        self.step_cache_shared(StepCache::new(), mode)
+    }
+
+    /// Enable incremental CI over an existing (shared) cache — how a warm
+    /// federation replays what a previous cold federation recorded.
+    pub fn step_cache_shared(mut self, cache: StepCache, mode: CacheMode) -> Self {
+        self.step_cache = Some((cache, mode));
+        self
+    }
+
     pub fn build(self) -> Federation {
         Federation::build_parts(
             self.seed,
             self.plan.map(FaultInjector::new),
             Obs::new(self.obs),
+            self.step_cache,
         )
     }
 }
@@ -222,6 +243,8 @@ pub struct Federation {
     /// Registered sites, indexed by [`SiteId`] (registration order).
     sites: Vec<SiteHandle>,
     site_names: BTreeMap<String, SiteId>,
+    /// Endpoint name → owning site, for software-stack fingerprinting.
+    endpoint_sites: BTreeMap<String, SiteId>,
     seed: u64,
     injector: Option<FaultInjector>,
     obs: Obs,
@@ -234,22 +257,16 @@ impl Federation {
             seed,
             plan: None,
             obs: ObsConfig::disabled(),
+            step_cache: None,
         }
     }
 
-    /// Build an empty federation. `seed` drives every stochastic component.
-    #[deprecated(note = "use `Federation::builder(seed).build()`")]
-    pub fn new(seed: u64) -> Self {
-        Federation::builder(seed).build()
-    }
-
-    /// Build a federation with a fault plan.
-    #[deprecated(note = "use `Federation::builder(seed).faults(plan).build()`")]
-    pub fn with_faults(seed: u64, plan: FaultPlan) -> Self {
-        Federation::builder(seed).faults(plan).build()
-    }
-
-    fn build_parts(seed: u64, injector: Option<FaultInjector>, obs: Obs) -> Self {
+    fn build_parts(
+        seed: u64,
+        injector: Option<FaultInjector>,
+        obs: Obs,
+        step_cache: Option<(StepCache, CacheMode)>,
+    ) -> Self {
         let auth = Arc::new(Mutex::new(AuthService::new()));
         let cloud = Arc::new(Mutex::new(CloudService::new(auth.clone())));
         let hosting = Arc::new(Mutex::new(HostingService::new()));
@@ -265,6 +282,14 @@ impl Federation {
         auth.lock().set_obs(obs.clone());
         cloud.lock().set_obs(obs.clone());
         engine.set_obs(obs.clone());
+        if let Some((cache, mode)) = step_cache {
+            engine.set_step_cache(cache, mode);
+            // The seed jitters every simulated runtime, so it is part of the
+            // execution environment: salting the key chain with it keeps one
+            // world's recordings from being replayed into another even when
+            // both share a cache.
+            engine.set_cache_salt(DigestBuilder::new().u64_field("world-seed", seed).finish());
+        }
         Federation {
             auth,
             cloud: cloud.clone(),
@@ -273,6 +298,7 @@ impl Federation {
             world: World { cloud },
             sites: Vec::new(),
             site_names: BTreeMap::new(),
+            endpoint_sites: BTreeMap::new(),
             seed,
             injector,
             obs,
@@ -527,55 +553,48 @@ impl Federation {
                     .register_endpoint(&name, EndpointRegistration::Multi(mep))
             }
         };
+        self.endpoint_sites.insert(name.clone(), site);
         EndpointHandle { id, name, site }
     }
 
-    /// Register a multi-user endpoint at a site.
-    #[deprecated(note = "use `Federation::register(EndpointSpec::multi_user(..))`")]
-    pub fn register_mep(
-        &mut self,
-        endpoint_name: &str,
-        site: SiteId,
-        mapping: IdentityMapping,
-        template: MepTemplate,
-    ) -> EndpointId {
-        self.register(EndpointSpec::multi_user(endpoint_name, site, mapping, template))
-            .id
+    // ------------------------------------------------------------------
+    // Incremental CI
+    // ------------------------------------------------------------------
+
+    /// The step cache the CI engine records into / replays from, when one
+    /// was installed via [`FederationBuilder::step_cache`].
+    pub fn step_cache(&self) -> Option<&StepCache> {
+        self.engine.step_cache()
     }
 
-    /// Register a single-user endpoint on a site's login node.
-    #[deprecated(note = "use `Federation::register(EndpointSpec::single(..))`")]
-    pub fn register_single_endpoint(
-        &mut self,
-        endpoint_name: &str,
-        site: SiteId,
-        owner: IdentityId,
-        local_user: &str,
-    ) -> EndpointId {
-        self.register(EndpointSpec::single(endpoint_name, site, owner, local_user))
-            .id
-    }
-
-    /// Register a single-user endpoint whose workers are SLURM pilots.
-    #[deprecated(note = "use `Federation::register(EndpointSpec::pilot(..))`")]
-    pub fn register_pilot_endpoint(
-        &mut self,
-        endpoint_name: &str,
-        site: SiteId,
-        owner: IdentityId,
-        local_user: &str,
-        cores: u32,
-        walltime: SimDuration,
-    ) -> EndpointId {
-        self.register(EndpointSpec::pilot(
-            endpoint_name,
-            site,
-            owner,
-            local_user,
-            cores,
-            walltime,
-        ))
-        .id
+    /// Recompute every registered endpoint's software-stack fingerprint and
+    /// hand the digests to the CI engine. Step keys embed these, so a
+    /// package installed or upgraded at a site invalidates exactly that
+    /// site's cached step results. Called automatically before execution
+    /// ([`run_all`](Self::run_all)); cheap and idempotent.
+    pub fn refresh_stack_fingerprints(&mut self) {
+        if self.engine.cache_mode() == CacheMode::Off {
+            return;
+        }
+        for (endpoint, site) in &self.endpoint_sites {
+            let handle = &self.sites[site.index()];
+            let digest = {
+                let rt = handle.shared.lock();
+                let mut b = DigestBuilder::new().str_field("site", &handle.name);
+                for env_name in rt.site.envs.names() {
+                    b = b.str_field("env", env_name);
+                    let env = rt.site.envs.get(env_name).expect("name just listed");
+                    for pkg in env.freeze() {
+                        b = b.str_field("pkg", &pkg.name).str_field("ver", &pkg.version);
+                    }
+                }
+                b.finish()
+            };
+            self.engine.set_stack_fingerprint(endpoint, digest);
+        }
+        // Hosted runners share one (empty) stack: a stable non-site digest.
+        self.engine
+            .set_stack_fingerprint("*", Digest::of_str("hosted-runner-stack"));
     }
 
     // ------------------------------------------------------------------
@@ -665,6 +684,7 @@ impl Federation {
 
     /// Execute all ready CI runs, then drain the world to quiescence.
     pub fn run_all(&mut self) -> Vec<RunId> {
+        self.refresh_stack_fingerprints();
         let executed = self.engine.execute_ready(&mut self.world);
         while self.world.step() {}
         executed
@@ -779,14 +799,62 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_constructors_still_build() {
-        #[allow(deprecated)]
-        let mut fed = Federation::new(7);
+    fn builder_is_the_single_construction_path() {
+        let mut fed = Federation::builder(7).build();
         let site = fed.add_site(Site::tamu_faster(), 64);
         assert_eq!(site.index(), 0);
         // Disabled observability yields an empty snapshot.
         let snap = fed.metrics();
         assert!(snap.counters.is_empty());
+        // No cache installed: engine stays in Off mode with no store.
+        assert!(fed.step_cache().is_none());
+        assert_eq!(fed.engine.cache_mode(), CacheMode::Off);
+    }
+
+    #[test]
+    fn step_cache_modes_install_a_shared_store() {
+        let fed = Federation::builder(9).step_cache(CacheMode::Record).build();
+        let cache = fed.step_cache().expect("installed").clone();
+        assert_eq!(fed.engine.cache_mode(), CacheMode::Record);
+        assert!(cache.is_empty());
+
+        // A warm federation replays over the same cache handle.
+        let warm = Federation::builder(9)
+            .step_cache_shared(cache.clone(), CacheMode::Replay)
+            .build();
+        assert_eq!(warm.engine.cache_mode(), CacheMode::Replay);
+        // Both federations' artifact stores dedup into the same CAS.
+        let d = warm.engine.artifacts.cas().unwrap().put(b"shared-bytes");
+        assert!(fed.engine.artifacts.cas().unwrap().contains(d));
+    }
+
+    #[test]
+    fn stack_fingerprints_follow_software_changes() {
+        let mut fed = Federation::builder(11).step_cache(CacheMode::Record).build();
+        let site = fed.add_site(Site::tamu_faster(), 64);
+        let user = fed.onboard_user("vhayot", "purdue");
+        fed.register(EndpointSpec::single("ep-faster", site, user.identity.id, "x-vhayot"));
+        fed.refresh_stack_fingerprints();
+        let before = fed.engine.stack_fingerprint("ep-faster").unwrap();
+        assert_eq!(
+            fed.engine.stack_fingerprint("ep-faster"),
+            Some(before),
+            "refresh is idempotent"
+        );
+
+        // Installing a package at the site changes the endpoint fingerprint,
+        // which is what invalidates that site's cached steps.
+        fed.site(site)
+            .shared
+            .lock()
+            .site
+            .envs
+            .create("tox-env")
+            .install("pytest", "8.0.0");
+        fed.refresh_stack_fingerprints();
+        let after = fed.engine.stack_fingerprint("ep-faster").unwrap();
+        assert_ne!(before, after, "package install invalidates the stack digest");
+        assert!(fed.engine.stack_fingerprint("*").is_some());
     }
 
     #[test]

@@ -11,8 +11,9 @@
 //!   The action's `capture_environment` input does exactly that; the archive
 //!   folds the captured environment into the research object.
 
-use hpcci_ci::{ArtifactStore, CiError, RunId, WorkflowRun};
-use hpcci_provenance::{EnvironmentCapture, ExecutionRecord, ResearchObject};
+use hpcci_cas::CasStore;
+use hpcci_ci::{ArtifactStore, CiError, RunId, RunStatus, WorkflowRun};
+use hpcci_provenance::{CacheEntry, EnvironmentCapture, ExecutionRecord, ResearchObject};
 use hpcci_sim::SimTime;
 
 /// Package a finished run into a permanent research object.
@@ -86,6 +87,37 @@ pub fn archive_run(
     Ok(ro)
 }
 
+/// Task-provenance cache rows for a run: one pointer per live artifact,
+/// carrying the artifact's CAS digest so a later audit can verify
+/// bit-for-bit that the archived bytes are the bytes the run produced
+/// (entries from stores without an attached CAS carry `Digest::NONE`).
+pub fn provenance_entries(
+    run: &WorkflowRun,
+    artifacts: &ArtifactStore,
+    now: SimTime,
+) -> Vec<CacheEntry> {
+    artifacts
+        .of_run(run.id, now)
+        .into_iter()
+        .map(|artifact| CacheEntry {
+            pipeline: run.workflow.clone(),
+            dataset: run.repo.clone(),
+            task_id: format!("{}", run.id),
+            location: format!("ci://artifacts/{}/{}", run.id, artifact.name),
+            at_us: run.triggered_at.as_micros(),
+            success: run.status == RunStatus::Success,
+            cas_digest: artifact.digest,
+        })
+        .collect()
+}
+
+/// Check a provenance pointer against the content store: true when the CAS
+/// still holds an object whose digest matches the entry (v1 entries with no
+/// digest cannot be verified and return false).
+pub fn verify_provenance_entry(entry: &CacheEntry, cas: &CasStore) -> bool {
+    !entry.cas_digest.is_none() && cas.contains(entry.cas_digest)
+}
+
 /// Convenience: archive a run straight out of a CI engine.
 pub fn archive_from_engine(
     engine: &hpcci_ci::CiEngine,
@@ -148,6 +180,29 @@ mod tests {
         assert!(store.fetch(RunId(9), "pytest-output", day91).is_err());
         assert_eq!(ro.data[0].name, "pytest-output");
         assert_eq!(ro.executions[0].ran_as, "x-vhayot");
+    }
+
+    #[test]
+    fn provenance_entries_carry_verifiable_cas_digests() {
+        let run = sample_run();
+        let mut store = ArtifactStore::new();
+        let cas = CasStore::new();
+        store.attach_cas(cas.clone());
+        store.upload(RunId(9), "pytest-output", "6 passed\nfull log", SimTime::ZERO);
+        let entries = provenance_entries(&run, &store, SimTime::from_secs(10));
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.pipeline, "psij-ci");
+        assert_eq!(e.location, "ci://artifacts/run#9/pytest-output");
+        assert!(!e.cas_digest.is_none());
+        assert!(verify_provenance_entry(e, &cas), "bytes still in the CAS");
+
+        // Without a CAS attached the pointer exists but cannot be verified.
+        let mut bare = ArtifactStore::new();
+        bare.upload(RunId(9), "pytest-output", "6 passed\nfull log", SimTime::ZERO);
+        let legacy = provenance_entries(&run, &bare, SimTime::from_secs(10));
+        assert!(legacy[0].cas_digest.is_none());
+        assert!(!verify_provenance_entry(&legacy[0], &cas));
     }
 
     #[test]

@@ -4,10 +4,15 @@
 //! holds values whose bit length is *i*, i.e. `[2^(i-1), 2^i - 1]`. Bucketing
 //! by bit length makes `observe` a handful of integer ops with no float math,
 //! so recording is deterministic across platforms and cheap enough for task
-//! completion paths. Quantiles are reported as the upper bound of the bucket
-//! containing the requested rank (clamped to the observed max) — an integer,
-//! order-independent estimate that is bit-identical however observations are
-//! interleaved.
+//! completion paths.
+//!
+//! Quantiles come in two flavors, both integer-only and order-independent:
+//! [`Histogram::quantile_upper`] returns the raw upper bound of the bucket
+//! holding the requested rank (coarse — for wide buckets every quantile in
+//! the bucket collapses onto `2^i - 1`), and [`Histogram::quantile`] adds
+//! within-bucket linear interpolation, spreading the bucket's observations
+//! uniformly across its span so reported p50/p99 values land *inside* the
+//! bucket instead of saturating at its boundary.
 
 /// Number of buckets: one for zero plus one per possible bit length.
 pub const HISTOGRAM_BUCKETS: usize = 65;
@@ -111,6 +116,51 @@ impl Histogram {
         }
         self.max
     }
+
+    /// Inclusive lower bound of a bucket.
+    fn bucket_lower(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            i => 1u64 << (i - 1),
+        }
+    }
+
+    /// Quantile estimate with within-bucket linear interpolation.
+    ///
+    /// The bucket holding the observation of rank `ceil(count * q / 100)` is
+    /// located as in [`quantile_upper`](Self::quantile_upper), then its `n`
+    /// observations are assumed uniformly spread over the bucket span
+    /// `[2^(i-1), 2^i - 1]` and the estimate is read off at the rank's
+    /// position. This keeps tail quantiles from collapsing onto bucket
+    /// boundaries: with wide high buckets, `quantile_upper` reports the same
+    /// `2^i - 1` for every quantile that lands in the bucket, while this
+    /// estimate moves through the bucket with the rank. The result is
+    /// clamped to the observed `[min, max]` and stays integer-only (and thus
+    /// bit-identical across platforms and observation orders).
+    pub fn quantile(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count * q).div_ceil(100)).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let before = cumulative;
+            cumulative += n;
+            if cumulative >= rank {
+                let lower = Self::bucket_lower(i);
+                let span = bucket_upper(i) - lower;
+                // Position of the rank inside this bucket, 1..=n; the n-th
+                // observation sits at the bucket's upper bound.
+                let pos = rank - before;
+                let est = lower + span.saturating_mul(pos) / n;
+                return est.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
 }
 
 #[cfg(test)]
@@ -157,6 +207,43 @@ mod tests {
         assert_eq!(h.quantile_upper(99), 15);
         assert_eq!(h.quantile_upper(100), 1000, "clamped to observed max");
         assert_eq!(Histogram::new().quantile_upper(50), 0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_land_inside_the_bucket() {
+        // The saturation case from the bench: most observations share one
+        // wide bucket, so every quantile_upper collapses onto 2^i - 1 while
+        // the interpolated estimate moves with the rank.
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(10); // bucket 4, span [8, 15]
+        }
+        h.observe(1000); // bucket 10
+        assert_eq!(h.quantile_upper(50), 15, "saturated at bucket upper");
+        assert_eq!(h.quantile_upper(99), 15, "saturated at bucket upper");
+        // rank 50 of 99 in-bucket observations: 8 + 7 * 50 / 99 = 11.
+        assert_eq!(h.quantile(50), 11);
+        // rank 99 of 99: 8 + 7 * 99 / 99 = 15, inside the observed range.
+        assert_eq!(h.quantile(99), 15);
+        assert_eq!(h.quantile(100), 1000, "clamped to observed max");
+
+        // Spread within one bucket: 33, 40, 50, 60 all land in [32, 63].
+        let mut h = Histogram::new();
+        for v in [33u64, 40, 50, 60] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(25), 39); // 32 + 31 * 1 / 4
+        assert_eq!(h.quantile(50), 47); // 32 + 31 * 2 / 4
+        assert_eq!(h.quantile(99), 60); // 32 + 31 * 4 / 4 = 63, clamped to max
+        // A single-valued histogram clamps every quantile onto that value.
+        let mut h = Histogram::new();
+        for _ in 0..4 {
+            h.observe(40);
+        }
+        for q in [1, 50, 99, 100] {
+            assert_eq!(h.quantile(q), 40);
+        }
+        assert_eq!(Histogram::new().quantile(50), 0);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 /// Core metric names pre-registered on every enabled registry so snapshots
 /// always expose the acceptance-critical series, observed or not.
 pub const CORE_HISTOGRAMS: &[&str] = &[
+    "ci.step_replay_us",
     "faas.pilot_provision_us",
     "faas.task_exec_us",
     "faas.task_latency_us",
@@ -28,8 +29,12 @@ pub const CORE_COUNTERS: &[&str] = &[
     "action.token_refreshes",
     "auth.token_refreshes",
     "auth.tokens_issued",
-    "ci.artifact_bytes",
+    "ci.artifact_logical_bytes",
+    "ci.artifact_stored_bytes",
     "ci.runs_total",
+    "ci.step_cache_hits",
+    "ci.step_cache_misses",
+    "ci.step_cache_uncacheable",
     "faas.pilot_reprovisions",
     "faas.tasks_completed",
     "faas.tasks_submitted",

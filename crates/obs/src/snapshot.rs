@@ -38,9 +38,9 @@ impl HistogramSnapshot {
             sum: h.sum(),
             min: h.min(),
             max: h.max(),
-            p50: h.quantile_upper(50),
-            p90: h.quantile_upper(90),
-            p99: h.quantile_upper(99),
+            p50: h.quantile(50),
+            p90: h.quantile(90),
+            p99: h.quantile(99),
             buckets: (0..HISTOGRAM_BUCKETS)
                 .filter(|&i| h.buckets()[i] > 0)
                 .map(|i| (bucket_upper(i), h.buckets()[i]))

@@ -8,6 +8,7 @@
 //! combination — so downstream visualization and audits can find everything
 //! a CI campaign produced.
 
+use hpcci_cas::Digest;
 use std::collections::BTreeMap;
 
 /// One cached pointer: a (pipeline, dataset) cell of the evaluation matrix.
@@ -24,6 +25,11 @@ pub struct CacheEntry {
     /// Virtual timestamp (µs) of the producing run.
     pub at_us: u64,
     pub success: bool,
+    /// Content digest of the result artifact in the CAS ([`Digest::NONE`]
+    /// when the producing run predates content-addressed storage). Lets an
+    /// audit verify bit-for-bit that the bytes at `location` are the bytes
+    /// the run produced.
+    pub cas_digest: Digest,
 }
 
 /// The cache file: append-per-run, newest entry wins per (pipeline, dataset).
@@ -77,24 +83,28 @@ impl ProvenanceCache {
     }
 
     /// Serialize to the cache-file text format (line-oriented, greppable —
-    /// the artifact CI exports).
+    /// the artifact CI exports). Version 2 appends the CAS digest of the
+    /// result artifact as a seventh column.
     pub fn to_cache_file(&self) -> String {
-        let mut out = String::from("# task provenance cache v1\n");
+        let mut out = String::from("# task provenance cache v2\n");
         for e in &self.entries {
             out.push_str(&format!(
-                "{}\t{}\t{}\t{}\t{}\t{}\n",
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
                 e.pipeline,
                 e.dataset,
                 e.task_id,
                 e.location,
                 e.at_us,
-                if e.success { "ok" } else { "failed" }
+                if e.success { "ok" } else { "failed" },
+                e.cas_digest
             ));
         }
         out
     }
 
     /// Parse the cache-file format back (round-trips [`Self::to_cache_file`]).
+    /// Six-column v1 rows (written before content addressing) still parse;
+    /// their digest is [`Digest::NONE`].
     pub fn from_cache_file(text: &str) -> ProvenanceCache {
         let mut cache = ProvenanceCache::new();
         for line in text.lines() {
@@ -102,9 +112,14 @@ impl ProvenanceCache {
                 continue;
             }
             let fields: Vec<&str> = line.split('\t').collect();
-            if fields.len() != 6 {
+            if fields.len() != 6 && fields.len() != 7 {
                 continue;
             }
+            let cas_digest = fields
+                .get(6)
+                .and_then(|hex| u128::from_str_radix(hex, 16).ok())
+                .map(Digest)
+                .unwrap_or(Digest::NONE);
             cache.record(CacheEntry {
                 pipeline: fields[0].to_string(),
                 dataset: fields[1].to_string(),
@@ -112,6 +127,7 @@ impl ProvenanceCache {
                 location: fields[3].to_string(),
                 at_us: fields[4].parse().unwrap_or(0),
                 success: fields[5] == "ok",
+                cas_digest,
             });
         }
         cache
@@ -130,6 +146,7 @@ mod tests {
             location: format!("ci://artifacts/{pipeline}/{dataset}/{at}"),
             at_us: at,
             success,
+            cas_digest: Digest::of_str(&format!("{pipeline}/{dataset}/{at}")),
         }
     }
 
@@ -161,5 +178,29 @@ mod tests {
     fn parser_skips_garbage() {
         let parsed = ProvenanceCache::from_cache_file("# comment\n\nnot-a-row\na\tb\n");
         assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn v1_rows_parse_with_no_digest() {
+        let legacy = "# task provenance cache v1\np1\td1\ttask-1\tci://a/1\t1\tok\n";
+        let parsed = ProvenanceCache::from_cache_file(legacy);
+        assert_eq!(parsed.len(), 1);
+        let m = parsed.matrix();
+        let e = m[&("p1".to_string(), "d1".to_string())];
+        assert!(e.cas_digest.is_none());
+        assert!(e.success);
+    }
+
+    #[test]
+    fn v2_rows_round_trip_the_digest() {
+        let mut c = ProvenanceCache::new();
+        c.record(entry("p1", "d1", 7, true));
+        let text = c.to_cache_file();
+        assert!(text.starts_with("# task provenance cache v2\n"));
+        let parsed = ProvenanceCache::from_cache_file(&text);
+        assert_eq!(parsed.len(), 1);
+        let m = parsed.matrix();
+        let e = m[&("p1".to_string(), "d1".to_string())];
+        assert_eq!(e.cas_digest, Digest::of_str("p1/d1/7"));
     }
 }

@@ -11,6 +11,7 @@
 //! ```text
 //! correct-core      the CORRECT action + federation composition root
 //!    ├── hpcci-ci          GitHub-Actions-like engine
+//!    │     └── hpcci-cas        content-addressed store + digests
 //!    ├── hpcci-faas        Globus-Compute-like federated FaaS
 //!    │     ├── hpcci-scheduler   SLURM-like batch scheduler + providers
 //!    │     └── hpcci-auth        OAuth identities, mapping, HA policies
@@ -29,6 +30,7 @@ pub mod scenarios;
 pub use correct_core as correct;
 pub use hpcci_auth as auth;
 pub use hpcci_baselines as baselines;
+pub use hpcci_cas as cas;
 pub use hpcci_ci as ci;
 pub use hpcci_cluster as cluster;
 pub use hpcci_faas as faas;

@@ -118,7 +118,7 @@ fn pilot_walltime_expiry_reprovisions_for_queued_tasks() {
         )
         .unwrap();
     // Single worker so tasks serialize inside the pilot.
-    // (register_pilot_endpoint defaults to 4 workers; both tasks would start
+    // (pilot endpoints default to 4 workers; both tasks would start
     // together and the second would be cut off by walltime — instead check
     // both terminal states are reported either way.)
     let (t1, t2) = {

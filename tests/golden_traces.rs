@@ -83,6 +83,38 @@ fn golden_randomized_fault_scenario_traces() {
     );
 }
 
+/// Step-cache determinism: a Record-mode run executes everything and must
+/// leave the pinned cache-off trace untouched; a Replay-mode run over the
+/// same world serves every step from the cache, so its (shorter) trace gets
+/// its own golden.
+#[test]
+fn golden_step_cache_record_and_replay_traces() {
+    use hpcci::ci::{CacheMode, StepCache};
+    use hpcci::correct::Federation;
+    let cache = StepCache::new();
+    let run = |mode| {
+        let fed = Federation::builder(42).step_cache_shared(cache.clone(), mode).build();
+        let mut s = hpcci::scenarios::psij_scenario_on(fed, false);
+        s.push_approve_run("vhayot");
+        let t = s.fed.cloud.lock().trace.render();
+        t
+    };
+    let record = run(CacheMode::Record);
+    debug_dump("psij record trace", &record);
+    assert_eq!(
+        fnv1a(&record),
+        GOLDEN_PSIJ_TRACE,
+        "record-mode execution must be bit-identical to cache-off"
+    );
+    let replay = run(CacheMode::Replay);
+    debug_dump("psij replay trace", &replay);
+    assert_eq!(
+        fnv1a(&replay),
+        GOLDEN_PSIJ_REPLAY_TRACE,
+        "replay-mode seed-42 trace diverged from its golden"
+    );
+}
+
 /// Same seed, run twice in-process: the renders must be byte-identical
 /// (guards against any wall-clock or address-dependent state sneaking into
 /// the loop, independent of the committed goldens).
@@ -101,5 +133,10 @@ fn same_seed_replays_bit_identically() {
 // Hashes recorded by running these scenarios on the pre-optimization event
 // loop (PR 2 baseline). See the test module doc for the re-bless policy.
 const GOLDEN_PSIJ_TRACE: u64 = 761119000233767446;
+// The cloud trace of a warm (Replay-mode) psij run: every step is served
+// from the cache, so no task ever reaches the FaaS layer and the trace is
+// empty (this is FNV-1a of the empty string — pinned so a replay that
+// starts leaking work into the cloud shows up here).
+const GOLDEN_PSIJ_REPLAY_TRACE: u64 = 14695981039346656037;
 const GOLDEN_PARSLDOCK_FAULT_TRACE: u64 = 5155577981634125522;
 const GOLDEN_PARSLDOCK_CHAOS_TRACE: u64 = 10201305947749851509;

@@ -431,6 +431,114 @@ fn trace_merge_matches_stable_sort() {
     }
 }
 
+/// Incremental CI, end to end: for arbitrary seeds, a Replay-mode run over
+/// the same world as its Record-mode producer serves every step from the
+/// cache and is byte-identical — statuses, step records, artifact bytes.
+#[test]
+fn step_cache_replay_is_byte_identical_to_record() {
+    use hpcci::ci::{CacheMode, StepCache};
+    use hpcci::correct::Federation;
+    for case in 0..4 {
+        let mut rng = case_rng("cache_replay", case);
+        let seed = rng.range_u64(0, 1 << 32);
+        let cache = StepCache::new();
+        let observe = |mode: CacheMode| {
+            let fed = Federation::builder(seed).step_cache_shared(cache.clone(), mode).build();
+            let mut s = hpcci::scenarios::psij_scenario_on(fed, false);
+            let runs = s.push_approve_run("vhayot");
+            let run = s.fed.engine.run(runs[0]).unwrap().clone();
+            let now = s.fed.now();
+            let artifact = s
+                .fed
+                .engine
+                .artifacts
+                .fetch(runs[0], "pytest-output", now)
+                .expect("artifact uploaded")
+                .content
+                .clone();
+            (run.full_log(), artifact)
+        };
+        let recorded = observe(CacheMode::Record);
+        let hits_before = cache.stats().hits;
+        let replayed = observe(CacheMode::Replay);
+        assert_eq!(recorded, replayed, "case {case} (seed {seed}): replay diverged");
+        assert!(
+            cache.stats().hits > hits_before,
+            "case {case} (seed {seed}): replay pass never hit the cache"
+        );
+    }
+}
+
+/// Step-key sensitivity: identical inputs derive identical keys, and
+/// perturbing any single field — command, env vars, secrets, software
+/// stack, repo tree, job, runner, or the prior-result chain — forces a
+/// different key (a guaranteed cache miss).
+#[test]
+fn step_key_perturbations_force_misses() {
+    use hpcci::cas::Digest;
+    use hpcci::ci::{StepDef, StepKey};
+    use std::collections::BTreeMap;
+    for case in 0..CASES {
+        let mut rng = case_rng("step_key", case);
+        let tree = gen_string(&mut rng, LOWER, 6, 12);
+        let job = gen_string(&mut rng, LOWER, 1, 8);
+        // References both a secret and an env var so rotating either changes
+        // the fully interpolated command (how env reaches the key).
+        let command = format!(
+            "{} ${{{{ secrets.TOKEN }}}} ${{{{ env.CI }}}}",
+            gen_string(&mut rng, PRINTABLE, 1, 24)
+        );
+        let step = StepDef::run("run", &command);
+        let mut secrets = BTreeMap::new();
+        secrets.insert("TOKEN".to_string(), gen_string(&mut rng, LOWER, 4, 10));
+        let mut env_vars = BTreeMap::new();
+        env_vars.insert("CI".to_string(), gen_string(&mut rng, LOWER, 1, 6));
+        let stack = Digest::of_str(&gen_string(&mut rng, LOWER, 4, 10));
+        let runner = gen_string(&mut rng, LOWER, 3, 10);
+        let prior = Digest::of_str(&gen_string(&mut rng, LOWER, 4, 10));
+
+        let derive = |tree: &str,
+                      job: &str,
+                      step: &StepDef,
+                      secrets: &BTreeMap<String, String>,
+                      env_vars: &BTreeMap<String, String>,
+                      stack: Digest,
+                      runner: &str,
+                      prior: Digest| {
+            StepKey::derive(tree, job, step, secrets, env_vars, stack, runner, prior)
+        };
+        let base = derive(&tree, &job, &step, &secrets, &env_vars, stack, &runner, prior);
+        // Determinism: same inputs, same key.
+        assert_eq!(
+            base,
+            derive(&tree, &job, &step, &secrets, &env_vars, stack, &runner, prior),
+            "case {case}: derivation not deterministic"
+        );
+
+        let perturbed_step = StepDef::run("run", &format!("{command}!"));
+        let mut rotated = secrets.clone();
+        rotated.insert("TOKEN".to_string(), format!("{}x", secrets["TOKEN"]));
+        let mut env2 = env_vars.clone();
+        env2.insert("CI".to_string(), format!("{}x", env_vars["CI"]));
+        let variants = [
+            ("tree", derive(&format!("{tree}x"), &job, &step, &secrets, &env_vars, stack, &runner, prior)),
+            ("job", derive(&tree, &format!("{job}x"), &step, &secrets, &env_vars, stack, &runner, prior)),
+            ("command", derive(&tree, &job, &perturbed_step, &secrets, &env_vars, stack, &runner, prior)),
+            ("secrets", derive(&tree, &job, &step, &rotated, &env_vars, stack, &runner, prior)),
+            ("env", derive(&tree, &job, &step, &secrets, &env2, stack, &runner, prior)),
+            ("stack", derive(&tree, &job, &step, &secrets, &env_vars, Digest::of_str("upgraded"), &runner, prior)),
+            ("runner", derive(&tree, &job, &step, &secrets, &env_vars, stack, &format!("{runner}x"), prior)),
+            ("prior", derive(&tree, &job, &step, &secrets, &env_vars, stack, &runner, Digest::of_str("other-chain"))),
+        ];
+        for (field, key) in variants {
+            assert_ne!(
+                base, key,
+                "case {case}: perturbing {field} must change the step key"
+            );
+        }
+    }
+}
+
 /// Chaos determinism, end to end: the same seed with the same fault plan
 /// replays the whole federation bit-identically — run log, functional
 /// trace, and chaos trace all byte-equal across replays.

@@ -1,0 +1,189 @@
+//! End-to-end incremental-CI semantics over whole federations.
+//!
+//! The contract under test: a Replay-mode run over the same world (seed,
+//! repo tree, software stacks, secrets) as a Record-mode producer serves
+//! every step from the cache and reproduces the recorded run **byte for
+//! byte** — statuses, step outputs, virtual timestamps, artifact contents.
+//! Anything the infrastructure broke is never cached, and deduplicated
+//! artifact storage keeps stored bytes well under logical bytes.
+
+use hpcci::ci::{CacheMode, RunStatus, StepCache};
+use hpcci::correct::Federation;
+use hpcci::obs::ObsConfig;
+use hpcci::scenarios::{parsldock_scenario_on, psij_scenario_on, Scenario};
+use hpcci::sim::{FaultKind, FaultPlan, SimTime};
+
+/// Run the §6.2 PSI/J scenario on a pre-built federation and return it with
+/// the finished run ids.
+fn run_psij(fed: Federation) -> (Scenario, Vec<hpcci::ci::RunId>) {
+    let mut s = psij_scenario_on(fed, false);
+    let runs = s.push_approve_run("vhayot");
+    (s, runs)
+}
+
+#[test]
+fn replay_reproduces_the_recorded_run_byte_for_byte() {
+    let cache = StepCache::new();
+    let (cold_s, cold_runs) = run_psij(
+        Federation::builder(5)
+            .step_cache_shared(cache.clone(), CacheMode::Record)
+            .build(),
+    );
+    let after_cold = cache.stats();
+    assert!(after_cold.entries > 0, "record pass populates the cache");
+    assert_eq!(after_cold.hits, 0, "record mode never serves");
+
+    let (warm_s, warm_runs) = run_psij(
+        Federation::builder(5)
+            .step_cache_shared(cache.clone(), CacheMode::Replay)
+            .build(),
+    );
+    // Stats accumulate on the shared cache, so compare against the cold
+    // pass: the warm pass must add hits and nothing else.
+    let after_warm = cache.stats();
+    assert_eq!(
+        after_warm.misses, after_cold.misses,
+        "identical world must hit on every step"
+    );
+    assert_eq!(after_warm.hits, after_cold.entries);
+
+    let cold = cold_s.fed.engine.run(cold_runs[0]).unwrap();
+    let warm = warm_s.fed.engine.run(warm_runs[0]).unwrap();
+    assert_eq!(cold.status, warm.status);
+    assert_eq!(cold.steps.len(), warm.steps.len());
+    for (c, w) in cold.steps.iter().zip(&warm.steps) {
+        assert_eq!(c.job, w.job);
+        assert_eq!(c.step, w.step);
+        assert_eq!(c.success, w.success);
+        assert_eq!(c.stdout, w.stdout, "stdout of {}/{}", c.job, c.step);
+        assert_eq!(c.stderr, w.stderr);
+        assert_eq!(c.outputs, w.outputs);
+        assert_eq!(c.started, w.started, "virtual start of {}/{}", c.job, c.step);
+        assert_eq!(c.ended, w.ended, "virtual end of {}/{}", c.job, c.step);
+    }
+    // Artifacts round-trip through the CAS with identical bytes.
+    let now = cold_s.fed.now();
+    let c = cold_s.fed.engine.artifacts.fetch(cold_runs[0], "pytest-output", now).unwrap();
+    let w = warm_s.fed.engine.artifacts.fetch(warm_runs[0], "pytest-output", now).unwrap();
+    assert_eq!(c.content, w.content);
+    assert_eq!(c.digest, w.digest);
+    assert!(!c.digest.is_none());
+}
+
+#[test]
+fn different_worlds_do_not_share_recordings() {
+    let cache = StepCache::new();
+    let _ = run_psij(
+        Federation::builder(5)
+            .step_cache_shared(cache.clone(), CacheMode::Record)
+            .build(),
+    );
+    // A different seed jitters runtimes, so its steps must all miss and
+    // re-execute rather than replay seed 5's recordings.
+    let (s, runs) = run_psij(
+        Federation::builder(6)
+            .step_cache_shared(cache.clone(), CacheMode::Replay)
+            .build(),
+    );
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 0, "seed-6 keys must not collide with seed-5 entries");
+    assert!(stats.misses > 0);
+    assert_eq!(s.fed.engine.run(runs[0]).unwrap().status, RunStatus::Success);
+}
+
+#[test]
+fn infrastructure_failures_are_never_cached() {
+    let plan = FaultPlan::none().with_fault(
+        SimTime::from_secs(60),
+        FaultKind::EndpointCrash {
+            endpoint: "ep-chameleon-tacc".into(),
+        },
+    );
+    let cache = StepCache::new();
+    let fed = Federation::builder(85)
+        .faults(plan)
+        .step_cache_shared(cache.clone(), CacheMode::Record)
+        .build();
+    let mut s = parsldock_scenario_on(fed);
+    let runs = s.push_approve_run("vhayot");
+    let run = s.fed.engine.run(runs[0]).unwrap();
+    assert_eq!(run.status, RunStatus::Failure, "the crashed site fails the run");
+    let stats = cache.stats();
+    assert!(
+        stats.uncacheable > 0,
+        "the infrastructure-failed step must be refused by the cache"
+    );
+    // Nothing poisoned: a Replay pass over the same broken world hits only
+    // the genuinely-executed entries and re-executes the degraded step.
+    let infra_step = run
+        .steps
+        .iter()
+        .find(|st| st.outputs.get("failure_kind").map(String::as_str) == Some("infrastructure"))
+        .expect("degraded step recorded");
+    assert!(!infra_step.success);
+}
+
+#[test]
+fn artifact_storage_dedups_across_repetitions() {
+    let cache = StepCache::new();
+    for mode in [CacheMode::Record, CacheMode::Replay] {
+        let _ = run_psij(
+            Federation::builder(11)
+                .step_cache_shared(cache.clone(), mode)
+                .build(),
+        );
+    }
+    let cas = cache.cas().stats();
+    assert!(cas.logical_bytes > 0);
+    assert!(
+        cas.stored_bytes < cas.logical_bytes,
+        "identical artifact bytes across the two passes must be stored once \
+         (stored {} vs logical {})",
+        cas.stored_bytes,
+        cas.logical_bytes
+    );
+    assert!(cas.dedup_hits > 0);
+}
+
+#[test]
+fn obs_counts_hits_misses_and_replay_latency() {
+    let cache = StepCache::new();
+    let (cold_s, _) = run_psij(
+        Federation::builder(13)
+            .obs(ObsConfig::enabled())
+            .step_cache_shared(cache.clone(), CacheMode::Record)
+            .build(),
+    );
+    let cold = cold_s.fed.metrics();
+    assert!(cold.counter("ci.step_cache_misses") > 0, "record pass counts misses");
+    assert_eq!(cold.counter("ci.step_cache_hits"), 0);
+    assert!(cold.counter("ci.artifact_logical_bytes") > 0);
+    assert!(
+        cold.counter("ci.artifact_stored_bytes") <= cold.counter("ci.artifact_logical_bytes")
+    );
+
+    let (warm_s, _) = run_psij(
+        Federation::builder(13)
+            .obs(ObsConfig::enabled())
+            .step_cache_shared(cache.clone(), CacheMode::Replay)
+            .build(),
+    );
+    let warm = warm_s.fed.metrics();
+    let hits = warm.counter("ci.step_cache_hits");
+    assert!(hits > 0, "replay pass counts hits");
+    assert_eq!(warm.counter("ci.step_cache_misses"), 0);
+    let replay = warm
+        .histogram("ci.step_replay_us")
+        .expect("replay latency histogram populated");
+    assert_eq!(replay.count, hits, "one replay-latency sample per hit");
+    assert!(replay.sum > 0, "replayed steps carry their recorded virtual duration");
+}
+
+#[test]
+fn cache_off_builds_have_no_cache_side_effects() {
+    let mut s = psij_scenario_on(Federation::builder(21).build(), false);
+    let runs = s.push_approve_run("vhayot");
+    assert_eq!(s.fed.engine.run(runs[0]).unwrap().status, RunStatus::Success);
+    assert!(s.fed.step_cache().is_none());
+    assert!(s.fed.engine.artifacts.cas().is_none());
+}
