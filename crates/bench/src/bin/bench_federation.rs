@@ -8,7 +8,8 @@
 //! perf regressions.
 //!
 //! Usage: `bench_federation [--smoke] [--label <name>] [--obs-gate <pct>]
-//! [--cache-gate <x>]`
+//! [--cache-gate <x>] [--throughput-gate <events/s>] [--speedup-gate <x>]
+//! [--profile]`
 //!
 //! `--obs-gate <pct>` re-runs the event-loop bench with the observability
 //! layer enabled and exits non-zero when enabled-vs-disabled throughput
@@ -18,6 +19,23 @@
 //! `--cache-gate <x>` exits non-zero when the warm (Replay) fig4 sweep is
 //! less than `<x>` times faster than the cold (Record) sweep — CI's guard
 //! that the step cache keeps paying for itself.
+//!
+//! `--throughput-gate <events/s>` exits non-zero when peak no-obs event-loop
+//! throughput stays below the floor even after a bounded number of retries.
+//! Peak (not median) because the gate asks "can the kernel still reach this
+//! rate", which one clean sample proves; the median remains what the JSON
+//! row records.
+//!
+//! `--speedup-gate <x>` exits non-zero when the 4-worker fig4 sweep is less
+//! than `<x>` times faster than the 1-worker sweep. Core-aware: on hosts
+//! with fewer than 4 cores a parallel speedup is physically unobtainable,
+//! so the gate degrades to a no-pathological-slowdown floor (see
+//! `SPEEDUP_FLOOR_FEW_CORES`).
+//!
+//! `--profile` runs one instrumented event loop instead of the bench: each
+//! phase (build / submit / drive) is bracketed by an `hpcci-obs` span and a
+//! wall timer, and the per-phase sim/wall breakdown plus the rendered span
+//! trace are printed. Nothing is appended to the JSON trajectory.
 
 use hpcci::auth::{AuthService, Scope};
 use hpcci::cluster::Site;
@@ -47,10 +65,13 @@ struct LoopSample {
     metrics: Option<hpcci_obs::MetricsSnapshot>,
 }
 
-/// Build a federation of `n_endpoints` single-user endpoints, each on its own
-/// workstation site, submit `n_tasks` shell tasks round-robin, and drive the
-/// cloud to quiescence. Returns wall time of the drive phase only.
-fn event_loop_run(n_endpoints: usize, n_tasks: usize, obs: Obs) -> LoopSample {
+/// Build the microbench federation: `n_endpoints` single-user endpoints,
+/// each on its own workstation site. Shared by the measured runs and the
+/// `--profile` instrumented run.
+fn build_bench_cloud(
+    n_endpoints: usize,
+    obs: Obs,
+) -> (CloudService, hpcci::auth::AccessToken, Vec<hpcci::faas::EndpointId>) {
     let auth = Arc::new(Mutex::new(AuthService::new()));
     let (token, owner) = {
         let mut a = auth.lock();
@@ -62,7 +83,7 @@ fn event_loop_run(n_endpoints: usize, n_tasks: usize, obs: Obs) -> LoopSample {
         (token, identity.id)
     };
     let mut cloud = CloudService::new(auth);
-    cloud.set_obs(obs.clone());
+    cloud.set_obs(obs);
     let mut endpoint_ids = Vec::new();
     for i in 0..n_endpoints {
         let mut rt = SiteRuntime::new(Site::workstation(&format!("bench-{i}")));
@@ -77,8 +98,16 @@ fn event_loop_run(n_endpoints: usize, n_tasks: usize, obs: Obs) -> LoopSample {
             WorkerProvider::Local(LocalProvider::new(login, 8)),
             1000 + i as u64,
         );
-        endpoint_ids.push(cloud.register_endpoint(&format!("ep-{i}"), EndpointRegistration::Single(ep)));
+        endpoint_ids.push(cloud.register_endpoint(&format!("ep-{i}"), EndpointRegistration::Single(Box::new(ep))));
     }
+    (cloud, token, endpoint_ids)
+}
+
+/// Build a federation of `n_endpoints` single-user endpoints, each on its own
+/// workstation site, submit `n_tasks` shell tasks round-robin, and drive the
+/// cloud to quiescence. Returns wall time of the drive phase only.
+fn event_loop_run(n_endpoints: usize, n_tasks: usize, obs: Obs) -> LoopSample {
+    let (mut cloud, token, endpoint_ids) = build_bench_cloud(n_endpoints, obs.clone());
     for t in 0..n_tasks {
         let ep = &endpoint_ids[t % n_endpoints];
         cloud
@@ -102,6 +131,66 @@ fn event_loop_run(n_endpoints: usize, n_tasks: usize, obs: Obs) -> LoopSample {
         allocs_saved: stats.saved_allocs(),
         metrics,
     }
+}
+
+/// `--profile`: one instrumented event-loop run. Each phase is bracketed by
+/// an `hpcci-obs` span (recording the sim-time extent it covered) and a wall
+/// timer; the combined sim/wall breakdown and the rendered span trace are
+/// printed instead of appending a bench row.
+fn profile_run(n_endpoints: usize, n_tasks: usize) {
+    let obs = Obs::new(ObsConfig::enabled());
+    let total = Instant::now();
+
+    let wall = Instant::now();
+    let span = obs.span_start("bench.build", format!("{n_endpoints} endpoints"), SimTime::ZERO);
+    let (mut cloud, token, endpoint_ids) = build_bench_cloud(n_endpoints, obs.clone());
+    obs.span_end(span, cloud.now());
+    let build = (wall.elapsed().as_secs_f64(), cloud.now());
+
+    let wall = Instant::now();
+    let span = obs.span_start("bench.submit", format!("{n_tasks} tasks"), cloud.now());
+    for t in 0..n_tasks {
+        let ep = &endpoint_ids[t % n_endpoints];
+        cloud
+            .submit_shell(&token, ep, "work", SimTime::ZERO)
+            .expect("submit");
+    }
+    obs.span_end(span, cloud.now());
+    let submit = (wall.elapsed().as_secs_f64(), cloud.now());
+
+    let wall = Instant::now();
+    let span = obs.span_start("bench.drive", "to quiescence", cloud.now());
+    drive(&mut [&mut cloud]);
+    obs.span_end(span, cloud.now());
+    let drive_phase = (wall.elapsed().as_secs_f64(), cloud.now());
+
+    let total_wall = total.elapsed().as_secs_f64();
+    let events = cloud.trace.len() as f64;
+    hpcci_bench::section(&format!(
+        "profile — {n_endpoints} endpoints, {n_tasks} tasks"
+    ));
+    println!("{:<14}{:>12}  {:>7}  {:>16}", "phase", "wall s", "wall %", "sim now after");
+    let mut sim_before = SimTime::ZERO;
+    for (name, (wall_secs, sim_after)) in
+        [("build", build), ("submit", submit), ("drive", drive_phase)]
+    {
+        println!(
+            "{:<14}{:>12.6}  {:>6.1}%  {:>13} us (+{} us)",
+            name,
+            wall_secs,
+            100.0 * wall_secs / total_wall,
+            sim_after.as_micros(),
+            sim_after.since(sim_before).as_micros(),
+        );
+        sim_before = sim_after;
+    }
+    println!("{:<14}{:>12.6}  {:>6.1}%", "total", total_wall, 100.0);
+    println!(
+        "trace events {:>6}   drive throughput {:>12.0} events/s",
+        events as u64,
+        events / drive_phase.0
+    );
+    println!("\nspan trace:\n{}", obs.span_trace().render());
 }
 
 /// Digest a finished fig4 scenario: fold the parsed per-test durations of
@@ -174,7 +263,8 @@ fn fig4_sweep(reps: u64, threads: usize) -> (f64, u64) {
     (start.elapsed().as_secs_f64(), combine(&digests))
 }
 
-fn median(mut xs: Vec<f64>) -> f64 {
+fn median(xs: &[f64]) -> f64 {
+    let mut xs = xs.to_vec();
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs[xs.len() / 2]
 }
@@ -198,15 +288,34 @@ fn main() {
         .position(|a| a == "--cache-gate")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--cache-gate takes a speedup factor"));
+    let throughput_gate: Option<f64> = args
+        .iter()
+        .position(|a| a == "--throughput-gate")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--throughput-gate takes events/s"));
+    let speedup_gate: Option<f64> = args
+        .iter()
+        .position(|a| a == "--speedup-gate")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--speedup-gate takes a speedup factor"));
 
-    let (endpoints, tasks, samples, reps) = if smoke { (4, 64, 2, 1) } else { (16, 2048, 7, 5) };
+    let (endpoints, tasks, samples, reps) = if smoke { (4, 64, 3, 8) } else { (16, 2048, 7, 24) };
+
+    if args.iter().any(|a| a == "--profile") {
+        profile_run(endpoints, tasks);
+        return;
+    }
 
     hpcci_bench::section(&format!(
         "BENCH_federation — event-loop throughput ({endpoints} endpoints, {tasks} tasks)"
     ));
-    // Discard one warm-up run so allocator/cache warm-up lands outside the
-    // samples — the obs gate compares medians of the two passes below.
-    let _ = event_loop_run(endpoints, tasks, Obs::disabled());
+    // Discard warm-up runs so allocator, page-cache, and CPU-frequency
+    // ramp-up land outside the samples — earlier trajectory rows show the
+    // second measured pass consistently beating the first, which is warm-up
+    // leaking into the measurement, not a real effect.
+    for _ in 0..3 {
+        let _ = event_loop_run(endpoints, tasks, Obs::disabled());
+    }
     let mut walls = Vec::new();
     let mut last = None;
     for _ in 0..samples {
@@ -215,7 +324,7 @@ fn main() {
         last = Some(s);
     }
     let last = last.unwrap();
-    let wall = median(walls);
+    let wall = median(&walls);
     let events_per_sec = last.trace_events as f64 / wall;
     println!("trace events per run      {:>12}", last.trace_events);
     println!("drive wall (median)       {:>12.6} s", wall);
@@ -234,7 +343,7 @@ fn main() {
         obs_last = Some(s);
     }
     let obs_last = obs_last.unwrap();
-    let obs_wall = median(obs_walls);
+    let obs_wall = median(&obs_walls);
     let obs_events_per_sec = obs_last.trace_events as f64 / obs_wall;
     let obs_overhead_pct = (1.0 - obs_events_per_sec / events_per_sec) * 100.0;
     let snap = obs_last.metrics.as_ref().expect("obs-enabled run snapshots");
@@ -247,18 +356,39 @@ fn main() {
     println!("task latency p50          {:>12} us", latency.p50);
     println!("task latency p99          {:>12} us", latency.p99);
 
-    let threads = sweep::default_threads();
-    hpcci_bench::section(&format!("fig4 sweep ({reps} reps) — serial vs {threads} threads"));
-    let (serial_secs, serial_digest) = fig4_sweep(reps, 1);
-    let (parallel_secs, parallel_digest) = fig4_sweep(reps, threads);
-    println!("serial wall               {:>12.3} s", serial_secs);
-    println!("parallel wall             {:>12.3} s", parallel_secs);
-    println!("speedup                   {:>12.2}x", serial_secs / parallel_secs);
+    // Multi-width scaling pass: the same sweep at 1/2/4/8 workers, with the
+    // submission-order digest re-pinned at every width — widening the pool
+    // must never reorder (or change) a single result.
+    let cores = sweep::default_threads();
+    const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+    hpcci_bench::section(&format!(
+        "fig4 sweep ({reps} reps) — scaling across {WIDTHS:?} workers ({cores} core(s))"
+    ));
+    let mut scaling_secs = Vec::new();
+    let mut serial_digest = 0u64;
+    for (i, &w) in WIDTHS.iter().enumerate() {
+        let (secs, digest) = fig4_sweep(reps, w);
+        if i == 0 {
+            serial_digest = digest;
+        } else {
+            assert_eq!(
+                digest, serial_digest,
+                "{w}-worker sweep must be bit-identical to the serial sweep"
+            );
+        }
+        println!(
+            "{w} worker(s)                {:>12.3} s   {:>6.2}x",
+            secs,
+            scaling_secs.first().copied().unwrap_or(secs) / secs
+        );
+        scaling_secs.push(secs);
+    }
+    let serial_secs = scaling_secs[0];
+    let parallel_secs = scaling_secs[2];
+    let speedup_4w = serial_secs / parallel_secs;
+    let threads = 4usize;
+    println!("speedup at 4 workers      {:>12.2}x", speedup_4w);
     println!("digest                    {serial_digest:#018x}");
-    assert_eq!(
-        serial_digest, parallel_digest,
-        "parallel sweep must be bit-identical to the serial sweep"
-    );
 
     // Cold-vs-warm incremental CI: a Record pass populates a shared step
     // cache (executing everything), then a Replay pass over the same seeds
@@ -297,10 +427,16 @@ fn main() {
          \"task_latency_p50_us\": {p50}, \"task_latency_p99_us\": {p99}, \
          \"fig4_reps\": {reps}, \"fig4_serial_secs\": {serial_secs:.4}, \
          \"fig4_parallel_secs\": {parallel_secs:.4}, \"sweep_threads\": {threads}, \
+         \"cores\": {cores}, \"fig4_scaling_secs\": [{w1:.4}, {w2:.4}, {w4:.4}, {w8:.4}], \
+         \"fig4_speedup_4w\": {speedup_4w:.2}, \
          \"cache_cold_secs\": {cold_secs:.4}, \"cache_warm_secs\": {warm_secs:.4}, \
          \"cache_speedup\": {cache_speedup:.2}, \"cache_hits\": {hits}, \
          \"cache_misses\": {misses}, \"artifact_logical_bytes\": {logical}, \
          \"artifact_stored_bytes\": {stored}}}",
+        w1 = scaling_secs[0],
+        w2 = scaling_secs[1],
+        w4 = scaling_secs[2],
+        w8 = scaling_secs[3],
         trace_events = last.trace_events,
         string_allocs = last.string_allocs,
         allocs_saved = last.allocs_saved,
@@ -342,5 +478,53 @@ fn main() {
             std::process::exit(1);
         }
         println!("cache gate ok: {cache_speedup:.2}x >= {gate:.2}x");
+    }
+
+    if let Some(gate) = throughput_gate {
+        // Capability gate: one clean sample at or above the floor proves the
+        // kernel can still reach the rate. Shared CI runners routinely steal
+        // 20%+ of a core mid-sample, so a below-floor peak gets a bounded
+        // number of fresh samples before the gate fails.
+        let mut peak = walls
+            .iter()
+            .map(|w| last.trace_events as f64 / w)
+            .fold(0.0f64, f64::max);
+        let mut retries = 0;
+        while peak < gate && retries < 8 {
+            let s = event_loop_run(endpoints, tasks, Obs::disabled());
+            peak = peak.max(s.trace_events as f64 / s.wall_secs);
+            retries += 1;
+        }
+        if peak < gate {
+            eprintln!(
+                "throughput gate FAILED: peak {peak:.0} events/s is below the \
+                 {gate:.0} events/s floor after {retries} extra samples"
+            );
+            std::process::exit(1);
+        }
+        println!("throughput gate ok: peak {peak:.0} >= {gate:.0} events/s");
+    }
+
+    if let Some(gate) = speedup_gate {
+        // A parallel speedup needs parallel hardware: below 4 cores the gate
+        // degrades to a floor that still catches a sweep whose wider pool
+        // pathologically slows the work down.
+        const SPEEDUP_FLOOR_FEW_CORES: f64 = 0.5;
+        let (floor, why) = if cores >= 4 {
+            (gate, "full gate")
+        } else {
+            (
+                SPEEDUP_FLOOR_FEW_CORES,
+                "no-slowdown floor — fewer than 4 cores, parallel speedup unobtainable",
+            )
+        };
+        if speedup_4w < floor {
+            eprintln!(
+                "speedup gate FAILED: 4-worker speedup {speedup_4w:.2}x is below the \
+                 {floor:.2}x floor ({why}, {cores} core(s))"
+            );
+            std::process::exit(1);
+        }
+        println!("speedup gate ok: {speedup_4w:.2}x >= {floor:.2}x ({why})");
     }
 }

@@ -474,17 +474,21 @@ impl CiEngine {
                         started: driver.now(),
                         ended: driver.now(),
                     };
-                    chain = chain_digest(chain, &rec);
+                    if cache.is_some() {
+                        chain = chain_digest(chain, &rec);
+                    }
                     steps_acc.push(rec);
                     continue;
                 }
             };
             driver.sleep(runner.startup);
             let secrets = self.secrets.resolve(&org, &repo, job.environment.as_deref());
-            let runner_label = runner.cache_label();
+            // Everything keying-related is gated on a live cache: with
+            // `CacheMode::Off` no label, key, digest, or chain work runs.
+            let runner_label = cache.as_ref().map(|_| runner.cache_label());
             let mut job_failed = false;
             for step in &job.steps {
-                let key = cache.as_ref().map(|_| {
+                let key = runner_label.as_ref().map(|label| {
                     StepKey::derive(
                         &commit,
                         &job.id,
@@ -492,7 +496,7 @@ impl CiEngine {
                         &secrets,
                         &repo_env_vars,
                         self.stack_digest_for(step, &secrets, &repo_env_vars),
-                        &runner_label,
+                        label,
                         chain,
                     )
                 });
@@ -546,10 +550,14 @@ impl CiEngine {
                 );
                 let ended = driver.now();
                 let success = result.success;
+                // Only a live cache consumes the refs; `Vec::new` itself
+                // never allocates, so cache-off pays nothing here.
                 let mut artifact_refs: Vec<(String, Digest, u64)> = Vec::new();
                 for (name, content) in result.artifacts {
                     let (digest, len) = self.upload_accounted(id, &name, content, ended);
-                    artifact_refs.push((name, digest, len));
+                    if cache.is_some() {
+                        artifact_refs.push((name, digest, len));
+                    }
                 }
                 let rec = StepRun {
                     job: job.id.clone(),
@@ -584,7 +592,9 @@ impl CiEngine {
                         );
                     }
                 }
-                chain = chain_digest(chain, &rec);
+                if cache.is_some() {
+                    chain = chain_digest(chain, &rec);
+                }
                 steps_acc.push(rec);
                 if !success {
                     // Soft failure (`continue-on-error`): later steps still

@@ -149,14 +149,10 @@ impl WorldDriver for World {
     }
 
     fn step(&mut self) -> bool {
-        let mut cloud = self.cloud.lock();
-        match cloud.next_event() {
-            Some(t) => {
-                cloud.advance_to(t);
-                true
-            }
-            None => false,
-        }
+        // `step_next` over `next_event`+`advance_to`: the cloud refreshes its
+        // dispatch cache once per step instead of answering the read-only
+        // probe with an exhaustive endpoint scan.
+        self.cloud.lock().step_next(SimTime::FAR_FUTURE).is_some()
     }
 
     fn sleep(&mut self, d: SimDuration) {
@@ -511,7 +507,7 @@ impl Federation {
                 }
                 self.cloud
                     .lock()
-                    .register_endpoint(&name, EndpointRegistration::Single(ep))
+                    .register_endpoint(&name, EndpointRegistration::Single(Box::new(ep)))
             }
             EndpointKind::Pilot { cores, walltime } => {
                 let owner = owner.expect("single-user endpoint needs an owner");
@@ -541,7 +537,7 @@ impl Federation {
                 }
                 self.cloud
                     .lock()
-                    .register_endpoint(&name, EndpointRegistration::Single(ep))
+                    .register_endpoint(&name, EndpointRegistration::Single(Box::new(ep)))
             }
             EndpointKind::MultiUser { mapping, template } => {
                 let mut mep = MultiUserEndpoint::new(&name, shared, mapping, template);
@@ -550,7 +546,7 @@ impl Federation {
                 }
                 self.cloud
                     .lock()
-                    .register_endpoint(&name, EndpointRegistration::Multi(mep))
+                    .register_endpoint(&name, EndpointRegistration::Multi(Box::new(mep)))
             }
         };
         self.endpoint_sites.insert(name.clone(), site);

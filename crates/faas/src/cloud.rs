@@ -27,10 +27,19 @@ impl std::fmt::Display for EndpointId {
     }
 }
 
+impl std::borrow::Borrow<str> for EndpointId {
+    /// Lets `BTreeMap<EndpointId, _>` be queried by `&str` — the wire-event
+    /// hot path resolves a task's endpoint name without cloning it into a
+    /// fresh `EndpointId` first.
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
 /// A registered endpoint: single-user or multi-user.
 pub enum EndpointRegistration {
-    Single(Endpoint),
-    Multi(MultiUserEndpoint),
+    Single(Box<Endpoint>),
+    Multi(Box<MultiUserEndpoint>),
 }
 
 impl EndpointRegistration {
@@ -89,6 +98,13 @@ impl EndpointRegistration {
             EndpointRegistration::Multi(m) => m.take_finished(),
         }
     }
+
+    fn drain_finished_into(&mut self, out: &mut Vec<(TaskId, TaskOutput)>) {
+        match self {
+            EndpointRegistration::Single(e) => e.drain_finished_into(out),
+            EndpointRegistration::Multi(m) => m.drain_finished_into(out),
+        }
+    }
 }
 
 enum InFlight {
@@ -111,8 +127,15 @@ pub const PAYLOAD_LIMIT: usize = 10 * 1024 * 1024;
 pub struct CloudService {
     auth: Arc<Mutex<AuthService>>,
     functions: BTreeMap<FunctionId, Function>,
-    endpoints: BTreeMap<EndpointId, EndpointRegistration>,
-    tasks: BTreeMap<TaskId, Task>,
+    /// Registered endpoints, indexed by cache slot. Name lookups go through
+    /// `slots`; ordered walks go through `ordered_slots`. Slot-indexed so
+    /// the hot loop reaches an endpoint with one bounds check instead of a
+    /// string-keyed tree descent.
+    endpoints: Vec<EndpointRegistration>,
+    /// All tasks ever accepted, indexed by `TaskId` (ids are assigned
+    /// sequentially from 1 and never removed, so `tasks[id - 1]` replaces a
+    /// per-wire-event string of tree descents).
+    tasks: Vec<Task>,
     wire: EventQueue<InFlight>,
     pub trace: Trace,
     now: SimTime,
@@ -129,6 +152,12 @@ pub struct CloudService {
     slot_ids: Vec<EndpointId>,
     /// Cache slot → interned `faas.ep.{id}` trace component.
     slot_syms: Vec<Sym>,
+    /// Slots in endpoint-name order — the order the pre-index exhaustive
+    /// scan advanced and collected endpoints in. Rebuilt on registration.
+    ordered_slots: Vec<usize>,
+    /// Slot → position in `ordered_slots`: lets the hot loop order due/
+    /// touched slot lists by comparing integers instead of endpoint names.
+    slot_rank: Vec<usize>,
     /// Scratch: due slots of the current step, reused across steps.
     due_scratch: Vec<usize>,
     /// Slots touched (advanced or enqueued-into) since their finished
@@ -136,6 +165,9 @@ pub struct CloudService {
     touched: Vec<usize>,
     /// Scratch: due wire events of the current step, reused across steps.
     wire_scratch: Vec<(SimTime, InFlight)>,
+    /// Scratch: finished outputs drained from one endpoint, reused across
+    /// steps so collection allocates nothing in steady state.
+    finished_scratch: Vec<(TaskId, TaskOutput)>,
     /// Any fault injector present (cloud's own or an endpoint's)? If so the
     /// exhaustive advance path is used so fault consult boundaries — which
     /// fire at the first consult at/after their scheduled time — never move.
@@ -157,8 +189,8 @@ impl CloudService {
         CloudService {
             auth,
             functions: BTreeMap::new(),
-            endpoints: BTreeMap::new(),
-            tasks: BTreeMap::new(),
+            endpoints: Vec::new(),
+            tasks: Vec::new(),
             wire: EventQueue::new(),
             trace: Trace::new(),
             now: SimTime::ZERO,
@@ -169,9 +201,12 @@ impl CloudService {
             slots: BTreeMap::new(),
             slot_ids: Vec::new(),
             slot_syms: Vec::new(),
+            ordered_slots: Vec::new(),
+            slot_rank: Vec::new(),
             due_scratch: Vec::new(),
             touched: Vec::new(),
             wire_scratch: Vec::new(),
+            finished_scratch: Vec::new(),
             fault_aware: false,
             recheck_faults: false,
             obs: Obs::disabled(),
@@ -194,7 +229,7 @@ impl CloudService {
     /// unchanged whether the handle is enabled or disabled.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
-        for registration in self.endpoints.values_mut() {
+        for registration in self.endpoints.iter_mut() {
             match registration {
                 EndpointRegistration::Single(e) => e.set_obs(self.obs.clone()),
                 EndpointRegistration::Multi(m) => m.set_obs(self.obs.clone()),
@@ -254,28 +289,38 @@ impl CloudService {
                 self.slot_ids.push(eid.clone());
                 self.slot_syms.push(self.trace.intern(&format!("faas.ep.{id}")));
                 self.slots.insert(eid.clone(), slot);
+                // A new name shifts ranks: rebuild the name-order walk list
+                // (registration is rare; the hot loop only reads these).
+                self.ordered_slots = self.slots.values().copied().collect();
+                self.slot_rank = vec![0; self.slot_ids.len()];
+                for (rank, &s) in self.ordered_slots.iter().enumerate() {
+                    self.slot_rank[s] = rank;
+                }
                 slot
             }
         };
         self.cache.set_volatile(slot, volatile);
         self.cache.mark_dirty(slot);
-        self.endpoints.insert(eid.clone(), registration);
+        if slot == self.endpoints.len() {
+            self.endpoints.push(registration);
+        } else {
+            self.endpoints[slot] = registration;
+        }
         eid
     }
 
     pub fn endpoint_mut(&mut self, id: &EndpointId) -> Result<&mut EndpointRegistration, FaasError> {
-        if let Some(&slot) = self.slots.get(id) {
-            // The borrow may change anything about the endpoint — including
-            // attaching a fault injector — so invalidate its cached time,
-            // queue it for output collection, and recheck fault-awareness
-            // before the next advance.
-            self.cache.mark_dirty(slot);
-            self.touched.push(slot);
-            self.recheck_faults = true;
-        }
-        self.endpoints
-            .get_mut(id)
-            .ok_or_else(|| FaasError::UnknownEndpoint(id.0.clone()))
+        let Some(&slot) = self.slots.get(id) else {
+            return Err(FaasError::UnknownEndpoint(id.0.clone()));
+        };
+        // The borrow may change anything about the endpoint — including
+        // attaching a fault injector — so invalidate its cached time,
+        // queue it for output collection, and recheck fault-awareness
+        // before the next advance.
+        self.cache.mark_dirty(slot);
+        self.touched.push(slot);
+        self.recheck_faults = true;
+        Ok(&mut self.endpoints[slot])
     }
 
     /// Register a function owned by the token's identity.
@@ -320,8 +365,9 @@ impl CloudService {
     ) -> Result<TaskId, FaasError> {
         let identity = self.authenticate(token, now)?;
         let ep = self
-            .endpoints
+            .slots
             .get(endpoint)
+            .map(|&slot| &self.endpoints[slot])
             .ok_or_else(|| FaasError::UnknownEndpoint(endpoint.0.clone()))?;
         if !ep.shell_allowed() {
             return Err(FaasError::ShellNotAllowed);
@@ -343,8 +389,9 @@ impl CloudService {
         let identity = self.authenticate(token, now)?;
         let f = self.function(function)?.clone();
         let ep = self
-            .endpoints
+            .slots
             .get(endpoint)
+            .map(|&slot| &self.endpoints[slot])
             .ok_or_else(|| FaasError::UnknownEndpoint(endpoint.0.clone()))?;
         if !ep.function_allowed(function) {
             return Err(FaasError::FunctionNotAllowed(function));
@@ -395,24 +442,25 @@ impl CloudService {
         self.next_task += 1;
         self.tasks_submitted += 1;
         let id = TaskId(self.next_task);
-        self.tasks.insert(
+        debug_assert_eq!(id.0 as usize, self.tasks.len() + 1, "ids are dense");
+        self.tasks.push(Task {
             id,
-            Task {
-                id,
-                submitter: identity.id,
-                endpoint: endpoint.0.clone(),
-                command: command.clone(),
-                submitted_at: now,
-                state: TaskState::Submitted { at: now },
-            },
-        );
-        let latency = self.endpoints[endpoint].wan_latency();
-        self.trace.record(
-            now,
-            "faas.cloud",
-            "task.submit",
-            format!("{id} -> {endpoint}: {command}"),
-        );
+            submitter: identity.id,
+            endpoint: endpoint.0.clone(),
+            command: command.clone(),
+            submitted_at: now,
+            state: TaskState::Submitted { at: now },
+        });
+        let latency = self.endpoints[self.slots[endpoint]].wan_latency();
+        // `{id} -> {endpoint}: {command}`, hand-built: byte-identical to the
+        // `format!` it replaces, without per-field formatter dispatch.
+        let mut detail = String::with_capacity(27 + endpoint.0.len() + command.len());
+        id.write_label(&mut detail);
+        detail.push_str(" -> ");
+        detail.push_str(&endpoint.0);
+        detail.push_str(": ");
+        detail.push_str(&command);
+        self.trace.record(now, "faas.cloud", "task.submit", detail);
         let clear = self.wire_clear_at(&endpoint.0, now);
         self.wire.push(
             clear + latency,
@@ -425,9 +473,15 @@ impl CloudService {
         id
     }
 
+    /// The task record for `id`, if it was ever accepted.
+    fn task(&self, id: TaskId) -> Option<&Task> {
+        // Ids are dense from 1; `TaskId(0)` wraps to an out-of-range index.
+        self.tasks.get((id.0 as usize).wrapping_sub(1))
+    }
+
     /// Current state of a task.
     pub fn task_state(&self, id: TaskId) -> Result<&TaskState, FaasError> {
-        Ok(&self.tasks.get(&id).ok_or(FaasError::UnknownTask(id))?.state)
+        Ok(&self.task(id).ok_or(FaasError::UnknownTask(id))?.state)
     }
 
     /// The result of a finished task.
@@ -458,10 +512,11 @@ impl CloudService {
     /// (exhaustive path, used when fault injection is active).
     fn collect_returns(&mut self, now: SimTime) {
         let mut returns: Vec<(TaskId, TaskOutput, String, hpcci_sim::SimDuration)> = Vec::new();
-        for (eid, ep) in self.endpoints.iter_mut() {
+        for &slot in &self.ordered_slots {
+            let ep = &mut self.endpoints[slot];
             let latency = ep.wan_latency();
             for (task, output) in ep.take_finished() {
-                returns.push((task, output, eid.0.clone(), latency));
+                returns.push((task, output, self.slot_ids[slot].0.clone(), latency));
             }
         }
         for (task, output, endpoint, latency) in returns {
@@ -469,7 +524,12 @@ impl CloudService {
                 now,
                 "faas.cloud",
                 "task.returning",
-                format!("{task} from endpoint"),
+                {
+                    let mut d = String::with_capacity(35);
+                    task.write_label(&mut d);
+                    d.push_str(" from endpoint");
+                    d
+                },
             );
             let clear = self.wire_clear_at(&endpoint, now);
             self.wire.push(clear + latency, InFlight::Return { task, output });
@@ -486,51 +546,65 @@ impl CloudService {
         }
         // Endpoint-name order: the order the exhaustive scan collected in.
         {
-            let ids = &self.slot_ids;
-            self.touched.sort_unstable_by(|&a, &b| ids[a].cmp(&ids[b]));
+            let rank = &self.slot_rank;
+            self.touched.sort_unstable_by_key(|&s| rank[s]);
         }
         self.touched.dedup();
-        let mut returns: Vec<(TaskId, TaskOutput, hpcci_sim::SimDuration)> = Vec::new();
+        // Per-endpoint drain through a reused scratch vector: same record and
+        // wire-push order as the exhaustive scan (endpoint-name order, FIFO
+        // within an endpoint), but no per-step vector allocations.
+        let mut finished = std::mem::take(&mut self.finished_scratch);
         for i in 0..self.touched.len() {
-            let slot = self.touched[i];
-            let Some(ep) = self.endpoints.get_mut(&self.slot_ids[slot]) else {
+            let ep = &mut self.endpoints[self.touched[i]];
+            ep.drain_finished_into(&mut finished);
+            if finished.is_empty() {
                 continue;
-            };
+            }
             let latency = ep.wan_latency();
-            for (task, output) in ep.take_finished() {
-                returns.push((task, output, latency));
+            for (task, output) in finished.drain(..) {
+                self.trace.record(
+                    now,
+                    "faas.cloud",
+                    "task.returning",
+                    {
+                        let mut d = String::with_capacity(35);
+                        task.write_label(&mut d);
+                        d.push_str(" from endpoint");
+                        d
+                    },
+                );
+                // No injector on this path: the wire is never partitioned.
+                self.wire.push(now + latency, InFlight::Return { task, output });
             }
         }
         self.touched.clear();
-        for (task, output, latency) in returns {
-            self.trace.record(
-                now,
-                "faas.cloud",
-                "task.returning",
-                format!("{task} from endpoint"),
-            );
-            // No injector on this path: the wire is never partitioned.
-            self.wire.push(now + latency, InFlight::Return { task, output });
-        }
+        self.finished_scratch = finished;
     }
 
     /// Handle one due wire event (shared by both advance paths).
     fn handle_wire_event(&mut self, at: SimTime, event: InFlight) {
         match event {
             InFlight::Deliver { task, identity, command } => {
-                let endpoint_name = self.tasks[&task].endpoint.clone();
-                let eid = EndpointId(endpoint_name.clone());
-                let slot = self.slots.get(&eid).copied();
+                // Resolve the slot by borrowed name — no `EndpointId` clone
+                // on the per-task hot path; only the unknown-endpoint error
+                // path (cold) allocates.
+                let endpoint_name = &self.tasks[task.0 as usize - 1].endpoint;
+                let slot = self.slots.get(endpoint_name.as_str()).copied();
                 let component = match slot {
                     Some(s) => self.slot_syms[s].clone(),
-                    None => self.trace.intern(&format!("faas.ep.{endpoint_name}")),
+                    None => {
+                        let endpoint_name = &self.tasks[task.0 as usize - 1].endpoint;
+                        self.trace.intern(&format!("faas.ep.{endpoint_name}"))
+                    }
                 };
+                let mut detail = String::with_capacity(21);
+                task.write_label(&mut detail);
                 self.trace
-                    .record(at, component.clone(), "task.deliver", format!("{task}"));
-                let result = match self.endpoints.get_mut(&eid) {
+                    .record(at, component.clone(), "task.deliver", detail);
+                let result = match slot.map(|s| &mut self.endpoints[s]) {
                     Some(EndpointRegistration::Single(e)) => e.enqueue(task, &command, at),
                     Some(EndpointRegistration::Multi(m)) => m.enqueue(task, &identity, &command, at),
-                    None => Err(FaasError::UnknownEndpoint(endpoint_name.clone())),
+                    None => Err(FaasError::UnknownEndpoint(self.tasks[task.0 as usize - 1].endpoint.clone())),
                 };
                 if let Some(s) = slot {
                     self.cache.mark_dirty(s);
@@ -538,7 +612,7 @@ impl CloudService {
                         self.touched.push(s);
                     }
                 }
-                let record = self.tasks.get_mut(&task).expect("task exists");
+                let record = &mut self.tasks[task.0 as usize - 1];
                 let transition = match result {
                     Ok(()) => record.transition(TaskState::QueuedAtEndpoint { at }),
                     Err(e) => {
@@ -556,13 +630,18 @@ impl CloudService {
                 }
             }
             InFlight::Return { task, output } => {
-                let detail = format!(
-                    "{task} ran_as={} node={} ok={}",
-                    output.ran_as,
-                    output.node,
-                    output.success()
+                // `{task} ran_as={} node={} ok={}`, hand-built (see
+                // `TaskId::write_label`); byte-identical to the `format!`.
+                let mut detail = String::with_capacity(
+                    42 + output.ran_as.len() + output.node.len(),
                 );
-                let record = self.tasks.get_mut(&task).expect("task exists");
+                task.write_label(&mut detail);
+                detail.push_str(" ran_as=");
+                detail.push_str(&output.ran_as);
+                detail.push_str(" node=");
+                detail.push_str(&output.node);
+                detail.push_str(if output.success() { " ok=true" } else { " ok=false" });
+                let record = &mut self.tasks[task.0 as usize - 1];
                 let submitted_at = record.submitted_at;
                 match record.transition(TaskState::Done(output)) {
                     Ok(()) => {
@@ -590,7 +669,7 @@ impl CloudService {
     fn advance_all_to(&mut self, t: SimTime) {
         loop {
             let wire_next = self.wire.next_time();
-            let ep_next = self.endpoints.values().filter_map(|ep| ep.next_event()).min();
+            let ep_next = self.endpoints.iter().filter_map(|ep| ep.next_event()).min();
             let step = match (wire_next, ep_next) {
                 (Some(a), Some(b)) => a.min(b),
                 (Some(a), None) => a,
@@ -602,8 +681,8 @@ impl CloudService {
             }
             self.now = step;
             self.events_dispatched += self.endpoints.len() as u64;
-            for ep in self.endpoints.values_mut() {
-                ep.advance_to(step);
+            for &slot in &self.ordered_slots {
+                self.endpoints[slot].advance_to(step);
             }
             self.collect_returns(step);
             while let Some((at, event)) = self.wire.pop_due(step) {
@@ -617,8 +696,7 @@ impl CloudService {
     /// Re-probe dirty (and volatile) endpoint slots.
     fn refresh_cache(&mut self) {
         let endpoints = &self.endpoints;
-        let ids = &self.slot_ids;
-        self.cache.refresh(|slot| endpoints[&ids[slot]].next_event());
+        self.cache.refresh(|slot| endpoints[slot].next_event());
     }
 }
 
@@ -628,7 +706,7 @@ impl Advance for CloudService {
             // Exhaustive probe: fault injection active, or the cache has
             // pending invalidations only an `&mut` advance may flush.
             let mut next = self.wire.next_time();
-            for ep in self.endpoints.values() {
+            for ep in self.endpoints.iter() {
                 if let Some(t) = ep.next_event() {
                     next = Some(next.map_or(t, |x| x.min(t)));
                 }
@@ -643,18 +721,51 @@ impl Advance for CloudService {
             next = Some(next.map_or(t, |x| x.min(t)));
         }
         for &slot in self.cache.volatile_slots() {
-            if let Some(t) = self.endpoints[&self.slot_ids[slot]].next_event() {
+            if let Some(t) = self.endpoints[slot].next_event() {
                 next = Some(next.map_or(t, |x| x.min(t)));
             }
         }
         next
     }
 
+    /// One step of the drive loop through a `&mut` entry point: refresh the
+    /// dispatch cache once and reuse it for both the probe and the advance.
+    ///
+    /// The read-only [`Advance::next_event`] cannot flush pending dirty bits,
+    /// so after any advance it must fall back to the exhaustive deep scan of
+    /// every endpoint. Driving via `step_next` instead makes the steady-state
+    /// cost per step `O(due endpoints)` probes, not `O(all endpoints)` walks.
+    fn step_next(&mut self, deadline: SimTime) -> Option<SimTime> {
+        if self.fault_aware || self.recheck_faults {
+            // Fault injection in play (or undecided): keep the exhaustive
+            // probe — faults fire at consult boundaries, so every endpoint
+            // must be consulted at every step.
+            let next = self.next_event()?;
+            if next > deadline {
+                return None;
+            }
+            self.advance_to(next);
+            return Some(next);
+        }
+        self.refresh_cache();
+        let step = match (self.wire.next_time(), self.cache.min()) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return None,
+        };
+        if step > deadline {
+            return None;
+        }
+        self.advance_to(step);
+        Some(step)
+    }
+
     fn advance_to(&mut self, t: SimTime) {
         if self.recheck_faults {
             self.recheck_faults = false;
             self.fault_aware =
-                self.injector.is_some() || self.endpoints.values().any(|ep| ep.has_injector());
+                self.injector.is_some() || self.endpoints.iter().any(|ep| ep.has_injector());
         }
         if self.fault_aware {
             self.advance_all_to(t);
@@ -678,16 +789,13 @@ impl Advance for CloudService {
             self.due_scratch.clear();
             self.due_scratch.extend(self.cache.due(step));
             {
-                let ids = &self.slot_ids;
-                self.due_scratch.sort_unstable_by(|&a, &b| ids[a].cmp(&ids[b]));
+                let rank = &self.slot_rank;
+                self.due_scratch.sort_unstable_by_key(|&s| rank[s]);
             }
             self.events_dispatched += self.due_scratch.len() as u64;
             for i in 0..self.due_scratch.len() {
                 let slot = self.due_scratch[i];
-                self.endpoints
-                    .get_mut(&self.slot_ids[slot])
-                    .expect("slot maps to a registered endpoint")
-                    .advance_to(step);
+                self.endpoints[slot].advance_to(step);
                 self.cache.mark_dirty(slot);
                 self.touched.push(slot);
             }
@@ -753,7 +861,7 @@ mod tests {
             9,
         );
         let mut cloud = CloudService::new(auth);
-        let endpoint = cloud.register_endpoint("ep-lab", EndpointRegistration::Single(ep));
+        let endpoint = cloud.register_endpoint("ep-lab", EndpointRegistration::Single(Box::new(ep)));
         Setup {
             cloud,
             token,
@@ -848,7 +956,7 @@ mod tests {
             .unwrap();
         drive(&mut [&mut s.cloud]);
         assert!(s.cloud.task_result(task).unwrap().success());
-        assert!(s.cloud.tasks[&task].command.contains("-e py312"));
+        assert!(s.cloud.task(task).unwrap().command.contains("-e py312"));
     }
 
     #[test]

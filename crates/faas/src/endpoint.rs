@@ -309,6 +309,14 @@ impl Endpoint {
         std::mem::take(&mut self.finished)
     }
 
+    /// Move finished outputs into `out`, keeping this endpoint's `finished`
+    /// buffer allocated. The cloud's per-step collection drains every touched
+    /// endpoint through a reused scratch vector; unlike [`Self::take_finished`]
+    /// neither side reallocates on the next round.
+    pub fn drain_finished_into(&mut self, out: &mut Vec<(TaskId, TaskOutput)>) {
+        out.append(&mut self.finished);
+    }
+
     /// Gracefully stop: release the worker block; queued tasks are rejected
     /// by the cloud when it notices the endpoint stopped.
     pub fn stop(&mut self, now: SimTime) {

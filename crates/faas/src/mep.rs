@@ -375,10 +375,20 @@ impl MultiUserEndpoint {
     pub fn take_finished(&mut self) -> Vec<(TaskId, TaskOutput)> {
         let mut out = std::mem::take(&mut self.pending_crashed);
         for pair in self.ueps.values_mut() {
-            out.extend(pair.login.take_finished());
-            out.extend(pair.task.take_finished());
+            pair.login.drain_finished_into(&mut out);
+            pair.task.drain_finished_into(&mut out);
         }
         out
+    }
+
+    /// Allocation-free variant of [`Self::take_finished`]: appends into `out`
+    /// and leaves every internal buffer's capacity in place.
+    pub fn drain_finished_into(&mut self, out: &mut Vec<(TaskId, TaskOutput)>) {
+        out.append(&mut self.pending_crashed);
+        for pair in self.ueps.values_mut() {
+            pair.login.drain_finished_into(out);
+            pair.task.drain_finished_into(out);
+        }
     }
 
     /// Stop every UEP.

@@ -23,6 +23,25 @@ pub trait Advance {
 
     /// Process all events due at or before `t`.
     fn advance_to(&mut self, t: SimTime);
+
+    /// Advance to the next pending event instant at or before `deadline` and
+    /// process everything due there; returns that instant, or `None` if the
+    /// component is quiescent or its next event lies beyond the deadline.
+    ///
+    /// Semantically this is exactly `next_event()` + `advance_to(t)`, and the
+    /// provided implementation is that pair. Components with an internal
+    /// next-event index should override it: a `&mut` entry point lets them
+    /// refresh the index once and reuse it for both the probe and the
+    /// advance, instead of answering the read-only probe with an exhaustive
+    /// scan (see `CloudService` in `hpcci-faas`).
+    fn step_next(&mut self, deadline: SimTime) -> Option<SimTime> {
+        let next = self.next_event()?;
+        if next > deadline {
+            return None;
+        }
+        self.advance_to(next);
+        Some(next)
+    }
 }
 
 /// Advance a set of components until every one of them is quiescent, or until
@@ -33,6 +52,22 @@ pub trait Advance {
 /// an event in one component routinely enqueues work in another (a scheduler
 /// finishing a job wakes the FaaS endpoint polling it).
 pub fn drive_until(components: &mut [&mut dyn Advance], deadline: SimTime) -> SimTime {
+    if let [component] = components {
+        // Single-component fast path: `step_next` lets the component refresh
+        // its own next-event index once per step instead of answering a
+        // read-only `next_event` probe with an exhaustive scan.
+        let mut now = SimTime::ZERO;
+        while let Some(step) = component.step_next(deadline) {
+            debug_assert!(step >= now, "time went backwards: {step} < {now}");
+            now = step;
+        }
+        if component.next_event().is_some() {
+            // Pending work beyond the deadline: land exactly on it.
+            component.advance_to(deadline);
+            return deadline;
+        }
+        return now;
+    }
     let mut now = SimTime::ZERO;
     loop {
         let next = components.iter().filter_map(|c| c.next_event()).min();

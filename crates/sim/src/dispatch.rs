@@ -89,10 +89,17 @@ impl NextEventCache {
         }
         self.volatile[slot] = volatile;
         if volatile {
-            self.volatile_slots.push(slot);
-            self.volatile_slots.sort_unstable();
+            // Insert at the sorted position: the list stays ascending
+            // without re-sorting the whole vector on registration churn.
+            let pos = self
+                .volatile_slots
+                .binary_search(&slot)
+                .expect_err("slot was not volatile");
+            self.volatile_slots.insert(pos, slot);
         } else {
-            self.volatile_slots.retain(|&s| s != slot);
+            if let Ok(pos) = self.volatile_slots.binary_search(&slot) {
+                self.volatile_slots.remove(pos);
+            }
             self.mark_dirty(slot);
         }
     }

@@ -5,11 +5,20 @@
 //! with these helpers.
 
 use crate::time::SimDuration;
+use std::cell::RefCell;
 
 /// Accumulates scalar samples and reports summary statistics.
+///
+/// Percentile queries need the samples in order; the sorted copy is built
+/// lazily on the first query after a push and reused until the next push
+/// dirties it, so a report issuing several quantile queries sorts once.
 #[derive(Debug, Default, Clone)]
 pub struct Summary {
     samples: Vec<f64>,
+    /// Lazily-sorted copy of `samples`; empty-and-stale until a percentile
+    /// query rebuilds it. Interior-mutable so queries stay `&self`.
+    sorted: RefCell<Vec<f64>>,
+    sorted_stale: std::cell::Cell<bool>,
 }
 
 impl Summary {
@@ -20,6 +29,7 @@ impl Summary {
     pub fn push(&mut self, v: f64) {
         debug_assert!(v.is_finite(), "non-finite sample");
         self.samples.push(v);
+        self.sorted_stale.set(true);
     }
 
     pub fn push_duration(&mut self, d: SimDuration) {
@@ -62,13 +72,20 @@ impl Summary {
             .sqrt()
     }
 
-    /// Percentile by linear interpolation, `p` in `[0, 100]`.
+    /// Percentile by linear interpolation, `p` in `[0, 100]`. Sorts lazily:
+    /// the first query after a push rebuilds the sorted copy in place,
+    /// subsequent queries reuse it.
     pub fn percentile(&self, p: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        let mut sorted = self.sorted.borrow_mut();
+        if self.sorted_stale.get() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.samples);
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted_stale.set(false);
+        }
         let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
         let lo = rank.floor() as usize;
         let hi = rank.ceil() as usize;
@@ -147,6 +164,22 @@ mod tests {
         assert!((s.percentile(25.0) - 2.5).abs() < 1e-12);
         assert_eq!(s.percentile(0.0), 0.0);
         assert_eq!(s.percentile(100.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_stays_correct_across_interleaved_pushes() {
+        // The lazily-sorted copy must be rebuilt after any push, including
+        // pushes that land out of order relative to earlier samples.
+        let mut s = Summary::new();
+        s.push(10.0);
+        s.push(30.0);
+        assert_eq!(s.median(), 20.0);
+        assert_eq!(s.percentile(100.0), 30.0);
+        s.push(0.0); // earlier than everything already sorted
+        assert_eq!(s.median(), 10.0);
+        assert_eq!(s.percentile(0.0), 0.0);
+        let report = s.report();
+        assert!(report.contains("p50=10.0000"), "{report}");
     }
 
     #[test]

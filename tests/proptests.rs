@@ -539,6 +539,152 @@ fn step_key_perturbations_force_misses() {
     }
 }
 
+/// The timing-wheel event queue equals a reference priority-queue model
+/// under arbitrary interleavings of pushes and deadline-bounded pops:
+/// same-timestamp bursts, behind-cursor pushes, and far-future events
+/// beyond the wheel horizon all pop in exact (time, insertion) order.
+#[test]
+fn wheel_matches_reference_model_under_interleaving() {
+    const WHEEL_SPAN_US: u64 = 1 << 36;
+    for case in 0..CASES {
+        let mut rng = case_rng("wheel_model", case);
+        let mut q = EventQueue::new();
+        // Reference model: (at_us, insertion seq, id); pops take the
+        // (at, seq)-minimum entry with at <= deadline.
+        let mut model: Vec<(u64, u64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        let mut deadline = 0u64;
+        for _ in 0..rng.range_u64(10, 120) {
+            if rng.chance(0.6) {
+                let at = match rng.range_u64(0, 10) {
+                    0 => deadline.saturating_sub(rng.range_u64(0, 50)),
+                    1 | 2 => deadline + WHEEL_SPAN_US * rng.range_u64(1, 4) + rng.range_u64(0, 1000),
+                    _ => deadline + rng.range_u64(0, 5_000),
+                };
+                for _ in 0..rng.range_u64(1, 5) {
+                    q.push(SimTime::from_micros(at), seq);
+                    model.push((at, seq, seq));
+                    seq += 1;
+                }
+            } else {
+                deadline += rng.range_u64(0, 3_000);
+                loop {
+                    let got = q.pop_due(SimTime::from_micros(deadline));
+                    let want_ix = model
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, (at, _, _))| *at <= deadline)
+                        .min_by_key(|(_, (at, s, _))| (*at, *s))
+                        .map(|(i, _)| i);
+                    match (got, want_ix) {
+                        (None, None) => break,
+                        (Some((at, v)), Some(i)) => {
+                            let (wat, _, wid) = model.remove(i);
+                            assert_eq!(
+                                (at.as_micros(), v),
+                                (wat, wid),
+                                "case {case}: wrong event at deadline {deadline}"
+                            );
+                        }
+                        (got, want) => panic!(
+                            "case {case}: queue popped {got:?} but model expected index {want:?}"
+                        ),
+                    }
+                }
+                assert_eq!(
+                    q.next_time().map(SimTime::as_micros),
+                    model.iter().map(|&(at, ..)| at).min(),
+                    "case {case}: next_time diverged from model minimum"
+                );
+            }
+        }
+        let rest = q.drain_due(SimTime::FAR_FUTURE);
+        model.sort_unstable_by_key(|&(at, s, _)| (at, s));
+        assert_eq!(rest.len(), model.len(), "case {case}: drain lost events");
+        for ((at, v), (wat, _, wid)) in rest.into_iter().zip(model) {
+            assert_eq!((at.as_micros(), v), (wat, wid), "case {case}: drain order");
+        }
+    }
+}
+
+/// Same-timestamp bursts survive interleaved non-due probes and mid-drain
+/// tail pushes: equal-time events always pop in exact insertion order.
+#[test]
+fn wheel_same_timestamp_bursts_stay_fifo() {
+    use std::collections::VecDeque;
+    for case in 0..CASES {
+        let mut rng = case_rng("wheel_fifo", case);
+        let mut q = EventQueue::new();
+        let t = rng.range_u64(1, 1 << 20);
+        let mut expected: VecDeque<u64> = VecDeque::new();
+        let mut next_id = 0u64;
+        for _ in 0..rng.range_u64(2, 40) {
+            q.push(SimTime::from_micros(t), next_id);
+            expected.push_back(next_id);
+            next_id += 1;
+            // A probe before the burst is due must see nothing.
+            if rng.chance(0.3) {
+                assert!(
+                    q.pop_due(SimTime::from_micros(t - 1)).is_none(),
+                    "case {case}: premature pop"
+                );
+            }
+        }
+        while let Some((at, v)) = q.pop_due(SimTime::from_micros(t)) {
+            assert_eq!(at.as_micros(), t, "case {case}");
+            assert_eq!(Some(v), expected.pop_front(), "case {case}: FIFO violated");
+            // Pushes landing mid-drain at the same timestamp join the tail.
+            if !expected.is_empty() && rng.chance(0.2) {
+                q.push(SimTime::from_micros(t), next_id);
+                expected.push_back(next_id);
+                next_id += 1;
+            }
+        }
+        assert!(expected.is_empty(), "case {case}: events left behind");
+    }
+}
+
+/// Events beyond the wheel horizon park in overflow and promote back into
+/// the wheel in exact (time, insertion) order when the cursor reaches them,
+/// even across several horizon-widths at once.
+#[test]
+fn wheel_far_future_overflow_promotes_in_order() {
+    const WHEEL_SPAN_US: u64 = 1 << 36;
+    for case in 0..CASES {
+        let mut rng = case_rng("wheel_overflow", case);
+        let mut q = EventQueue::new();
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        let mut seq = 0u64;
+        for _ in 0..rng.range_u64(1, 30) {
+            let at = if rng.chance(0.5) {
+                rng.range_u64(0, 10_000)
+            } else {
+                WHEEL_SPAN_US * rng.range_u64(1, 5) + rng.range_u64(0, 10_000)
+            };
+            // Bursts at one far timestamp must also come back FIFO.
+            for _ in 0..rng.range_u64(1, 3) {
+                q.push(SimTime::from_micros(at), seq);
+                model.push((at, seq));
+                seq += 1;
+            }
+        }
+        model.sort_unstable();
+        // Drain in stages: first everything before the horizon, then the rest
+        // (forcing the overflow-promotion cursor jump), comparing throughout.
+        let mut drained = q.drain_due(SimTime::from_micros(WHEEL_SPAN_US - 1));
+        drained.extend(q.drain_due(SimTime::FAR_FUTURE));
+        assert_eq!(drained.len(), model.len(), "case {case}: events lost");
+        for ((at, v), (wat, wseq)) in drained.into_iter().zip(model) {
+            assert_eq!(
+                (at.as_micros(), v),
+                (wat, wseq),
+                "case {case}: promotion broke (time, insertion) order"
+            );
+        }
+        assert!(q.is_empty(), "case {case}");
+    }
+}
+
 /// Chaos determinism, end to end: the same seed with the same fault plan
 /// replays the whole federation bit-identically — run log, functional
 /// trace, and chaos trace all byte-equal across replays.

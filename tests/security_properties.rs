@@ -145,7 +145,7 @@ fn function_allowlist_rejects_everything_unapproved() {
     .with_allowlist(&[allowed]);
     fed.cloud
         .lock()
-        .register_endpoint("mep-restricted", hpcci::faas::EndpointRegistration::Multi(mep));
+        .register_endpoint("mep-restricted", hpcci::faas::EndpointRegistration::Multi(Box::new(mep)));
     let ep = EndpointId("mep-restricted".to_string());
 
     let mut cloud = fed.cloud.lock();
@@ -209,7 +209,7 @@ fn ha_policy_restricts_identity_providers_at_the_endpoint() {
     );
     fed.cloud
         .lock()
-        .register_endpoint("mep-ha", hpcci::faas::EndpointRegistration::Multi(mep));
+        .register_endpoint("mep-ha", hpcci::faas::EndpointRegistration::Multi(Box::new(mep)));
 
     let token = token_for(&fed, &alice);
     let task = {
