@@ -20,7 +20,10 @@
 //! They use the in-tree [`timing`] harness rather than an external
 //! benchmarking crate so the workspace builds fully offline.
 
-pub mod sweep;
+// The sweep runner now lives in the simulation kernel (`hpcci_sim::sweep`)
+// so non-bench consumers — notably the `hpcci-scen` oracle fleet — can use
+// it; this re-export keeps the historical `hpcci_bench::sweep` path working.
+pub use hpcci_sim::sweep;
 
 /// Shared output helper: consistent section headers across binaries.
 pub fn section(title: &str) {

@@ -241,7 +241,10 @@ pub struct Federation {
     site_names: BTreeMap<String, SiteId>,
     /// Endpoint name → owning site, for software-stack fingerprinting.
     endpoint_sites: BTreeMap<String, SiteId>,
+    /// Mutates as endpoints mint their per-endpoint streams.
     seed: u64,
+    /// The pristine builder seed, kept for [`world_seed`](Self::world_seed).
+    world_seed: u64,
     injector: Option<FaultInjector>,
     obs: Obs,
 }
@@ -296,9 +299,37 @@ impl Federation {
             site_names: BTreeMap::new(),
             endpoint_sites: BTreeMap::new(),
             seed,
+            world_seed: seed,
             injector,
             obs,
         }
+    }
+
+    /// The seed this federation was built from (the value passed to
+    /// [`builder`](Self::builder), before endpoint registration derives
+    /// per-endpoint streams from it). Scenario tooling embeds it in golden
+    /// digests so a digest can never be compared across worlds.
+    pub fn world_seed(&self) -> u64 {
+        self.world_seed
+    }
+
+    /// Total simulation events the cloud has dispatched so far — the
+    /// denominator of every events/s throughput figure, available without
+    /// enabling observability.
+    pub fn events_dispatched(&self) -> u64 {
+        self.cloud.lock().events_dispatched()
+    }
+
+    /// Content digest over the full functional trace and the chaos trace —
+    /// the "golden hash" of a finished run. Two same-seed, same-plan runs
+    /// must produce equal digests; scenario oracles and the `hpcci-scen`
+    /// CLI compare these instead of multi-megabyte renders.
+    pub fn trace_digest(&self) -> Digest {
+        DigestBuilder::new()
+            .u64_field("seed", self.world_seed)
+            .str_field("trace", &self.cloud.lock().trace.render())
+            .str_field("chaos", &self.fault_trace().render())
+            .finish()
     }
 
     /// The chaos trace: every injected fault and recovery, in time order.

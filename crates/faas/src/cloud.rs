@@ -504,6 +504,12 @@ impl CloudService {
         self.tasks.len()
     }
 
+    /// Events dispatched by this cloud's event loop so far (also exported as
+    /// the `sim.events_dispatched` counter when observability is on).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
     pub fn now(&self) -> SimTime {
         self.now
     }

@@ -1,0 +1,329 @@
+//! The seeded scenario generator.
+//!
+//! [`ScenarioGen`] turns `(generator seed, index)` into a randomized but
+//! byte-reproducible [`ScenarioSpec`]: each scenario is drawn from a fresh
+//! fork labelled `scen-<index>`, so `generate(i)` is index-addressable —
+//! the same spec regardless of generation order — and the whole fleet is a
+//! pure function of the seed and the [`GenConfig`] knobs. The knob values
+//! are stamped into the spec's `[generator]` provenance table, so changing
+//! *any* knob changes every generated document's digest even when the
+//! sampled values happen to coincide.
+
+use crate::spec::{
+    CacheModeDecl, ChaosSpec, EndpointDecl, EndpointKindDecl, GenProvenance, ScenarioSpec,
+    SiteSpec, TemplateDecl, TrafficSpec, UserSpec, WorkloadKind, WorkloadSpec,
+};
+use hpcci_sim::DetRng;
+
+/// Distributions the generator samples from. Every knob is an integer
+/// (bounds or percent probabilities) so provenance renders canonically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenConfig {
+    /// Inclusive bounds on federation size, in sites.
+    pub sites_min: u32,
+    pub sites_max: u32,
+    /// Max endpoints per site (min is 1).
+    pub endpoints_per_site_max: u32,
+    /// Percent chance an endpoint is multi-user (identity-mapped).
+    ///
+    /// The generator never emits `pilot` endpoints: pilots run the whole
+    /// CORRECT action — clone included — on compute nodes, and the HPC
+    /// presets model those as airgapped (§6.1), so a generated pilot would
+    /// be a misconfigured scenario by construction. Single-user endpoints
+    /// stay on the login node instead.
+    pub multi_user_pct: u32,
+    /// Max chained CORRECT steps per job (min is 1).
+    pub steps_per_job_max: u32,
+    /// Inclusive bounds on the synthetic suite size.
+    pub tests_min: u32,
+    pub tests_max: u32,
+    /// Percent chance the suite has failing tests (red scenario).
+    pub failing_pct: u32,
+    /// Inclusive bounds on per-step simulated work, milliseconds.
+    pub task_ms_min: u64,
+    pub task_ms_max: u64,
+    /// Max trigger rounds (min is 1).
+    pub pushes_max: u32,
+    /// Inclusive bounds on the nominal inter-push gap, seconds.
+    pub gap_secs_min: u64,
+    pub gap_secs_max: u64,
+    /// Max burstiness percent (sampled 0..=max).
+    pub burstiness_max_pct: u32,
+    /// Percent chance the scenario runs with the step cache recording.
+    pub cache_record_pct: u32,
+    /// Percent chance the scenario carries a chaos fault schedule.
+    pub fault_pct: u32,
+    /// Max randomized faults in a chaos schedule (min is 1).
+    pub chaos_count_max: u32,
+    /// Max generated source files in the synthetic repo (min is 1).
+    pub repo_files_max: u32,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            sites_min: 1,
+            sites_max: 3,
+            endpoints_per_site_max: 2,
+            multi_user_pct: 35,
+            steps_per_job_max: 3,
+            tests_min: 4,
+            tests_max: 24,
+            failing_pct: 25,
+            task_ms_min: 500,
+            task_ms_max: 8000,
+            pushes_max: 3,
+            gap_secs_min: 60,
+            gap_secs_max: 900,
+            burstiness_max_pct: 60,
+            cache_record_pct: 30,
+            fault_pct: 30,
+            chaos_count_max: 3,
+            repo_files_max: 6,
+        }
+    }
+}
+
+impl GenConfig {
+    /// `name=value` provenance lines, in fixed knob order.
+    pub fn knobs(&self) -> Vec<String> {
+        vec![
+            format!("sites_min={}", self.sites_min),
+            format!("sites_max={}", self.sites_max),
+            format!("endpoints_per_site_max={}", self.endpoints_per_site_max),
+            format!("multi_user_pct={}", self.multi_user_pct),
+            format!("steps_per_job_max={}", self.steps_per_job_max),
+            format!("tests_min={}", self.tests_min),
+            format!("tests_max={}", self.tests_max),
+            format!("failing_pct={}", self.failing_pct),
+            format!("task_ms_min={}", self.task_ms_min),
+            format!("task_ms_max={}", self.task_ms_max),
+            format!("pushes_max={}", self.pushes_max),
+            format!("gap_secs_min={}", self.gap_secs_min),
+            format!("gap_secs_max={}", self.gap_secs_max),
+            format!("burstiness_max_pct={}", self.burstiness_max_pct),
+            format!("cache_record_pct={}", self.cache_record_pct),
+            format!("fault_pct={}", self.fault_pct),
+            format!("chaos_count_max={}", self.chaos_count_max),
+            format!("repo_files_max={}", self.repo_files_max),
+        ]
+    }
+}
+
+/// Site presets the generator draws from (without replacement, so every
+/// generated federation has structurally distinct sites).
+const SITE_POOL: [&str; 5] = [
+    "workstation:wks-gen",
+    "chameleon-tacc",
+    "tamu-faster",
+    "sdsc-expanse",
+    "purdue-anvil",
+];
+
+const CORE_STEPS: [u32; 5] = [8, 16, 32, 64, 128];
+
+/// The seeded scenario generator.
+pub struct ScenarioGen {
+    seed: u64,
+    config: GenConfig,
+}
+
+impl ScenarioGen {
+    pub fn new(seed: u64) -> Self {
+        ScenarioGen {
+            seed,
+            config: GenConfig::default(),
+        }
+    }
+
+    pub fn with_config(seed: u64, config: GenConfig) -> Self {
+        ScenarioGen { seed, config }
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn config(&self) -> &GenConfig {
+        &self.config
+    }
+
+    /// Generate scenario `index`. Pure in `(seed, config, index)`.
+    pub fn generate(&self, index: u64) -> ScenarioSpec {
+        let c = &self.config;
+        let mut rng = DetRng::seed_from_u64(self.seed).fork(&format!("scen-{index}"));
+
+        // Federation shape: distinct presets, one account per site.
+        let mut pool: Vec<&str> = SITE_POOL.to_vec();
+        rng.shuffle(&mut pool);
+        let n_sites = rng.range_u64(c.sites_min as u64, c.sites_max as u64 + 1) as usize;
+        let mut sites = Vec::new();
+        let mut endpoints = Vec::new();
+        for (ix, preset) in pool.iter().take(n_sites.max(1)).enumerate() {
+            let site = SiteSpec {
+                preset: preset.to_string(),
+                cores: CORE_STEPS[rng.range_u64(0, CORE_STEPS.len() as u64) as usize],
+                account: format!("u{ix}"),
+                allocation: format!("ALLOC{ix}"),
+                environment: format!("env-{ix}"),
+                software_env: String::new(),
+                packages: Vec::new(),
+            };
+            let n_eps = rng.range_u64(1, c.endpoints_per_site_max as u64 + 1);
+            for k in 0..n_eps {
+                let kind = if rng.chance(c.multi_user_pct as f64 / 100.0) {
+                    let template = if site.has_scheduler() && rng.chance(0.5) {
+                        TemplateDecl::HpcSplit {
+                            cores: site.cores.min(32),
+                            walltime_secs: 1800 + 600 * rng.range_u64(0, 4),
+                        }
+                    } else {
+                        TemplateDecl::LoginOnly
+                    };
+                    EndpointKindDecl::MultiUser {
+                        template,
+                        container: String::new(),
+                    }
+                } else {
+                    EndpointKindDecl::Single
+                };
+                endpoints.push(EndpointDecl {
+                    name: format!("ep-{ix}-{k}"),
+                    site: ix as u32,
+                    kind,
+                });
+            }
+            sites.push(site);
+        }
+
+        // Synthetic workload knobs.
+        let tests = rng.range_u64(c.tests_min as u64, c.tests_max as u64 + 1) as u32;
+        let failing = if rng.chance(c.failing_pct as f64 / 100.0) {
+            rng.range_u64(1, tests.min(4) as u64 + 1) as u32
+        } else {
+            0
+        };
+        let workload = WorkloadSpec {
+            kind: WorkloadKind::Synthetic,
+            repo: "scen/fleet".into(),
+            workflow: "scen-ci".into(),
+            command: "scen-test".into(),
+            tests,
+            failing,
+            task_ms: rng.range_u64(c.task_ms_min, c.task_ms_max + 1),
+            repo_files: rng.range_u64(1, c.repo_files_max as u64 + 1) as u32,
+            steps_per_job: rng.range_u64(1, c.steps_per_job_max as u64 + 1) as u32,
+            missing_dependency: false,
+        };
+
+        let traffic = TrafficSpec {
+            pushes: rng.range_u64(1, c.pushes_max as u64 + 1) as u32,
+            gap_secs: rng.range_u64(c.gap_secs_min, c.gap_secs_max + 1),
+            burstiness_pct: rng.range_u64(0, c.burstiness_max_pct as u64 + 1) as u32,
+        };
+
+        let cache = if rng.chance(c.cache_record_pct as f64 / 100.0) {
+            CacheModeDecl::Record
+        } else {
+            CacheModeDecl::Off
+        };
+
+        let chaos = if rng.chance(c.fault_pct as f64 / 100.0) {
+            // The horizon spans the whole traffic window so late rounds see
+            // faults too.
+            let horizon = (traffic.pushes as u64 * traffic.gap_secs).max(300);
+            Some(ChaosSpec {
+                seed: rng.range_u64(0, 1 << 32),
+                horizon_secs: horizon,
+                count: rng.range_u64(1, c.chaos_count_max as u64 + 1) as u32,
+            })
+        } else {
+            None
+        };
+
+        ScenarioSpec {
+            name: format!("gen-{}-{index:04}", self.seed),
+            seed: rng.range_u64(0, u64::MAX),
+            user: UserSpec::default(),
+            workload,
+            traffic,
+            cache,
+            sites,
+            endpoints,
+            faults: Vec::new(),
+            chaos,
+            provenance: Some(GenProvenance {
+                seed: self.seed,
+                index,
+                knobs: self.config.knobs(),
+            }),
+        }
+    }
+
+    /// Generate scenarios `0..count`.
+    pub fn fleet(&self, count: u64) -> Vec<ScenarioSpec> {
+        (0..count).map(|i| self.generate(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_reproducible_and_index_addressable() {
+        let a = ScenarioGen::new(42);
+        let b = ScenarioGen::new(42);
+        // Generate out of order: index addressing must not care.
+        let a3 = a.generate(3);
+        let b3 = {
+            let _ = b.generate(0);
+            b.generate(3)
+        };
+        assert_eq!(a3, b3);
+        assert_eq!(a3.to_toml(), b3.to_toml());
+        assert_ne!(a.generate(2), a.generate(4));
+    }
+
+    #[test]
+    fn generated_specs_validate_and_round_trip() {
+        let gen = ScenarioGen::new(7);
+        for spec in gen.fleet(16) {
+            spec.validate().expect("generated spec validates");
+            let parsed = ScenarioSpec::from_toml(&spec.to_toml()).expect("round-trips");
+            assert_eq!(parsed, spec);
+        }
+    }
+
+    #[test]
+    fn knob_change_changes_every_digest() {
+        let base = ScenarioGen::new(9);
+        let mut cfg = GenConfig::default();
+        cfg.tests_max += 1;
+        let tweaked = ScenarioGen::with_config(9, cfg);
+        for i in 0..8 {
+            assert_ne!(
+                base.generate(i).digest(),
+                tweaked.generate(i).digest(),
+                "provenance must track knob values (index {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_has_structural_variety() {
+        let gen = ScenarioGen::new(42);
+        let fleet = gen.fleet(32);
+        assert!(fleet.iter().any(|s| s.sites.len() > 1));
+        assert!(fleet.iter().any(|s| s.chaos.is_some()));
+        assert!(fleet.iter().any(|s| s.chaos.is_none()));
+        assert!(fleet.iter().any(|s| s.workload.failing > 0));
+        assert!(fleet.iter().any(|s| s.cache == CacheModeDecl::Record));
+        assert!(fleet
+            .iter()
+            .any(|s| s.endpoints.iter().any(|e| matches!(
+                e.kind,
+                EndpointKindDecl::MultiUser { .. }
+            ))));
+    }
+}

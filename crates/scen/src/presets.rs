@@ -1,0 +1,205 @@
+//! The paper's §6 evaluation setups as scenario documents.
+//!
+//! These are the declarative forms of the historical `hpcci::scenarios`
+//! constructors — same sites, accounts, software environments, endpoints,
+//! and workflows, so compiling them through [`crate::compile`] reproduces
+//! the exact golden traces the handwritten builders produced.
+
+use crate::compile::KAMPING_IMAGE;
+use crate::spec::{
+    CacheModeDecl, EndpointDecl, EndpointKindDecl, ScenarioSpec, SiteSpec, TemplateDecl,
+    TrafficSpec, UserSpec, WorkloadKind, WorkloadSpec,
+};
+
+const DOCKING_PACKAGES: [&str; 3] = ["autodock-vina=1.2.6", "vmd=1.9.3", "mgltools=1.5.7"];
+
+fn base(name: &str, seed: u64, workload: WorkloadSpec) -> ScenarioSpec {
+    ScenarioSpec {
+        name: name.into(),
+        seed,
+        user: UserSpec::default(),
+        workload,
+        traffic: TrafficSpec::default(),
+        cache: CacheModeDecl::Off,
+        sites: Vec::new(),
+        endpoints: Vec::new(),
+        faults: Vec::new(),
+        chaos: None,
+        provenance: None,
+    }
+}
+
+/// §6.1: ParslDock across Chameleon, FASTER, and Expanse — an open cloud
+/// instance with a single-user endpoint, and two airgapped HPC sites whose
+/// MEPs split providers (`git` on login, pytest in SLURM pilots).
+pub fn parsldock(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "parsldock",
+        seed,
+        WorkloadSpec {
+            kind: WorkloadKind::Parsldock,
+            repo: "parsl/parsl-docking-tutorial".into(),
+            workflow: "parsldock-ci".into(),
+            ..WorkloadSpec::default()
+        },
+    );
+    let docking: Vec<String> = DOCKING_PACKAGES.iter().map(|p| p.to_string()).collect();
+    spec.sites = vec![
+        SiteSpec {
+            preset: "chameleon-tacc".into(),
+            cores: 64,
+            account: "cc".into(),
+            allocation: "chameleon".into(),
+            environment: "chameleon".into(),
+            software_env: "docking".into(),
+            packages: docking.clone(),
+        },
+        SiteSpec {
+            preset: "tamu-faster".into(),
+            cores: 64,
+            account: "x-vhayot".into(),
+            allocation: "CIS230030".into(),
+            environment: "faster-vhayot".into(),
+            software_env: "docking".into(),
+            packages: docking.clone(),
+        },
+        SiteSpec {
+            preset: "sdsc-expanse".into(),
+            cores: 128,
+            account: "x-vhayot".into(),
+            allocation: "CIS230030".into(),
+            environment: "expanse-vhayot".into(),
+            software_env: "docking".into(),
+            packages: docking,
+        },
+    ];
+    spec.endpoints = vec![
+        EndpointDecl {
+            name: "ep-chameleon-tacc".into(),
+            site: 0,
+            kind: EndpointKindDecl::Single,
+        },
+        EndpointDecl {
+            name: "ep-tamu-faster".into(),
+            site: 1,
+            kind: EndpointKindDecl::MultiUser {
+                template: TemplateDecl::HpcSplit {
+                    cores: 64,
+                    walltime_secs: 3600,
+                },
+                container: String::new(),
+            },
+        },
+        EndpointDecl {
+            name: "ep-sdsc-expanse".into(),
+            site: 2,
+            kind: EndpointKindDecl::MultiUser {
+                template: TemplateDecl::HpcSplit {
+                    cores: 128,
+                    walltime_secs: 3600,
+                },
+                container: String::new(),
+            },
+        },
+    ];
+    spec
+}
+
+/// §6.2: PSI/J CI on Purdue Anvil's login node. `missing_dependency` leaves
+/// `typeguard` out of the site's Conda environment, reproducing Fig. 5.
+pub fn psij(seed: u64, missing_dependency: bool) -> ScenarioSpec {
+    let mut spec = base(
+        "psij",
+        seed,
+        WorkloadSpec {
+            kind: WorkloadKind::Psij,
+            repo: "ExaWorks/psij-python".into(),
+            workflow: "psij-ci".into(),
+            missing_dependency,
+            ..WorkloadSpec::default()
+        },
+    );
+    let mut packages = vec![
+        "psij-python=0.9.9".to_string(),
+        "psutil=5.9.8".to_string(),
+        "pystache=0.6.8".to_string(),
+    ];
+    if !missing_dependency {
+        packages.push("typeguard=3.0.2".to_string());
+    }
+    spec.sites = vec![SiteSpec {
+        preset: "purdue-anvil".into(),
+        cores: 128,
+        account: "x-vhayot".into(),
+        allocation: "CIS230030".into(),
+        environment: "anvil-vhayot".into(),
+        software_env: "psij".into(),
+        packages,
+    }];
+    spec.endpoints = vec![EndpointDecl {
+        name: "ep-anvil".into(),
+        site: 0,
+        kind: EndpointKindDecl::MultiUser {
+            template: TemplateDecl::LoginOnly,
+            container: String::new(),
+        },
+    }];
+    spec
+}
+
+/// §6.3: the KaMPIng reproducibility artifacts on a Chameleon instance,
+/// with the MEP configured inside the published container image.
+pub fn kamping(seed: u64) -> ScenarioSpec {
+    let mut spec = base(
+        "kamping",
+        seed,
+        WorkloadSpec {
+            kind: WorkloadKind::Kamping,
+            repo: "kamping-site/kamping-reproducibility".into(),
+            workflow: "kamping-repro".into(),
+            ..WorkloadSpec::default()
+        },
+    );
+    spec.sites = vec![SiteSpec {
+        preset: "chameleon-tacc".into(),
+        cores: 64,
+        account: "cc".into(),
+        allocation: "chameleon".into(),
+        environment: "chameleon".into(),
+        software_env: String::new(),
+        packages: Vec::new(),
+    }];
+    spec.endpoints = vec![EndpointDecl {
+        name: "ep-cham-kamping".into(),
+        site: 0,
+        kind: EndpointKindDecl::MultiUser {
+            template: TemplateDecl::LoginOnly,
+            container: KAMPING_IMAGE.into(),
+        },
+    }];
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_round_trip() {
+        for spec in [parsldock(1), psij(1, false), psij(1, true), kamping(1)] {
+            spec.validate().expect("preset validates");
+            let parsed = ScenarioSpec::from_toml(&spec.to_toml()).expect("round-trips");
+            assert_eq!(parsed, spec);
+        }
+    }
+
+    #[test]
+    fn missing_dependency_changes_the_document() {
+        assert_ne!(psij(1, false).digest(), psij(1, true).digest());
+        assert!(psij(1, true)
+            .sites[0]
+            .packages
+            .iter()
+            .all(|p| !p.starts_with("typeguard")));
+    }
+}

@@ -1,0 +1,490 @@
+//! A deliberately small TOML dialect — just enough surface for scenario
+//! specs, hand-rolled because the workspace builds fully offline (no
+//! serde/toml crates; see the workspace manifest).
+//!
+//! Supported syntax:
+//!
+//! * `[table]` and `[a.b]` headers, `[[array.of.tables]]` headers
+//! * `key = "string"` (with `\"`, `\\`, `\n`, `\t` escapes)
+//! * `key = 123` — **unsigned** integers only; the spec layer stores every
+//!   tunable as an integer precisely so round-trips are byte-exact (floats
+//!   have no canonical rendering)
+//! * `key = true` / `false`
+//! * `key = ["a", "b"]` / `key = [1, 2]` — single-line homogeneous arrays
+//! * `# comments` and blank lines
+//!
+//! There is no serializer here: canonical scenario text is produced by
+//! [`crate::spec::ScenarioSpec::to_toml`], which writes keys in a fixed
+//! order. `parse` + reader helpers are the only direction this module owns.
+
+/// A parsed TOML value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Int(u64),
+    Bool(bool),
+    Array(Vec<Value>),
+}
+
+/// Table entry: either a terminal value, a nested table, or an
+/// array-of-tables (`[[name]]`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Item {
+    Value(Value),
+    Table(Table),
+    Tables(Vec<Table>),
+}
+
+/// An insertion-ordered table. Order is preserved so error messages and
+/// debugging output match the source document.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Table {
+    entries: Vec<(String, Item)>,
+}
+
+/// Parse error with a 1-based line number into the source document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TomlError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for TomlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TOML parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Table {
+    pub fn get(&self, key: &str) -> Option<&Item> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, item)| item)
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    pub fn str_of(&self, key: &str) -> Result<&str, String> {
+        match self.get(key) {
+            Some(Item::Value(Value::Str(s))) => Ok(s),
+            Some(_) => Err(format!("key `{key}` is not a string")),
+            None => Err(format!("missing key `{key}`")),
+        }
+    }
+
+    pub fn u64_of(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(Item::Value(Value::Int(n))) => Ok(*n),
+            Some(_) => Err(format!("key `{key}` is not an integer")),
+            None => Err(format!("missing key `{key}`")),
+        }
+    }
+
+    pub fn u32_of(&self, key: &str) -> Result<u32, String> {
+        let n = self.u64_of(key)?;
+        u32::try_from(n).map_err(|_| format!("key `{key}` overflows u32 ({n})"))
+    }
+
+    pub fn bool_of(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(Item::Value(Value::Bool(b))) => Ok(*b),
+            Some(_) => Err(format!("key `{key}` is not a boolean")),
+            None => Err(format!("missing key `{key}`")),
+        }
+    }
+
+    /// Optional variants: absent keys fall back to the given default so
+    /// older fixture documents stay parseable as the schema grows.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.str_of(key).unwrap_or(default)
+    }
+
+    pub fn u64_or(&self, key: &str, default: u64) -> u64 {
+        self.u64_of(key).unwrap_or(default)
+    }
+
+    pub fn u32_or(&self, key: &str, default: u32) -> u32 {
+        self.u32_of(key).unwrap_or(default)
+    }
+
+    pub fn bool_or(&self, key: &str, default: bool) -> bool {
+        self.bool_of(key).unwrap_or(default)
+    }
+
+    pub fn table_of(&self, key: &str) -> Result<&Table, String> {
+        match self.get(key) {
+            Some(Item::Table(t)) => Ok(t),
+            Some(_) => Err(format!("key `{key}` is not a table")),
+            None => Err(format!("missing table `[{key}]`")),
+        }
+    }
+
+    pub fn opt_table(&self, key: &str) -> Option<&Table> {
+        match self.get(key) {
+            Some(Item::Table(t)) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// `[[key]]` entries; a missing key yields an empty slice.
+    pub fn tables_of(&self, key: &str) -> &[Table] {
+        match self.get(key) {
+            Some(Item::Tables(ts)) => ts,
+            _ => &[],
+        }
+    }
+
+    pub fn str_array_of(&self, key: &str) -> Result<Vec<String>, String> {
+        match self.get(key) {
+            Some(Item::Value(Value::Array(items))) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => Ok(s.clone()),
+                    _ => Err(format!("array `{key}` has a non-string element")),
+                })
+                .collect(),
+            Some(Item::Value(_)) => Err(format!("key `{key}` is not an array")),
+            Some(_) => Err(format!("key `{key}` is not an array")),
+            None => Err(format!("missing key `{key}`")),
+        }
+    }
+
+    fn insert_value(&mut self, key: &str, value: Value) -> Result<(), String> {
+        if self.get(key).is_some() {
+            return Err(format!("duplicate key `{key}`"));
+        }
+        self.entries.push((key.to_string(), Item::Value(value)));
+        Ok(())
+    }
+
+    /// Walk (creating as needed) to the table named by a dotted path.
+    fn descend(&mut self, path: &[String]) -> Result<&mut Table, String> {
+        let mut cur = self;
+        for seg in path {
+            let pos = cur.entries.iter().position(|(k, _)| k == seg);
+            let idx = match pos {
+                Some(i) => i,
+                None => {
+                    cur.entries
+                        .push((seg.clone(), Item::Table(Table::default())));
+                    cur.entries.len() - 1
+                }
+            };
+            cur = match &mut cur.entries[idx].1 {
+                Item::Table(t) => t,
+                Item::Tables(ts) => ts
+                    .last_mut()
+                    .ok_or_else(|| format!("empty array-of-tables `{seg}`"))?,
+                Item::Value(_) => return Err(format!("`{seg}` is a value, not a table")),
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Append a fresh table to the `[[path]]` array, creating it on first use.
+    fn append_table(&mut self, path: &[String]) -> Result<&mut Table, String> {
+        let (last, prefix) = path.split_last().ok_or("empty table header")?;
+        let parent = self.descend(prefix)?;
+        let pos = parent.entries.iter().position(|(k, _)| k == last);
+        let idx = match pos {
+            Some(i) => i,
+            None => {
+                parent
+                    .entries
+                    .push((last.clone(), Item::Tables(Vec::new())));
+                parent.entries.len() - 1
+            }
+        };
+        match &mut parent.entries[idx].1 {
+            Item::Tables(ts) => {
+                ts.push(Table::default());
+                Ok(ts.last_mut().expect("just pushed"))
+            }
+            _ => Err(format!("`{last}` is not an array-of-tables")),
+        }
+    }
+}
+
+/// Parse a full document into its root table.
+pub fn parse(text: &str) -> Result<Table, TomlError> {
+    let mut root = Table::default();
+    // Path of the table currently being filled, as owned segments.
+    let mut current: Vec<String> = Vec::new();
+    // Whether `current` names an array-of-tables entry (affects descend).
+    let mut in_array_entry = false;
+
+    for (ix, raw) in text.lines().enumerate() {
+        let lineno = ix + 1;
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| TomlError { line: lineno, msg };
+
+        if let Some(rest) = line.strip_prefix("[[") {
+            let inner = rest
+                .strip_suffix("]]")
+                .ok_or_else(|| err("unterminated `[[` header".into()))?;
+            let path = parse_path(inner).map_err(&err)?;
+            root.append_table(&path).map_err(&err)?;
+            current = path;
+            in_array_entry = true;
+        } else if let Some(rest) = line.strip_prefix('[') {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err("unterminated `[` header".into()))?;
+            let path = parse_path(inner).map_err(&err)?;
+            // descend() creates the table if absent; re-entering an existing
+            // plain table is allowed (it extends it).
+            root.descend(&path).map_err(&err)?;
+            current = path;
+            in_array_entry = false;
+        } else {
+            let eq = line
+                .find('=')
+                .ok_or_else(|| err(format!("expected `key = value`, got `{line}`")))?;
+            let key = line[..eq].trim();
+            if !is_bare_key(key) {
+                return Err(err(format!("invalid key `{key}`")));
+            }
+            let value = parse_value(line[eq + 1..].trim()).map_err(&err)?;
+            let table = if in_array_entry {
+                // Re-resolve to the *last* entry of the array each line.
+                let (last, prefix) = current.split_last().expect("array path non-empty");
+                let parent = root.descend(prefix).map_err(&err)?;
+                let pos = parent
+                    .entries
+                    .iter()
+                    .position(|(k, _)| k == last)
+                    .expect("array created at header");
+                match &mut parent.entries[pos].1 {
+                    Item::Tables(ts) => ts.last_mut().expect("entry created at header"),
+                    _ => return Err(err(format!("`{last}` is not an array-of-tables"))),
+                }
+            } else {
+                root.descend(&current).map_err(&err)?
+            };
+            table.insert_value(key, value).map_err(&err)?;
+        }
+    }
+    Ok(root)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, ch) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn is_bare_key(key: &str) -> bool {
+    !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn parse_path(inner: &str) -> Result<Vec<String>, String> {
+    let segs: Vec<String> = inner.split('.').map(|s| s.trim().to_string()).collect();
+    for seg in &segs {
+        if !is_bare_key(seg) {
+            return Err(format!("invalid table name segment `{seg}`"));
+        }
+    }
+    Ok(segs)
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text.starts_with('"') {
+        let (s, rest) = parse_string(text)?;
+        if !rest.trim().is_empty() {
+            return Err(format!("trailing garbage after string: `{rest}`"));
+        }
+        Ok(Value::Str(s))
+    } else if text == "true" {
+        Ok(Value::Bool(true))
+    } else if text == "false" {
+        Ok(Value::Bool(false))
+    } else if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or("unterminated array (arrays must be single-line)")?;
+        let mut items = Vec::new();
+        for piece in split_array(inner)? {
+            let piece = piece.trim();
+            if piece.is_empty() {
+                continue;
+            }
+            items.push(parse_value(piece)?);
+        }
+        Ok(Value::Array(items))
+    } else if text.chars().all(|c| c.is_ascii_digit()) && !text.is_empty() {
+        text.parse::<u64>()
+            .map(Value::Int)
+            .map_err(|_| format!("integer out of range: `{text}`"))
+    } else {
+        Err(format!("unsupported value `{text}` (string/uint/bool/array)"))
+    }
+}
+
+/// Split array-body text on commas that sit outside string literals.
+fn split_array(inner: &str) -> Result<Vec<String>, String> {
+    let mut parts = Vec::new();
+    let mut buf = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    for ch in inner.chars() {
+        if escaped {
+            buf.push(ch);
+            escaped = false;
+            continue;
+        }
+        match ch {
+            '\\' if in_str => {
+                buf.push(ch);
+                escaped = true;
+            }
+            '"' => {
+                buf.push(ch);
+                in_str = !in_str;
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut buf));
+            }
+            _ => buf.push(ch),
+        }
+    }
+    if in_str {
+        return Err("unterminated string in array".into());
+    }
+    parts.push(buf);
+    Ok(parts)
+}
+
+fn parse_string(text: &str) -> Result<(String, &str), String> {
+    let mut out = String::new();
+    let mut chars = text.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err("expected opening quote".into()),
+    }
+    let mut escaped = false;
+    for (i, ch) in chars {
+        if escaped {
+            out.push(match ch {
+                'n' => '\n',
+                't' => '\t',
+                '"' => '"',
+                '\\' => '\\',
+                other => return Err(format!("unsupported escape `\\{other}`")),
+            });
+            escaped = false;
+        } else if ch == '\\' {
+            escaped = true;
+        } else if ch == '"' {
+            return Ok((out, &text[i + 1..]));
+        } else {
+            out.push(ch);
+        }
+    }
+    Err("unterminated string".into())
+}
+
+/// Render a string with the same escaping `parse_string` understands.
+/// The spec serializer uses this for every string field so that any
+/// embedded quotes/newlines survive a round-trip.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            other => out.push(other),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_values_tables_and_arrays_of_tables() {
+        let doc = r#"
+# top comment
+name = "demo"  # trailing comment
+seed = 42
+flag = true
+
+[user]
+login = "vhayot"
+
+[[sites]]
+preset = "tamu-faster"
+packages = ["vmd=1.9.3", "autodock-vina=1.2.6"]
+
+[[sites]]
+preset = "sdsc-expanse"
+cores = 128
+"#;
+        let root = parse(doc).expect("parses");
+        assert_eq!(root.str_of("name").unwrap(), "demo");
+        assert_eq!(root.u64_of("seed").unwrap(), 42);
+        assert!(root.bool_of("flag").unwrap());
+        assert_eq!(root.table_of("user").unwrap().str_of("login").unwrap(), "vhayot");
+        let sites = root.tables_of("sites");
+        assert_eq!(sites.len(), 2);
+        assert_eq!(
+            sites[0].str_array_of("packages").unwrap(),
+            vec!["vmd=1.9.3".to_string(), "autodock-vina=1.2.6".to_string()]
+        );
+        assert_eq!(sites[1].u32_of("cores").unwrap(), 128);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "a \"quoted\" path\\with\nnewline\ttab";
+        let doc = format!("v = {}", quote(original));
+        let root = parse(&doc).expect("parses");
+        assert_eq!(root.str_of("v").unwrap(), original);
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let root = parse("v = \"a#b\"").expect("parses");
+        assert_eq!(root.str_of("v").unwrap(), "a#b");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse("ok = 1\nbroken ===\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("neg = -3").unwrap_err();
+        assert!(err.msg.contains("unsupported value"), "{}", err.msg);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let err = parse("a = 1\na = 2").unwrap_err();
+        assert!(err.msg.contains("duplicate"), "{}", err.msg);
+    }
+}

@@ -19,6 +19,10 @@
 //!   delivered through a [`FaultInjector`] handle that components consult at
 //!   their event boundaries. An empty plan is a guaranteed no-op.
 //! * [`metrics`] — summary statistics helpers for the benchmark harness.
+//! * [`sweep`] — the parallel scenario-sweep runner: a fleet of
+//!   self-contained single-threaded jobs over a fixed worker pool, with
+//!   results in submission order (a parallel sweep is bit-identical to a
+//!   serial one).
 
 pub mod component;
 pub mod dispatch;
@@ -26,6 +30,7 @@ pub mod faults;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod sweep;
 pub mod time;
 pub mod trace;
 

@@ -20,6 +20,7 @@
 //!    └── hpcci-cluster     sites, nodes, network policy, fs, software
 //! hpcci-parsldock / hpcci-psij / hpcci-minimpi    the §6 workloads
 //! hpcci-baselines                                  Tables 2–4 comparators
+//! hpcci-scen        scenario DSL, seeded generator, oracle fleet
 //! ```
 //!
 //! See `DESIGN.md` for the full inventory and `EXPERIMENTS.md` for the
@@ -39,6 +40,7 @@ pub use hpcci_obs as obs;
 pub use hpcci_parsldock as parsldock;
 pub use hpcci_provenance as provenance;
 pub use hpcci_psij as psij;
+pub use hpcci_scen as scen;
 pub use hpcci_scheduler as scheduler;
 pub use hpcci_sim as sim;
 pub use hpcci_vcs as vcs;

@@ -1,88 +1,20 @@
 //! Ready-made federations reproducing the paper's evaluation setups.
 //!
-//! Each scenario builds a [`Federation`], registers the sites, endpoints,
-//! identities, secrets and workflows exactly as §6 describes, and returns
-//! handles for the driver (test, example, or bench binary) to trigger and
-//! inspect.
+//! Since the scenario DSL landed, this module is a thin veneer: the §6
+//! setups are declarative [`hpcci_scen::ScenarioSpec`] documents
+//! ([`hpcci_scen::presets`]) and every constructor here compiles one
+//! through the single [`hpcci_scen::compile`] path. The historical
+//! signatures (and the golden traces they produce) are unchanged.
 
-use correct_core::federation::OnboardedUser;
-use correct_core::{recipes, EndpointSpec, Federation};
-use hpcci_auth::IdentityMapping;
-use hpcci_ci::RunId;
-use hpcci_cluster::{ImageSpec, Site};
-use hpcci_faas::MepTemplate;
+use correct_core::Federation;
+use hpcci_scen::presets;
 use hpcci_sim::FaultPlan;
-use hpcci_vcs::WorkTree;
 
 /// A built scenario: the federation plus the ids the driver needs.
-pub struct Scenario {
-    pub fed: Federation,
-    pub user: OnboardedUser,
-    /// Repository under test, `"owner/name"`.
-    pub repo: String,
-    /// Workflow installed for the repository.
-    pub workflow: String,
-    /// Site environments the workflow's jobs target, in job order.
-    pub environments: Vec<String>,
-}
-
-impl Scenario {
-    /// Manually dispatch the scenario workflow (for `workflow_dispatch`
-    /// triggers like the KaMPIng artifact suite), approve, execute.
-    pub fn dispatch_approve_run(&mut self, reviewer: &str) -> RunId {
-        let now = self.fed.now();
-        let commit = self
-            .fed
-            .hosting
-            .lock()
-            .repo(&self.repo)
-            .expect("scenario repo exists")
-            .head("main")
-            .expect("main exists")
-            .short();
-        let run = self
-            .fed
-            .engine
-            .dispatch(&self.repo, &self.workflow, "main", &commit, now)
-            .expect("workflow installed");
-        self.fed
-            .engine
-            .approve(run, reviewer, self.fed.now())
-            .expect("reviewer approves own environment");
-        self.fed.run_all();
-        run
-    }
-
-    /// Push a trivial change to `main`, pump webhooks, approve every created
-    /// run as `reviewer`, execute, and return the run ids.
-    pub fn push_approve_run(&mut self, reviewer: &str) -> Vec<RunId> {
-        let now = self.fed.now();
-        let tree = self
-            .fed
-            .hosting
-            .lock()
-            .repo(&self.repo)
-            .expect("scenario repo exists")
-            .checkout_branch("main")
-            .expect("main exists")
-            .clone()
-            .with_file("VERSION", format!("{}", now.as_micros()));
-        self.fed
-            .hosting
-            .lock()
-            .push(&self.repo, "main", tree, "vhayot", "trigger CI", now)
-            .expect("push to scenario repo");
-        let runs = self.fed.pump_events();
-        for &run in &runs {
-            self.fed
-                .engine
-                .approve(run, reviewer, self.fed.now())
-                .expect("reviewer approves own environment");
-        }
-        self.fed.run_all();
-        runs
-    }
-}
+///
+/// This is [`hpcci_scen::BuiltScenario`]; see there for the full driver
+/// surface (`push_approve_run`, `dispatch_approve_run`, `trigger_round`).
+pub type Scenario = hpcci_scen::BuiltScenario;
 
 /// Parse the per-test durations table a ParslDock pytest run prints
 /// (`"     X.XXXs call     tests/test_name"`).
@@ -96,21 +28,6 @@ pub fn parse_durations(stdout: &str) -> Vec<(String, f64)> {
             Some((name.to_string(), duration.trim().parse().ok()?))
         })
         .collect()
-}
-
-/// The ParslDock repository contents (the tutorial repo the paper clones).
-fn parsldock_tree() -> WorkTree {
-    WorkTree::new()
-        .with_file("README.md", "# ParslDock tutorial\nML-guided protein docking.\n")
-        .with_file("requirements.txt", "parsl>=2024.1\nnumpy\nscikit-learn\n")
-        .with_file("dock.py", "# docking pipeline entrypoint\n")
-        .with_file("tests/test_parsldock.py", "# pytest suite: 8 tests\n")
-        .with_file(
-            "data/receptor_1abc.pdbqt",
-            // A real serialized receptor: bulks the clone so I/O time is
-            // visible, and round-trips through the PDBQT parser.
-            hpcci_parsldock::receptor_to_pdbqt(&hpcci_parsldock::Receptor::generate("1abc", 300)),
-        )
 }
 
 /// §6.1: ParslDock across Chameleon, FASTER, and Expanse.
@@ -132,80 +49,10 @@ pub fn parsldock_scenario_with_faults(seed: u64, plan: FaultPlan) -> Scenario {
 /// [`parsldock_scenario`] on a caller-built [`Federation`] — use this to
 /// layer builder options (fault plans, observability) under the standard
 /// §6.1 site/endpoint/workflow wiring.
-pub fn parsldock_scenario_on(mut fed: Federation) -> Scenario {
-    let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
-    let repo = "parsl/parsl-docking-tutorial".to_string();
-
-    // Sites, with the docking stack installed (§6.1's Conda installs).
-    let mut environments = Vec::new();
-    let mut endpoints = Vec::new();
-    for (site, env_name, cores) in [
-        (Site::chameleon_tacc(), "chameleon", 64u32),
-        (Site::tamu_faster(), "faster-vhayot", 64),
-        (Site::sdsc_expanse(), "expanse-vhayot", 128),
-    ] {
-        let site_name = site.id.to_string();
-        let site_id = fed.add_site(site, cores);
-        let shared = fed.site(site_id).shared.clone();
-        {
-            let mut rt = shared.lock();
-            let env = rt.site.envs.create("docking");
-            env.install("autodock-vina", "1.2.6");
-            env.install("vmd", "1.9.3");
-            env.install("mgltools", "1.5.7");
-            hpcci_parsldock::install_pytest(&mut rt.commands, "parsl-docking-tutorial");
-        }
-        let endpoint_name = format!("ep-{site_name}");
-        if site_name == "chameleon-tacc" {
-            shared.lock().site.add_account("cc", "chameleon");
-            fed.register(EndpointSpec::single(
-                &endpoint_name,
-                site_id,
-                user.identity.id,
-                "cc",
-            ));
-        } else {
-            shared.lock().site.add_account("x-vhayot", "CIS230030");
-            let mut mapping = IdentityMapping::new(&site_name);
-            mapping.add_explicit("vhayot@uchicago.edu", "x-vhayot");
-            fed.register(EndpointSpec::multi_user(
-                &endpoint_name,
-                site_id,
-                mapping,
-                MepTemplate::hpc_split(cores, 3600),
-            ));
-        }
-        environments.push(env_name.to_string());
-        endpoints.push(endpoint_name);
-    }
-
-    // Repository + secrets + environments + workflow.
-    let now = fed.now();
-    fed.hosting.lock().create_repo("parsl", "parsl-docking-tutorial", now);
-    fed.hosting
-        .lock()
-        .push(&repo, "main", parsldock_tree(), "vhayot", "import tutorial", now)
-        .expect("initial push");
-    let _ = fed.pump_events(); // drop the import push (workflow not installed yet)
-    for env_name in &environments {
-        fed.provision_environment(&repo, env_name, "vhayot", &user);
-    }
-    let site_pairs: Vec<(&str, &str)> = environments
-        .iter()
-        .zip(&endpoints)
-        .map(|(e, ep)| (e.as_str(), ep.as_str()))
-        .collect();
-    let workflow = recipes::multi_site_workflow("parsldock-ci", &site_pairs, "pytest tests/");
-    let workflow_name = workflow.name.clone();
-    fed.engine.add_workflow(&repo, workflow);
-
-    Scenario {
-        fed,
-        user,
-        repo,
-        workflow: workflow_name,
-        environments,
-    }
+pub fn parsldock_scenario_on(fed: Federation) -> Scenario {
+    presets::parsldock(fed.world_seed())
+        .build_on(fed)
+        .expect("§6.1 preset compiles")
 }
 
 /// §6.2: PSI/J CI on Purdue Anvil's login node. `inject_fault` leaves
@@ -224,130 +71,18 @@ pub fn psij_scenario_with_faults(seed: u64, inject_fault: bool, plan: FaultPlan)
 
 /// [`psij_scenario`] on a caller-built [`Federation`] — use this to layer
 /// builder options (fault plans, observability) under the §6.2 wiring.
-pub fn psij_scenario_on(mut fed: Federation, inject_fault: bool) -> Scenario {
-    let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
-    let repo = "ExaWorks/psij-python".to_string();
-
-    let site_id = fed.add_site(Site::purdue_anvil(), 128);
-    let shared = fed.site(site_id).shared.clone();
-    {
-        let mut rt = shared.lock();
-        rt.site.add_account("x-vhayot", "CIS230030");
-        let env = rt.site.envs.create("psij");
-        env.install("psij-python", "0.9.9");
-        env.install("psutil", "5.9.8");
-        env.install("pystache", "0.6.8");
-        if !inject_fault {
-            env.install("typeguard", "3.0.2");
-        }
-        let sched = rt.scheduler.clone();
-        hpcci_psij::install_psij_pytest(&mut rt.commands, "psij", sched);
-    }
-    // §6.2: "The MEP is setup to use the LocalProvider since test cases must
-    // be run on the login node."
-    let mut mapping = IdentityMapping::new("purdue-anvil");
-    mapping.add_explicit("vhayot@uchicago.edu", "x-vhayot");
-    fed.register(EndpointSpec::multi_user(
-        "ep-anvil",
-        site_id,
-        mapping,
-        MepTemplate::login_only(),
-    ));
-
-    let now = fed.now();
-    fed.hosting.lock().create_repo("ExaWorks", "psij-python", now);
-    let tree = WorkTree::new()
-        .with_file("README.md", "# PSI/J\nPortable Submission Interface for Jobs\n")
-        .with_file("requirements.txt", "psutil>=5.9\npystache>=0.6.0\ntypeguard>=3.0.1\n")
-        .with_file("tests/test_executors.py", "# executor suite\n");
-    fed.hosting
-        .lock()
-        .push(&repo, "main", tree, "hategan", "import psij", now)
-        .expect("initial push");
-    let _ = fed.pump_events();
-    fed.provision_environment(&repo, "anvil-vhayot", "vhayot", &user);
-    let workflow = recipes::single_site_workflow("psij-ci", "anvil-vhayot", "ep-anvil", "pytest tests/");
-    let workflow_name = workflow.name.clone();
-    fed.engine.add_workflow(&repo, workflow);
-
-    Scenario {
-        fed,
-        user,
-        repo,
-        workflow: workflow_name,
-        environments: vec!["anvil-vhayot".to_string()],
-    }
+pub fn psij_scenario_on(fed: Federation, inject_fault: bool) -> Scenario {
+    presets::psij(fed.world_seed(), inject_fault)
+        .build_on(fed)
+        .expect("§6.2 preset compiles")
 }
 
 /// §6.3: the KaMPIng reproducibility artifacts on a Chameleon instance, with
 /// the MEP configured inside the published container image.
 pub fn kamping_scenario(seed: u64) -> Scenario {
-    let mut fed = Federation::builder(seed).build();
-    let user = fed.onboard_user("vhayot@uchicago.edu", "uchicago.edu");
-    let repo = "kamping-site/kamping-reproducibility".to_string();
-    let image = "ghcr.io/kamping-site/kamping-reproducibility:v1";
-
-    let site_id = fed.add_site(Site::chameleon_tacc(), 64);
-    let shared = fed.site(site_id).shared.clone();
-    {
-        let mut rt = shared.lock();
-        rt.site.add_account("cc", "chameleon");
-        rt.site
-            .images
-            .publish(
-                ImageSpec::new("ghcr.io/kamping-site/kamping-reproducibility", "v1")
-                    .with_package("kamping", "1.0.0")
-                    .with_package("openmpi", "4.1.5"),
-            )
-            .expect("fresh registry");
-        hpcci_minimpi::install_artifacts(&mut rt.commands);
-    }
-    // "we configured and started a Globus Compute MEP instance within the
-    // container".
-    let mut mapping = IdentityMapping::new("chameleon-tacc");
-    mapping.add_explicit("vhayot@uchicago.edu", "cc");
-    fed.register(EndpointSpec::multi_user(
-        "ep-cham-kamping",
-        site_id,
-        mapping,
-        MepTemplate::login_only().in_container(image),
-    ));
-
-    let now = fed.now();
-    fed.hosting.lock().create_repo("kamping-site", "kamping-reproducibility", now);
-    let mut tree = WorkTree::new().with_file("README.md", "# KaMPIng reproducibility artifacts\n");
-    for name in hpcci_minimpi::KAMPING_ARTIFACTS {
-        tree.put(
-            &format!("artifacts/{name}.sh"),
-            format!("#!/bin/bash\n# runs the {name} experiment\n"),
-        );
-    }
-    fed.hosting
-        .lock()
-        .push(&repo, "main", tree, "kamping", "import artifacts", now)
-        .expect("initial push");
-    let _ = fed.pump_events();
-    fed.provision_environment(&repo, "chameleon", "vhayot", &user);
-    let artifact_cmds: Vec<(String, String)> = hpcci_minimpi::KAMPING_ARTIFACTS
-        .iter()
-        .map(|n| (n.to_string(), format!("bash artifacts/{n}.sh")))
-        .collect();
-    let pairs: Vec<(&str, &str)> = artifact_cmds
-        .iter()
-        .map(|(n, c)| (n.as_str(), c.as_str()))
-        .collect();
-    let workflow =
-        recipes::artifact_suite_workflow("kamping-repro", "chameleon", "ep-cham-kamping", &pairs);
-    let workflow_name = workflow.name.clone();
-    fed.engine.add_workflow(&repo, workflow);
-
-    Scenario {
-        fed,
-        user,
-        repo,
-        workflow: workflow_name,
-        environments: vec!["chameleon".to_string()],
-    }
+    presets::kamping(seed)
+        .build_on(Federation::builder(seed).build())
+        .expect("§6.3 preset compiles")
 }
 
 #[cfg(test)]

@@ -11,7 +11,8 @@
 
 use hpcci::ci::workflow::{JobDef, StepDef, TriggerEvent, WorkflowDef};
 use hpcci::ci::RunStatus;
-use hpcci::correct::{EndpointSpec, CORRECT_ACTION_NAME};
+use hpcci::correct::{EndpointSpec, Federation, CORRECT_ACTION_NAME};
+use hpcci::scen::{FaultDecl, FaultKindDecl, ScenarioSpec};
 use hpcci::scenarios::{
     parsldock_scenario, parsldock_scenario_with_faults, psij_scenario, psij_scenario_with_faults,
 };
@@ -151,13 +152,20 @@ fn node_drain_preempts_pilot_and_the_suite_recovers() {
 /// still uploaded, and the remaining sites pass untouched.
 #[test]
 fn endpoint_crash_without_fallback_degrades_to_infrastructure_failure() {
-    let plan = FaultPlan::none().with_fault(
-        SimTime::from_secs(60),
-        FaultKind::EndpointCrash {
+    // Declared through the scenario DSL: the §6.1 preset plus one explicit
+    // fault, round-tripped through its TOML document before building — the
+    // declarative path carries fault schedules end to end.
+    let mut declared = hpcci::scen::presets::parsldock(85);
+    declared.faults.push(FaultDecl {
+        at_us: SimTime::from_secs(60).as_micros(),
+        kind: FaultKindDecl::EndpointCrash {
             endpoint: "ep-chameleon-tacc".into(),
         },
-    );
-    let mut s = parsldock_scenario_with_faults(85, plan);
+    });
+    let spec = ScenarioSpec::from_toml(&declared.to_toml()).expect("spec round-trips");
+    assert_eq!(spec, declared);
+    let fed = Federation::builder(spec.seed).faults(spec.fault_plan()).build();
+    let mut s = spec.build_on(fed).expect("spec compiles");
     let runs = s.push_approve_run("vhayot");
     let run = s.fed.engine.run(runs[0]).unwrap().clone();
     assert_eq!(run.status, RunStatus::Failure, "site skipped => run failed");

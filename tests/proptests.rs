@@ -685,6 +685,97 @@ fn wheel_far_future_overflow_promotes_in_order() {
     }
 }
 
+/// Scenario generation is a pure function of `(seed, index)`: the same
+/// seed yields byte-identical TOML, out-of-order generation doesn't matter,
+/// and distinct seeds yield distinct documents.
+#[test]
+fn scenario_generation_is_seed_deterministic() {
+    use hpcci::scen::ScenarioGen;
+    for case in 0..CASES {
+        let mut rng = case_rng("scen_gen_seed", case);
+        let seed = rng.range_u64(0, u64::MAX / 2);
+        let index = rng.range_u64(0, 64);
+        let a = ScenarioGen::new(seed).generate(index).to_toml();
+        let b = ScenarioGen::new(seed).generate(index).to_toml();
+        assert_eq!(a, b, "case {case}: seed {seed} index {index} not byte-stable");
+        let other = ScenarioGen::new(seed + 1 + rng.range_u64(0, 10_000))
+            .generate(index)
+            .to_toml();
+        assert_ne!(a, other, "case {case}: distinct generator seeds collided");
+    }
+}
+
+/// Every generated spec round-trips through the TOML dialect: parse of
+/// serialize is the identity, serialization is a fixed point, and the
+/// digest survives the trip.
+#[test]
+fn scenario_specs_round_trip_through_toml() {
+    use hpcci::scen::{ScenarioGen, ScenarioSpec};
+    for case in 0..CASES {
+        let mut rng = case_rng("scen_roundtrip", case);
+        let gen = ScenarioGen::new(rng.range_u64(0, u64::MAX / 2));
+        let spec = gen.generate(rng.range_u64(0, 32));
+        spec.validate().unwrap_or_else(|e| panic!("case {case}: {e}"));
+        let text = spec.to_toml();
+        let parsed = ScenarioSpec::from_toml(&text)
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(parsed, spec, "case {case}: parse ∘ serialize ≠ id");
+        assert_eq!(parsed.to_toml(), text, "case {case}: serialization not a fixed point");
+        assert_eq!(parsed.digest(), spec.digest(), "case {case}: digest changed");
+    }
+}
+
+/// Perturbing any single generator knob changes every generated spec's
+/// digest — the `[generator]` provenance table guarantees it even when the
+/// sampled values happen to coincide.
+#[test]
+fn scenario_knob_perturbations_change_digests() {
+    use hpcci::scen::{GenConfig, ScenarioGen};
+    type Mutator = fn(&mut GenConfig);
+    // One mutator per knob; +1 keeps every `min <= max` pair valid.
+    let mutators: Vec<(&str, Mutator)> = vec![
+        ("sites_min", |c| c.sites_min += 1),
+        ("sites_max", |c| c.sites_max += 1),
+        ("endpoints_per_site_max", |c| c.endpoints_per_site_max += 1),
+        ("multi_user_pct", |c| c.multi_user_pct += 1),
+        ("steps_per_job_max", |c| c.steps_per_job_max += 1),
+        ("tests_min", |c| c.tests_min += 1),
+        ("tests_max", |c| c.tests_max += 1),
+        ("failing_pct", |c| c.failing_pct += 1),
+        ("task_ms_min", |c| c.task_ms_min += 1),
+        ("task_ms_max", |c| c.task_ms_max += 1),
+        ("pushes_max", |c| c.pushes_max += 1),
+        ("gap_secs_min", |c| c.gap_secs_min += 1),
+        ("gap_secs_max", |c| c.gap_secs_max += 1),
+        ("burstiness_max_pct", |c| c.burstiness_max_pct += 1),
+        ("cache_record_pct", |c| c.cache_record_pct += 1),
+        ("fault_pct", |c| c.fault_pct += 1),
+        ("chaos_count_max", |c| c.chaos_count_max += 1),
+        ("repo_files_max", |c| c.repo_files_max += 1),
+    ];
+    assert_eq!(
+        mutators.len(),
+        GenConfig::default().knobs().len(),
+        "a knob is missing its perturbation case"
+    );
+    for case in 0..CASES {
+        let mut rng = case_rng("scen_knobs", case);
+        let seed = rng.range_u64(0, u64::MAX / 2);
+        let (name, mutate) = &mutators[case as usize % mutators.len()];
+        let mut cfg = GenConfig::default();
+        mutate(&mut cfg);
+        let base = ScenarioGen::new(seed);
+        let tweaked = ScenarioGen::with_config(seed, cfg);
+        for index in 0..4 {
+            assert_ne!(
+                base.generate(index).digest(),
+                tweaked.generate(index).digest(),
+                "case {case}: knob {name} did not reach digest at index {index}"
+            );
+        }
+    }
+}
+
 /// Chaos determinism, end to end: the same seed with the same fault plan
 /// replays the whole federation bit-identically — run log, functional
 /// trace, and chaos trace all byte-equal across replays.

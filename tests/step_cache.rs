@@ -10,6 +10,7 @@
 use hpcci::ci::{CacheMode, RunStatus, StepCache};
 use hpcci::correct::Federation;
 use hpcci::obs::ObsConfig;
+use hpcci::scen::ScenarioSpec;
 use hpcci::scenarios::{parsldock_scenario_on, psij_scenario_on, Scenario};
 use hpcci::sim::{FaultKind, FaultPlan, SimTime};
 
@@ -21,23 +22,76 @@ fn run_psij(fed: Federation) -> (Scenario, Vec<hpcci::ci::RunId>) {
     (s, runs)
 }
 
+/// The §6.2 PSI/J world as a scenario document — the declarative form of
+/// [`run_psij`], pinned against the preset inside [`run_psij_from_toml`] so
+/// the two paths can never drift apart.
+const PSIJ_TOML: &str = r#"# hpcci scenario (schema 1)
+schema = 1
+name = "psij"
+seed = 5
+
+[user]
+login = "vhayot"
+email = "vhayot@uchicago.edu"
+provider = "uchicago.edu"
+
+[workload]
+kind = "psij"
+repo = "ExaWorks/psij-python"
+workflow = "psij-ci"
+missing_dependency = false
+
+[traffic]
+pushes = 1
+gap_secs = 300
+burstiness_pct = 0
+
+[cache]
+mode = "off"
+
+[[sites]]
+preset = "purdue-anvil"
+cores = 128
+account = "x-vhayot"
+allocation = "CIS230030"
+environment = "anvil-vhayot"
+software_env = "psij"
+packages = ["psij-python=0.9.9", "psutil=5.9.8", "pystache=0.6.8", "typeguard=3.0.2"]
+
+[[endpoints]]
+name = "ep-anvil"
+site = 0
+kind = "multi-user"
+template = "login-only"
+"#;
+
+/// Parse [`PSIJ_TOML`], compile it onto a federation carrying the given
+/// shared cache, and drive one push — the TOML-first flavour of
+/// [`run_psij`].
+fn run_psij_from_toml(cache: StepCache, mode: CacheMode) -> (Scenario, Vec<hpcci::ci::RunId>) {
+    let spec = ScenarioSpec::from_toml(PSIJ_TOML).expect("document parses");
+    assert_eq!(
+        spec,
+        hpcci::scen::presets::psij(5, false),
+        "document drifted from the §6.2 preset"
+    );
+    let fed = Federation::builder(spec.seed)
+        .step_cache_shared(cache, mode)
+        .build();
+    let mut s = spec.build_on(fed).expect("spec compiles");
+    let runs = s.push_approve_run("vhayot");
+    (s, runs)
+}
+
 #[test]
 fn replay_reproduces_the_recorded_run_byte_for_byte() {
     let cache = StepCache::new();
-    let (cold_s, cold_runs) = run_psij(
-        Federation::builder(5)
-            .step_cache_shared(cache.clone(), CacheMode::Record)
-            .build(),
-    );
+    let (cold_s, cold_runs) = run_psij_from_toml(cache.clone(), CacheMode::Record);
     let after_cold = cache.stats();
     assert!(after_cold.entries > 0, "record pass populates the cache");
     assert_eq!(after_cold.hits, 0, "record mode never serves");
 
-    let (warm_s, warm_runs) = run_psij(
-        Federation::builder(5)
-            .step_cache_shared(cache.clone(), CacheMode::Replay)
-            .build(),
-    );
+    let (warm_s, warm_runs) = run_psij_from_toml(cache.clone(), CacheMode::Replay);
     // Stats accumulate on the shared cache, so compare against the cold
     // pass: the warm pass must add hits and nothing else.
     let after_warm = cache.stats();
