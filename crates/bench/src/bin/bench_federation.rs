@@ -30,7 +30,16 @@
 //! than `<x>` times faster than the 1-worker sweep. Core-aware: on hosts
 //! with fewer than 4 cores a parallel speedup is physically unobtainable,
 //! so the gate degrades to a no-pathological-slowdown floor (see
-//! `SPEEDUP_FLOOR_FEW_CORES`).
+//! `SPEEDUP_FLOOR_FEW_CORES`). The same floor applies when the sweep's
+//! min-work gate (`hpcci_sim::sweep::SWEEP_MIN_EVENTS_PER_JOB`) ran the
+//! sweep serially because the per-scenario event count was too small to pay
+//! for worker threads.
+//!
+//! `--des-gate <x>` is the same core-aware gate applied to the
+//! *in-federation* parallel DES pass: one federation advanced over 4
+//! lookahead domains must be at least `<x>` times faster than the same
+//! federation advanced serially — with the committed trace byte-identical
+//! at every width (asserted unconditionally, gate or no gate).
 //!
 //! `--profile` runs one instrumented event loop instead of the bench: each
 //! phase (build / submit / drive) is bracketed by an `hpcci-obs` span and a
@@ -255,18 +264,86 @@ fn combine(digests: &[u64]) -> u64 {
 }
 
 /// Run the fig4 sweep over `threads` workers (1 = reference serial sweep).
-/// Returns (wall seconds, combined digest).
-fn fig4_sweep(reps: u64, threads: usize) -> (f64, u64) {
+/// `est_events` is the per-scenario event estimate feeding the sweep's
+/// min-work gate: scenarios too small to amortize worker spawn run serially
+/// at every width. Returns (wall seconds, combined digest).
+fn fig4_sweep(reps: u64, threads: usize, est_events: u64) -> (f64, u64) {
     let start = Instant::now();
     let jobs: Vec<_> = (0..reps).map(|rep| move || fig4_rep(1000 + rep)).collect();
-    let digests = sweep::sweep(jobs, threads);
+    let digests = sweep::sweep_estimated(jobs, threads, est_events);
     (start.elapsed().as_secs_f64(), combine(&digests))
+}
+
+/// Probe one fig4 scenario for its dispatched-event count — the estimate
+/// the sweep's min-work gate compares against `SWEEP_MIN_EVENTS_PER_JOB`.
+/// An off-sweep seed so the probe never perturbs the measured digests.
+fn fig4_events_estimate() -> u64 {
+    let mut s = parsldock_scenario(999);
+    let _ = s.push_approve_run("vhayot");
+    s.fed.events_dispatched()
+}
+
+/// One in-federation parallel DES measurement: ONE federation's event loop
+/// advanced over `workers` lookahead domains (contrast with `fig4_sweep`,
+/// which parallelizes across independent federations).
+struct DesSample {
+    wall_secs: f64,
+    /// FNV-1a over the committed trace render — byte-identity surface.
+    digest: u64,
+    events: u64,
+    domains: usize,
+    barriers: u64,
+    stalls: u64,
+}
+
+/// Build the microbench federation, submit `n_tasks` round-robin, and drain
+/// it to quiescence over `workers` lookahead domains. Timing covers the
+/// drain only; the trace digest and the domain counters come back for the
+/// byte-identity asserts and the step summary.
+fn parallel_des_run(n_endpoints: usize, n_tasks: usize, workers: usize) -> DesSample {
+    let (mut cloud, token, endpoint_ids) = build_bench_cloud(n_endpoints, Obs::disabled());
+    cloud.set_workers(workers);
+    for t in 0..n_tasks {
+        let ep = &endpoint_ids[t % n_endpoints];
+        cloud
+            .submit_shell(&token, ep, "work", SimTime::ZERO)
+            .expect("submit");
+    }
+    let start = Instant::now();
+    cloud.drain_to_quiescence();
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut digest = 0xcbf29ce484222325u64;
+    for b in cloud.trace.render().bytes() {
+        digest = (digest ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    let stats = cloud.domain_stats().clone();
+    DesSample {
+        wall_secs,
+        digest,
+        events: cloud.events_dispatched(),
+        domains: cloud.domain_count(),
+        barriers: stats.barriers,
+        stalls: stats.stalls,
+    }
 }
 
 fn median(xs: &[f64]) -> f64 {
     let mut xs = xs.to_vec();
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs[xs.len() / 2]
+}
+
+/// Rep-to-rep spread as a percentage of the median — how noisy the sampled
+/// walls were. Recorded next to any median-derived figure so a trajectory
+/// reader can tell a real regression from run-to-run jitter.
+fn spread_pct(xs: &[f64]) -> f64 {
+    let m = median(xs);
+    if m <= 0.0 {
+        return 0.0;
+    }
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    (max - min) / m * 100.0
 }
 
 fn main() {
@@ -298,6 +375,11 @@ fn main() {
         .position(|a| a == "--speedup-gate")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--speedup-gate takes a speedup factor"));
+    let des_gate: Option<f64> = args
+        .iter()
+        .position(|a| a == "--des-gate")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--des-gate takes a speedup factor"));
 
     let (endpoints, tasks, samples, reps) = if smoke { (4, 64, 3, 8) } else { (16, 2048, 7, 24) };
 
@@ -333,8 +415,17 @@ fn main() {
     println!("trace allocs saved        {:>12}", last.allocs_saved);
 
     // Same bench with the obs layer recording, to price the enabled path and
-    // pull latency percentiles out of the metrics snapshot.
+    // pull latency percentiles out of the metrics snapshot. The obs pass
+    // gets its own warm-up discard — earlier trajectory rows showed
+    // `obs_overhead_pct` swinging (even negative) because the enabled pass
+    // ran cold against a warmed disabled pass; the overhead is a ratio of
+    // two medians, so both sides must be equally warm. The rep spread of
+    // both sides travels in the JSON row so a trajectory reader can tell a
+    // real overhead change from sampling noise.
     hpcci_bench::section("event loop with observability enabled");
+    for _ in 0..3 {
+        let _ = event_loop_run(endpoints, tasks, Obs::new(ObsConfig::enabled()));
+    }
     let mut obs_walls = Vec::new();
     let mut obs_last = None;
     for _ in 0..samples {
@@ -346,12 +437,15 @@ fn main() {
     let obs_wall = median(&obs_walls);
     let obs_events_per_sec = obs_last.trace_events as f64 / obs_wall;
     let obs_overhead_pct = (1.0 - obs_events_per_sec / events_per_sec) * 100.0;
+    let rep_spread_pct = spread_pct(&walls);
+    let obs_rep_spread_pct = spread_pct(&obs_walls);
     let snap = obs_last.metrics.as_ref().expect("obs-enabled run snapshots");
     let latency = snap
         .histogram("faas.task_latency_us")
         .expect("task latency histogram populated");
     println!("event throughput (obs)    {:>12.0} events/s", obs_events_per_sec);
     println!("obs overhead              {:>12.1} %", obs_overhead_pct);
+    println!("rep spread (no-obs/obs)   {:>7.1} % / {:<7.1} %", rep_spread_pct, obs_rep_spread_pct);
     println!("tasks completed           {:>12}", snap.counter("faas.tasks_completed"));
     println!("task latency p50          {:>12} us", latency.p50);
     println!("task latency p99          {:>12} us", latency.p99);
@@ -361,13 +455,24 @@ fn main() {
     // must never reorder (or change) a single result.
     let cores = sweep::default_threads();
     const WIDTHS: [usize; 4] = [1, 2, 4, 8];
+    let est_events = fig4_events_estimate();
+    let sweep_gated_serial = est_events < sweep::SWEEP_MIN_EVENTS_PER_JOB;
     hpcci_bench::section(&format!(
         "fig4 sweep ({reps} reps) — scaling across {WIDTHS:?} workers ({cores} core(s))"
     ));
+    println!(
+        "est. events per scenario  {:>12}   min-work gate: {}",
+        est_events,
+        if sweep_gated_serial {
+            "SERIAL (below threshold — threads would cost more than they save)"
+        } else {
+            "parallel"
+        }
+    );
     let mut scaling_secs = Vec::new();
     let mut serial_digest = 0u64;
     for (i, &w) in WIDTHS.iter().enumerate() {
-        let (secs, digest) = fig4_sweep(reps, w);
+        let (secs, digest) = fig4_sweep(reps, w, est_events);
         if i == 0 {
             serial_digest = digest;
         } else {
@@ -389,6 +494,52 @@ fn main() {
     let threads = 4usize;
     println!("speedup at 4 workers      {:>12.2}x", speedup_4w);
     println!("digest                    {serial_digest:#018x}");
+
+    // In-federation conservative parallel DES: the passes above parallelize
+    // across independent federations; this one advances a SINGLE scaled
+    // federation over 1/2/4/8 lookahead domains and re-pins the committed
+    // trace at every width — the PR 7 byte-identity claim, measured.
+    let (des_endpoints, des_tasks) = if smoke { (16, 1024) } else { (64, 8192) };
+    hpcci_bench::section(&format!(
+        "in-federation parallel DES ({des_endpoints} endpoints, {des_tasks} tasks) — \
+         lookahead domains across {WIDTHS:?} workers ({cores} core(s))"
+    ));
+    let mut des_secs = Vec::new();
+    let mut des_serial: Option<(u64, u64)> = None;
+    let mut des_4w: Option<DesSample> = None;
+    for &w in WIDTHS.iter() {
+        let s = parallel_des_run(des_endpoints, des_tasks, w);
+        match des_serial {
+            None => des_serial = Some((s.digest, s.events)),
+            Some((digest, events)) => {
+                assert_eq!(
+                    s.digest, digest,
+                    "{w}-worker in-federation trace must be byte-identical to serial"
+                );
+                assert_eq!(
+                    s.events, events,
+                    "{w}-worker run must dispatch exactly the serial event count"
+                );
+            }
+        }
+        println!(
+            "{w} worker(s)                {:>12.3} s   {:>6.2}x   {} domain(s), {} barrier(s), {} stall(s)",
+            s.wall_secs,
+            des_secs.first().copied().unwrap_or(s.wall_secs) / s.wall_secs,
+            s.domains,
+            s.barriers,
+            s.stalls,
+        );
+        des_secs.push(s.wall_secs);
+        if w == 4 {
+            des_4w = Some(s);
+        }
+    }
+    let des_4w = des_4w.expect("4-worker pass ran");
+    let (des_digest, des_events) = des_serial.expect("serial pass ran");
+    let des_speedup_4w = des_secs[0] / des_secs[2];
+    println!("speedup at 4 workers      {:>12.2}x", des_speedup_4w);
+    println!("trace digest              {des_digest:#018x} (byte-identical at every width)");
 
     // Cold-vs-warm incremental CI: a Record pass populates a shared step
     // cache (executing everything), then a Replay pass over the same seeds
@@ -424,11 +575,19 @@ fn main() {
          \"trace_string_allocs\": {string_allocs}, \"trace_allocs_saved\": {allocs_saved}, \
          \"obs_events_per_sec\": {obs_events_per_sec:.0}, \
          \"obs_overhead_pct\": {obs_overhead_pct:.1}, \
+         \"rep_spread_pct\": {rep_spread_pct:.1}, \
+         \"obs_rep_spread_pct\": {obs_rep_spread_pct:.1}, \
          \"task_latency_p50_us\": {p50}, \"task_latency_p99_us\": {p99}, \
          \"fig4_reps\": {reps}, \"fig4_serial_secs\": {serial_secs:.4}, \
          \"fig4_parallel_secs\": {parallel_secs:.4}, \"sweep_threads\": {threads}, \
          \"cores\": {cores}, \"fig4_scaling_secs\": [{w1:.4}, {w2:.4}, {w4:.4}, {w8:.4}], \
          \"fig4_speedup_4w\": {speedup_4w:.2}, \
+         \"fig4_est_events\": {est_events}, \"sweep_gated_serial\": {sweep_gated_serial}, \
+         \"des_endpoints\": {des_endpoints}, \"des_tasks\": {des_tasks}, \
+         \"des_scaling_secs\": [{d1:.4}, {d2:.4}, {d4:.4}, {d8:.4}], \
+         \"des_speedup_4w\": {des_speedup_4w:.2}, \"des_events\": {des_events}, \
+         \"des_domains\": {des_domains}, \"des_barriers_4w\": {des_barriers}, \
+         \"des_stalls_4w\": {des_stalls}, \
          \"cache_cold_secs\": {cold_secs:.4}, \"cache_warm_secs\": {warm_secs:.4}, \
          \"cache_speedup\": {cache_speedup:.2}, \"cache_hits\": {hits}, \
          \"cache_misses\": {misses}, \"artifact_logical_bytes\": {logical}, \
@@ -437,6 +596,13 @@ fn main() {
         w2 = scaling_secs[1],
         w4 = scaling_secs[2],
         w8 = scaling_secs[3],
+        d1 = des_secs[0],
+        d2 = des_secs[1],
+        d4 = des_secs[2],
+        d8 = des_secs[3],
+        des_domains = des_4w.domains,
+        des_barriers = des_4w.barriers,
+        des_stalls = des_4w.stalls,
         trace_events = last.trace_events,
         string_allocs = last.string_allocs,
         allocs_saved = last.allocs_saved,
@@ -505,12 +671,18 @@ fn main() {
         println!("throughput gate ok: peak {peak:.0} >= {gate:.0} events/s");
     }
 
+    // A parallel speedup needs parallel hardware: below 4 cores both
+    // speedup gates degrade to a floor that still catches a run whose wider
+    // pool pathologically slows the work down.
+    const SPEEDUP_FLOOR_FEW_CORES: f64 = 0.5;
+
     if let Some(gate) = speedup_gate {
-        // A parallel speedup needs parallel hardware: below 4 cores the gate
-        // degrades to a floor that still catches a sweep whose wider pool
-        // pathologically slows the work down.
-        const SPEEDUP_FLOOR_FEW_CORES: f64 = 0.5;
-        let (floor, why) = if cores >= 4 {
+        let (floor, why) = if sweep_gated_serial {
+            (
+                SPEEDUP_FLOOR_FEW_CORES,
+                "no-slowdown floor — min-work gate ran the sweep serially at every width",
+            )
+        } else if cores >= 4 {
             (gate, "full gate")
         } else {
             (
@@ -526,5 +698,24 @@ fn main() {
             std::process::exit(1);
         }
         println!("speedup gate ok: {speedup_4w:.2}x >= {floor:.2}x ({why})");
+    }
+
+    if let Some(gate) = des_gate {
+        let (floor, why) = if cores >= 4 {
+            (gate, "full gate")
+        } else {
+            (
+                SPEEDUP_FLOOR_FEW_CORES,
+                "no-slowdown floor — fewer than 4 cores, parallel speedup unobtainable",
+            )
+        };
+        if des_speedup_4w < floor {
+            eprintln!(
+                "des gate FAILED: 4-worker in-federation speedup {des_speedup_4w:.2}x is \
+                 below the {floor:.2}x floor ({why}, {cores} core(s))"
+            );
+            std::process::exit(1);
+        }
+        println!("des gate ok: {des_speedup_4w:.2}x >= {floor:.2}x ({why})");
     }
 }

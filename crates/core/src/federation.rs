@@ -162,6 +162,15 @@ impl WorldDriver for World {
     }
 }
 
+impl World {
+    /// Drain the world to quiescence. With a worker budget above one the
+    /// cloud advances lookahead domains on parallel windows; the committed
+    /// trace is byte-identical to the single-step loop either way.
+    fn drain(&mut self) {
+        self.cloud.lock().drain_to_quiescence();
+    }
+}
+
 /// A user onboarded to the federation: identity + confidential client.
 pub struct OnboardedUser {
     pub identity: hpcci_auth::Identity,
@@ -184,6 +193,7 @@ pub struct FederationBuilder {
     plan: Option<FaultPlan>,
     obs: ObsConfig,
     step_cache: Option<(StepCache, CacheMode)>,
+    workers: usize,
 }
 
 impl FederationBuilder {
@@ -219,13 +229,25 @@ impl FederationBuilder {
         self
     }
 
+    /// Advance the federation's event loop with up to `n` worker threads
+    /// over conservative lookahead domains. The committed trace — and hence
+    /// [`Federation::trace_digest`] — is byte-identical at every width;
+    /// federations with fault plans or shared batch schedulers degrade to
+    /// the serial path automatically. `1` (the default) is fully serial.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
     pub fn build(self) -> Federation {
-        Federation::build_parts(
+        let fed = Federation::build_parts(
             self.seed,
             self.plan.map(FaultInjector::new),
             Obs::new(self.obs),
             self.step_cache,
-        )
+        );
+        fed.cloud.lock().set_workers(self.workers);
+        fed
     }
 }
 
@@ -257,6 +279,7 @@ impl Federation {
             plan: None,
             obs: ObsConfig::disabled(),
             step_cache: None,
+            workers: 1,
         }
     }
 
@@ -713,7 +736,7 @@ impl Federation {
     pub fn run_all(&mut self) -> Vec<RunId> {
         self.refresh_stack_fingerprints();
         let executed = self.engine.execute_ready(&mut self.world);
-        while self.world.step() {}
+        self.world.drain();
         executed
     }
 

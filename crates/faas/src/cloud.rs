@@ -12,10 +12,15 @@ use crate::mep::MultiUserEndpoint;
 use crate::task::{Task, TaskId, TaskOutput, TaskState};
 use hpcci_auth::{AuthService, Identity, Scope};
 use hpcci_obs::Obs;
-use hpcci_sim::{Advance, EventQueue, FaultInjector, NextEventCache, SimTime, Sym, Trace};
+use hpcci_sim::{
+    Advance, DomainPlan, DomainStats, EventQueue, FaultInjector, Lookahead, NextEventCache,
+    SimTime, Sym, Trace, Window,
+};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+mod parallel;
 
 /// Endpoint identifier (the "endpoint UUID" of the action inputs).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -105,6 +110,29 @@ impl EndpointRegistration {
             EndpointRegistration::Multi(m) => m.drain_finished_into(out),
         }
     }
+
+    /// Put back outputs that a parallel window drained but whose collection
+    /// instant lies beyond the window — the serial loop would have left them
+    /// sitting in the endpoint's buffer.
+    fn restore_finished(&mut self, items: &mut Vec<(TaskId, TaskOutput)>) {
+        match self {
+            EndpointRegistration::Single(e) => e.restore_finished(items),
+            EndpointRegistration::Multi(m) => m.restore_finished(items),
+        }
+    }
+
+    /// Affinity key for domain partitioning: endpoints sharing a site (one
+    /// filesystem, one command registry, one scheduler) must co-locate. The
+    /// key value is the shared site's address — only *equality* of keys is
+    /// ever used, so the layout stays deterministic (groups are numbered by
+    /// first appearance in slot order, see [`DomainPlan::partition`]).
+    fn site_key(&self) -> u64 {
+        let site = match self {
+            EndpointRegistration::Single(e) => e.site(),
+            EndpointRegistration::Multi(m) => m.site(),
+        };
+        Arc::as_ptr(site) as usize as u64
+    }
 }
 
 enum InFlight {
@@ -182,7 +210,20 @@ pub struct CloudService {
     tasks_submitted: u64,
     tasks_completed: u64,
     events_dispatched: u64,
+    /// Worker-thread budget for conservative parallel windows; 1 = serial.
+    workers: usize,
+    /// Cached lookahead-domain partition (invalidated on registration and on
+    /// `endpoint_mut` escapes, rebuilt lazily by [`Self::ensure_domain_plan`]).
+    domain_plan: Option<DomainPlan>,
+    /// Folded lookahead across every endpoint, cached beside the plan.
+    domain_lookahead: Lookahead,
+    /// Barrier/stall/fallback counters for the parallel drive.
+    domain_stats: DomainStats,
 }
+
+/// Below this many pending wire events a window is advanced serially: the
+/// per-window thread spawn + merge overhead outweighs the win.
+const PARALLEL_MIN_WIRE: usize = 64;
 
 impl CloudService {
     pub fn new(auth: Arc<Mutex<AuthService>>) -> Self {
@@ -213,7 +254,115 @@ impl CloudService {
             tasks_submitted: 0,
             tasks_completed: 0,
             events_dispatched: 0,
+            workers: 1,
+            domain_plan: None,
+            domain_lookahead: Lookahead::zero(),
+            domain_stats: DomainStats::default(),
         }
+    }
+
+    /// Set the worker-thread budget for conservative parallel windows.
+    /// `1` (the default) keeps the fully serial loop. Any width produces a
+    /// committed trace byte-identical to the serial one; federations with
+    /// fault injectors or shared batch schedulers fall back to serial
+    /// automatically.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+        self.domain_plan = None;
+    }
+
+    /// The configured parallel worker budget.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Counters describing the parallel drive so far.
+    pub fn domain_stats(&self) -> &DomainStats {
+        &self.domain_stats
+    }
+
+    /// Number of lookahead domains the current federation partitions into
+    /// under the configured worker budget. A zero-lookahead federation (any
+    /// endpoint coupled through a shared batch scheduler) degrades to one
+    /// domain regardless of the budget.
+    pub fn domain_count(&mut self) -> usize {
+        self.ensure_domain_plan();
+        self.domain_plan.as_ref().map_or(1, |p| p.len().max(1))
+    }
+
+    /// Build (or reuse) the lookahead-domain partition: group endpoint slots
+    /// by shared site, fold the per-endpoint lookahead, and collapse to one
+    /// domain when any link has no delay floor.
+    fn ensure_domain_plan(&mut self) {
+        if self.domain_plan.is_some() {
+            return;
+        }
+        let mut lookahead: Option<Lookahead> = None;
+        for ep in &self.endpoints {
+            let la = if ep.shares_scheduler() {
+                Lookahead::zero()
+            } else {
+                Lookahead::wire(ep.wan_latency())
+            };
+            lookahead = Some(lookahead.map_or(la, |acc| acc.fold(la)));
+        }
+        let lookahead = lookahead.unwrap_or_else(Lookahead::zero);
+        let plan = if lookahead.zero_coupled {
+            DomainPlan::partition(&self.ordered_slots, 1, |_| 0)
+        } else {
+            let endpoints = &self.endpoints;
+            DomainPlan::partition(&self.ordered_slots, self.workers, |slot| {
+                endpoints[slot].site_key()
+            })
+        };
+        self.domain_lookahead = lookahead;
+        self.domain_plan = Some(plan);
+    }
+
+    /// Static eligibility for parallel windows: a worker budget, no fault
+    /// injector anywhere (consult boundaries move under partitioning), and
+    /// at least two domains under positive lookahead.
+    fn parallel_static_ok(&mut self) -> bool {
+        if self.workers <= 1 || self.fault_aware {
+            return false;
+        }
+        self.ensure_domain_plan();
+        !self.domain_lookahead.zero_coupled
+            && self.domain_plan.as_ref().is_some_and(|p| p.len() >= 2)
+    }
+
+    /// Dynamic eligibility for one window `[now, t]`: enough committed wire
+    /// events to amortize the per-window spawn + merge cost, and a horizon
+    /// that actually admits parallel progress.
+    fn parallel_window_ok(&self, t: SimTime) -> bool {
+        self.wire.len() >= PARALLEL_MIN_WIRE
+            && Window::new(self.now, t).admits_parallelism(self.domain_lookahead)
+    }
+
+    /// Run the event loop to quiescence — until neither the wire nor any
+    /// endpoint holds a pending event — using parallel windows whenever the
+    /// federation and remaining work admit them. Leaves `now` at the last
+    /// committed instant (like the serial step loop it replaces), and
+    /// produces a committed trace byte-identical to that loop's at any
+    /// worker width.
+    pub fn drain_to_quiescence(&mut self) -> SimTime {
+        loop {
+            if self.recheck_faults {
+                self.recheck_faults = false;
+                self.fault_aware =
+                    self.injector.is_some() || self.endpoints.iter().any(|ep| ep.has_injector());
+            }
+            if self.parallel_static_ok() && self.parallel_window_ok(SimTime::FAR_FUTURE) {
+                if let Some(last) = self.advance_window_parallel(SimTime::FAR_FUTURE) {
+                    self.now = last;
+                    continue;
+                }
+            }
+            if self.step_next(SimTime::FAR_FUTURE).is_none() {
+                break;
+            }
+        }
+        self.now
     }
 
     /// Attach a fault injector. The cloud consults it for WAN partitions on
@@ -256,6 +405,12 @@ impl CloudService {
         self.obs.set_counter("sim.cache_refresh_hot_hits", stats.hot_hits);
         self.obs.set_counter("sim.cache_probes", stats.probes);
         self.obs.set_counter("sim.cache_volatile_probes", stats.volatile_probes);
+        if self.workers > 1 {
+            self.obs.set_counter("sim.domain_barriers", self.domain_stats.barriers);
+            self.obs.set_counter("sim.domain_stalls", self.domain_stats.stalls);
+            self.obs
+                .set_counter("sim.domain_serial_fallbacks", self.domain_stats.serial_fallbacks);
+        }
     }
 
     /// Earliest instant a message can cross the WAN towards/from `endpoint`:
@@ -306,6 +461,8 @@ impl CloudService {
         } else {
             self.endpoints[slot] = registration;
         }
+        // A new/replaced endpoint changes the affinity layout.
+        self.domain_plan = None;
         eid
     }
 
@@ -320,6 +477,7 @@ impl CloudService {
         self.cache.mark_dirty(slot);
         self.touched.push(slot);
         self.recheck_faults = true;
+        self.domain_plan = None;
         Ok(&mut self.endpoints[slot])
     }
 
@@ -776,6 +934,17 @@ impl Advance for CloudService {
         if self.fault_aware {
             self.advance_all_to(t);
             return;
+        }
+        if self.parallel_static_ok() {
+            if self.parallel_window_ok(t) {
+                self.advance_window_parallel(t);
+                self.now = t;
+                return;
+            }
+            // A worker budget is configured but this window is too small (or
+            // zero-width): count the serial fallback so the stats tell the
+            // whole story.
+            self.domain_stats.serial_fallbacks += 1;
         }
         loop {
             self.refresh_cache();

@@ -1,0 +1,497 @@
+//! Conservative parallel advancement of one federation.
+//!
+//! The cloud's serial event loop interleaves three phases at every step
+//! instant: advance due endpoints (endpoint-name order), collect finished
+//! outputs onto the return wire, and handle due wire events (FIFO within a
+//! timestamp). This module splits the *endpoint advancement* across worker
+//! threads — one [`hpcci_sim::DomainPlan`] lookahead domain per thread —
+//! and then replays a deterministic merge of the domains' logs so the
+//! committed trace is **byte-identical** to what the serial loop writes.
+//!
+//! Why a whole window is one safe horizon (see [`hpcci_sim::horizon`]):
+//! within one `advance_to(t)` window no new task submissions happen (they
+//! occur between drives), so every cloud→endpoint `Deliver` that can land
+//! in the window is already committed to the wire when the window opens.
+//! The reverse direction — endpoint→cloud `Return`s — only mutates
+//! coordinator state (task records, the trace, the wire), never another
+//! domain. With every cross-domain interaction pre-committed or one-way,
+//! each domain can advance straight to `t` without hearing from the others:
+//! the window needs exactly one barrier, at its end.
+//!
+//! The merge reproduces the serial schedule from the domain logs:
+//!
+//! 1. Workers record, per instant, which endpoints they advanced and the
+//!    outputs each advancement surfaced (an [`StepKind::Advanced`] entry is
+//!    logged even when no outputs appeared — the *instant* matters, because
+//!    the serial loop collects previously-delivered endpoints' outputs at
+//!    the next global step whatever its cause). Outputs that appear
+//!    synchronously while applying a delivery ([`StepKind::DeliverInduced`])
+//!    are deferred to the next committed instant, exactly as the serial
+//!    loop's touched-list collection would observe them.
+//! 2. The coordinator walks the committed instants — the union of wire
+//!    event times and every domain's step instants — and at each instant
+//!    re-emits `task.returning` records in endpoint-name order (domain id
+//!    never breaks a tie; slot rank does, which is the serial order), then
+//!    handles wire events in structural FIFO order, consuming each domain's
+//!    enqueue results in the order the worker produced them.
+//!
+//! Anything the replay cannot reproduce exactly falls back to serial before
+//! the window starts: fault injectors (consult boundaries move under
+//! partitioning) and shared batch schedulers (zero lookahead: a scheduler
+//! job-end re-times its tenants at the very instant it happens, and the
+//! scheduler's queue-depth gauge is write-order-sensitive).
+
+use super::*;
+use hpcci_sim::{DomainPlan, SimDuration};
+
+/// One cloud→endpoint delivery routed to the owning domain for the window.
+pub(super) struct WindowDeliver {
+    pub at: SimTime,
+    pub slot: usize,
+    pub task: TaskId,
+    pub identity: Identity,
+    pub command: String,
+}
+
+/// The deliveries one domain must apply during the window, in wire order.
+#[derive(Default)]
+pub(super) struct DomainBatch {
+    pub delivers: Vec<WindowDeliver>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum StepKind {
+    /// The endpoint had a due internal event and was advanced; its finished
+    /// outputs (possibly none) are collected at this very instant.
+    Advanced,
+    /// Outputs that appeared synchronously while applying a delivery. The
+    /// serial loop only sees these at the *next* step instant (the deliver
+    /// phase runs after collection), so the merge defers them one instant.
+    DeliverInduced,
+}
+
+/// One instant of one endpoint's life inside a domain, plus the range of
+/// `DomainLog::outputs` it surfaced.
+pub(super) struct StepEntry {
+    pub at: SimTime,
+    pub slot: usize,
+    pub kind: StepKind,
+    pub out_start: usize,
+    pub out_len: usize,
+}
+
+/// Everything a domain worker did during the window, in causal order.
+#[derive(Default)]
+pub(super) struct DomainLog {
+    pub steps: Vec<StepEntry>,
+    /// Flattened outputs referenced by `StepEntry` ranges; `Option` so the
+    /// merge can move each one out exactly once.
+    pub outputs: Vec<Option<(TaskId, TaskOutput)>>,
+    /// Enqueue results in delivery order — the merge consumes these FIFO
+    /// while replaying the domain's `Deliver` wire events.
+    pub deliver_results: Vec<Result<(), FaasError>>,
+    /// Due-endpoint advancements performed (the serial loop's
+    /// `events_dispatched` contribution from this domain).
+    pub advancements: u64,
+}
+
+/// Split `endpoints` into per-domain disjoint `&mut` sets per the plan.
+fn disjoint_domains<'a>(
+    endpoints: &'a mut [EndpointRegistration],
+    plan: &DomainPlan,
+) -> Vec<Vec<(usize, &'a mut EndpointRegistration)>> {
+    let len = endpoints.len();
+    let base = endpoints.as_mut_ptr();
+    let mut taken = vec![false; len];
+    plan.iter()
+        .map(|slots| {
+            slots
+                .iter()
+                .map(|&s| {
+                    assert!(s < len, "domain plan slot out of range");
+                    assert!(!taken[s], "domain plan slots must be disjoint");
+                    taken[s] = true;
+                    // SAFETY: every index is handed out at most once (checked
+                    // just above), so the mutable borrows never alias, and
+                    // they all live no longer than the `endpoints` borrow.
+                    (s, unsafe { &mut *base.add(s) })
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Run every domain of the plan to `horizon` on its own thread and return
+/// the logs in domain order.
+pub(super) fn run_domains(
+    endpoints: &mut [EndpointRegistration],
+    plan: &DomainPlan,
+    batches: Vec<DomainBatch>,
+    horizon: SimTime,
+) -> Vec<DomainLog> {
+    debug_assert_eq!(plan.len(), batches.len());
+    let mut split = disjoint_domains(endpoints, plan);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = split
+            .drain(..)
+            .zip(batches)
+            .map(|(eps, batch)| scope.spawn(move |_| run_domain(eps, batch, horizon)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("domain worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("domain scope")
+}
+
+/// One domain's event loop: advance due endpoints (slot order — which is
+/// endpoint-name order, the serial order) and apply the domain's deliveries
+/// (wire order), logging each instant for the deterministic merge.
+fn run_domain(
+    mut endpoints: Vec<(usize, &mut EndpointRegistration)>,
+    batch: DomainBatch,
+    horizon: SimTime,
+) -> DomainLog {
+    let mut log = DomainLog::default();
+    let mut times: Vec<Option<SimTime>> =
+        endpoints.iter().map(|(_, ep)| ep.next_event()).collect();
+    let mut scratch: Vec<(TaskId, TaskOutput)> = Vec::new();
+    let mut delivers = batch.delivers.into_iter().peekable();
+    loop {
+        let mut tau: Option<SimTime> = delivers.peek().map(|d| d.at);
+        for t in times.iter().flatten() {
+            tau = Some(tau.map_or(*t, |x| x.min(*t)));
+        }
+        let Some(tau) = tau else { break };
+        if tau > horizon {
+            break;
+        }
+        // Advance endpoints with a due event, in slot order.
+        for (i, (slot, ep)) in endpoints.iter_mut().enumerate() {
+            if times[i].is_some_and(|next| next <= tau) {
+                ep.advance_to(tau);
+                log.advancements += 1;
+                scratch.clear();
+                ep.drain_finished_into(&mut scratch);
+                push_step(&mut log, tau, *slot, StepKind::Advanced, &mut scratch);
+                times[i] = ep.next_event();
+            }
+        }
+        // Apply this domain's due deliveries in wire (FIFO) order.
+        while delivers.peek().is_some_and(|d| d.at == tau) {
+            let d = delivers.next().expect("peeked");
+            let i = endpoints
+                .iter()
+                .position(|(s, _)| *s == d.slot)
+                .expect("delivery routed to its owning domain");
+            let (slot, ep) = &mut endpoints[i];
+            let result = match ep {
+                EndpointRegistration::Single(e) => e.enqueue(d.task, &d.command, tau),
+                EndpointRegistration::Multi(m) => m.enqueue(d.task, &d.identity, &d.command, tau),
+            };
+            log.deliver_results.push(result);
+            scratch.clear();
+            ep.drain_finished_into(&mut scratch);
+            if !scratch.is_empty() {
+                push_step(&mut log, tau, *slot, StepKind::DeliverInduced, &mut scratch);
+            }
+            times[i] = ep.next_event();
+        }
+    }
+    log
+}
+
+fn push_step(
+    log: &mut DomainLog,
+    at: SimTime,
+    slot: usize,
+    kind: StepKind,
+    outputs: &mut Vec<(TaskId, TaskOutput)>,
+) {
+    let out_start = log.outputs.len();
+    log.outputs.extend(outputs.drain(..).map(Some));
+    log.steps.push(StepEntry {
+        at,
+        slot,
+        kind,
+        out_start,
+        out_len: log.outputs.len() - out_start,
+    });
+}
+
+/// A wire event of the window being replayed at the barrier. `Deliver`
+/// payloads travelled to the domains; only the stub (task + slot) stays
+/// behind so the coordinator can re-emit the record and the transition in
+/// structural FIFO order.
+enum Replay {
+    Deliver { task: TaskId, slot: usize },
+    Return { task: TaskId, output: TaskOutput },
+}
+
+/// Finished outputs awaiting collection at the next committed instant.
+enum Deferred {
+    /// Drained from an endpoint's buffer before the window (outputs
+    /// stranded by a previous window's final delivery).
+    Pre {
+        slot: usize,
+        items: Vec<(TaskId, TaskOutput)>,
+    },
+    /// A range of one domain log's outputs.
+    Log {
+        slot: usize,
+        domain: usize,
+        start: usize,
+        len: usize,
+    },
+}
+
+impl Deferred {
+    fn slot(&self) -> usize {
+        match self {
+            Deferred::Pre { slot, .. } | Deferred::Log { slot, .. } => *slot,
+        }
+    }
+}
+
+impl CloudService {
+    /// Advance the whole federation to `t` using one worker thread per
+    /// lookahead domain, then merge the domain logs back into the committed
+    /// trace. Returns the last committed instant, or `None` when the window
+    /// held no events at all.
+    ///
+    /// Caller guarantees: no fault injector anywhere, no shared batch
+    /// scheduler (see [`CloudService::parallel_static_ok`]), and a plan with
+    /// at least two domains.
+    pub(super) fn advance_window_parallel(&mut self, t: SimTime) -> Option<SimTime> {
+        let plan = self
+            .domain_plan
+            .clone()
+            .expect("domain plan ensured before a parallel window");
+        // -- Stranded outputs from before the window: the serial loop would
+        //    collect these at its next step instant, whatever causes it.
+        let mut deferred: Vec<Deferred> = Vec::new();
+        if !self.touched.is_empty() {
+            {
+                let rank = &self.slot_rank;
+                self.touched.sort_unstable_by_key(|&s| rank[s]);
+            }
+            self.touched.dedup();
+            for i in 0..self.touched.len() {
+                let slot = self.touched[i];
+                let mut items = Vec::new();
+                self.endpoints[slot].drain_finished_into(&mut items);
+                if !items.is_empty() {
+                    deferred.push(Deferred::Pre { slot, items });
+                }
+            }
+            self.touched.clear();
+        }
+        // -- Extract the window's committed wire events: Deliver payloads go
+        //    to the owning domain, stubs and Returns into the replay queue
+        //    (same structural FIFO order the serial drain would see).
+        let mut incoming = std::mem::take(&mut self.wire_scratch);
+        incoming.clear();
+        self.wire.drain_due_into(t, &mut incoming);
+        let mut replay: EventQueue<Replay> = EventQueue::new();
+        let mut batches: Vec<DomainBatch> =
+            (0..plan.len()).map(|_| DomainBatch::default()).collect();
+        for (at, event) in incoming.drain(..) {
+            match event {
+                InFlight::Deliver { task, identity, command } => {
+                    let name = self.tasks[task.0 as usize - 1].endpoint.as_str();
+                    let slot = self
+                        .slots
+                        .get(name)
+                        .copied()
+                        .expect("submission validated the endpoint");
+                    replay.push(at, Replay::Deliver { task, slot });
+                    batches[plan.domain_of(slot)].delivers.push(WindowDeliver {
+                        at,
+                        slot,
+                        task,
+                        identity,
+                        command,
+                    });
+                }
+                InFlight::Return { task, output } => {
+                    replay.push(at, Replay::Return { task, output });
+                }
+            }
+        }
+        self.wire_scratch = incoming;
+        // Per-slot one-way return latency, probed before workers borrow the
+        // endpoints. No injector on this path: the wire is never partitioned.
+        let latency: Vec<SimDuration> =
+            self.endpoints.iter().map(|ep| ep.wan_latency()).collect();
+
+        // -- Parallel phase: one thread per domain, one barrier at the end.
+        let mut logs = run_domains(&mut self.endpoints, &plan, batches, t);
+
+        // -- Deterministic merge: walk the committed instants and re-emit
+        //    the serial schedule from the logs.
+        let mut cursors = vec![0usize; logs.len()];
+        let mut results_cursor = vec![0usize; logs.len()];
+        let mut collect_list: Vec<Deferred> = Vec::new();
+        let mut out_scratch: Vec<(TaskId, TaskOutput)> = Vec::new();
+        let mut last_instant = None;
+        loop {
+            let mut tau = replay.next_time();
+            for (d, log) in logs.iter().enumerate() {
+                if let Some(entry) = log.steps.get(cursors[d]) {
+                    tau = Some(tau.map_or(entry.at, |x| x.min(entry.at)));
+                }
+            }
+            let Some(tau) = tau else { break };
+            last_instant = Some(tau);
+            // Collection phase: deferred outputs first (they were already in
+            // the endpoints' buffers when this instant's advances appended to
+            // them), then this instant's advancement outputs — all ordered by
+            // slot rank, i.e. endpoint-name order, exactly the serial
+            // `collect_touched_returns` order.
+            collect_list.append(&mut deferred);
+            for (d, log) in logs.iter().enumerate() {
+                while let Some(e) = log.steps.get(cursors[d]) {
+                    if e.at != tau || e.kind != StepKind::Advanced {
+                        break;
+                    }
+                    collect_list.push(Deferred::Log {
+                        slot: e.slot,
+                        domain: d,
+                        start: e.out_start,
+                        len: e.out_len,
+                    });
+                    cursors[d] += 1;
+                }
+            }
+            {
+                let rank = &self.slot_rank;
+                collect_list.sort_by_key(|c| rank[c.slot()]);
+            }
+            for entry in collect_list.drain(..) {
+                let slot = entry.slot();
+                out_scratch.clear();
+                match entry {
+                    Deferred::Pre { items, .. } => out_scratch.extend(items),
+                    Deferred::Log {
+                        domain, start, len, ..
+                    } => {
+                        for o in &mut logs[domain].outputs[start..start + len] {
+                            out_scratch.push(o.take().expect("each output is consumed once"));
+                        }
+                    }
+                }
+                for (task, output) in out_scratch.drain(..) {
+                    self.trace.record(tau, "faas.cloud", "task.returning", {
+                        let mut d = String::with_capacity(35);
+                        task.write_label(&mut d);
+                        d.push_str(" from endpoint");
+                        d
+                    });
+                    let ret_at = tau + latency[slot];
+                    if ret_at <= t {
+                        replay.push(ret_at, Replay::Return { task, output });
+                    } else {
+                        self.wire.push(ret_at, InFlight::Return { task, output });
+                    }
+                }
+            }
+            // Wire phase: structural FIFO within the instant, consuming each
+            // domain's enqueue results in the order the worker produced them.
+            while let Some((at, event)) = replay.pop_due(tau) {
+                self.events_dispatched += 1;
+                match event {
+                    Replay::Return { task, output } => {
+                        self.handle_wire_event(at, InFlight::Return { task, output });
+                    }
+                    Replay::Deliver { task, slot } => {
+                        let domain = plan.domain_of(slot);
+                        let component = self.slot_syms[slot].clone();
+                        let mut detail = String::with_capacity(21);
+                        task.write_label(&mut detail);
+                        self.trace
+                            .record(at, component.clone(), "task.deliver", detail);
+                        let result = std::mem::replace(
+                            &mut logs[domain].deliver_results[results_cursor[domain]],
+                            Ok(()),
+                        );
+                        results_cursor[domain] += 1;
+                        let record = &mut self.tasks[task.0 as usize - 1];
+                        let transition = match result {
+                            Ok(()) => record.transition(TaskState::QueuedAtEndpoint { at }),
+                            Err(e) => {
+                                self.trace
+                                    .record(at, component, "task.reject", format!("{task}: {e}"));
+                                self.tasks[task.0 as usize - 1].transition(TaskState::Rejected {
+                                    at,
+                                    reason: e.to_string(),
+                                })
+                            }
+                        };
+                        if let Err(e) = transition {
+                            self.trace.record(
+                                at,
+                                "faas.cloud",
+                                "task.transition-blocked",
+                                e.to_string(),
+                            );
+                        }
+                    }
+                }
+            }
+            // Defer phase: outputs induced by this instant's deliveries are
+            // observed by the serial loop at the next step instant.
+            for (d, log) in logs.iter().enumerate() {
+                while let Some(e) = log.steps.get(cursors[d]) {
+                    if e.at != tau {
+                        break;
+                    }
+                    debug_assert_eq!(e.kind, StepKind::DeliverInduced);
+                    deferred.push(Deferred::Log {
+                        slot: e.slot,
+                        domain: d,
+                        start: e.out_start,
+                        len: e.out_len,
+                    });
+                    cursors[d] += 1;
+                }
+            }
+        }
+        // Outputs induced at the final instant never saw a later instant:
+        // the serial loop leaves them in the endpoints' buffers with the
+        // slots on the touched list. Restore exactly that state.
+        for entry in deferred.drain(..) {
+            let slot = entry.slot();
+            out_scratch.clear();
+            match entry {
+                Deferred::Pre { items, .. } => out_scratch.extend(items),
+                Deferred::Log {
+                    domain, start, len, ..
+                } => {
+                    for o in &mut logs[domain].outputs[start..start + len] {
+                        out_scratch.push(o.take().expect("each output is consumed once"));
+                    }
+                }
+            }
+            self.endpoints[slot].restore_finished(&mut out_scratch);
+            self.touched.push(slot);
+        }
+        // Bookkeeping: the serial loop's due-advancement event counts, the
+        // per-domain window stats, and a full cache invalidation (workers
+        // advanced endpoints behind the cache's back).
+        let mut per_domain: Vec<u64> = Vec::with_capacity(logs.len());
+        for (d, log) in logs.iter().enumerate() {
+            debug_assert_eq!(cursors[d], log.steps.len(), "merge consumed every step");
+            debug_assert_eq!(
+                results_cursor[d],
+                log.deliver_results.len(),
+                "merge consumed every enqueue result"
+            );
+            self.events_dispatched += log.advancements;
+            per_domain.push(log.advancements + log.deliver_results.len() as u64);
+        }
+        self.domain_stats.record_window(&per_domain);
+        self.cache.mark_all_dirty();
+        last_instant
+    }
+}

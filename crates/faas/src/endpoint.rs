@@ -317,6 +317,14 @@ impl Endpoint {
         out.append(&mut self.finished);
     }
 
+    /// Put back outputs a parallel window drained past their collection
+    /// instant. The buffer is empty when this is called (the window drained
+    /// everything), so appending restores the exact serial buffer state:
+    /// restored outputs first, later completions appended after them.
+    pub fn restore_finished(&mut self, items: &mut Vec<(TaskId, TaskOutput)>) {
+        self.finished.append(items);
+    }
+
     /// Gracefully stop: release the worker block; queued tasks are rejected
     /// by the cloud when it notices the endpoint stopped.
     pub fn stop(&mut self, now: SimTime) {

@@ -31,8 +31,14 @@ pub mod toml;
 
 pub use compile::{BuiltScenario, KAMPING_IMAGE};
 pub use gen::{GenConfig, ScenarioGen};
-pub use oracle::{first_divergence, instant_of, verify_spec, Divergence, OracleReport, Violation};
-pub use run::{run_spec, run_spec_with, CacheSetup, RunSummary, ScenarioOutcome, TaskIdentity};
+pub use oracle::{
+    first_divergence, instant_of, verify_spec, verify_spec_workers, Divergence, OracleReport,
+    Violation,
+};
+pub use run::{
+    run_spec, run_spec_with, run_spec_workers, CacheSetup, RunSummary, ScenarioOutcome,
+    TaskIdentity,
+};
 pub use spec::{
     CacheModeDecl, ChaosSpec, EndpointDecl, EndpointKindDecl, FaultDecl, FaultKindDecl,
     GenProvenance, ScenarioSpec, SiteSpec, SpecError, TemplateDecl, TrafficSpec, UserSpec,

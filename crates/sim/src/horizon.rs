@@ -1,0 +1,140 @@
+//! Lookahead derivation for conservative parallel simulation.
+//!
+//! Conservative synchronized parallel DES is only correct when every domain
+//! can prove that no event from outside will arrive earlier than the point
+//! it is about to advance to. The proof comes from *lookahead*: a lower
+//! bound on the delay any cross-domain interaction must incur. In the
+//! federation model the natural lookahead sources are
+//!
+//! * **cross-site network latency** — every cloud→endpoint delivery and
+//!   every endpoint→cloud return crosses the WAN, paying at least the
+//!   site's one-way latency;
+//! * **the scheduler wait floor** — work routed through a batch scheduler
+//!   waits at least the scheduler's minimum dispatch delay;
+//! * **pilot warm-up** — a pilot-job endpoint cannot run anything before
+//!   its first block turns active.
+//!
+//! The federation's topology makes the bound far stronger than generic
+//! conservative DES: within one coordinator window `[now, deadline]` every
+//! inbound (cloud→domain) event is *already committed* to the wire before
+//! the window opens — submissions happen outside the drive — and outbound
+//! (domain→cloud) returns mutate only coordinator state, never another
+//! domain. [`Window::horizon`] encodes exactly that argument: with positive
+//! lookahead on every inbound link the safe horizon is the whole window;
+//! with any zero-lookahead link (a shared batch scheduler couples its
+//! tenants at the same instant) the horizon collapses to `now` and the
+//! caller must fall back to a single domain.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Per-domain lookahead summary: the minimum delay any event crossing into
+/// the domain from outside must incur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookahead {
+    /// Minimum inbound link delay across every link into the domain.
+    pub min_inbound: SimDuration,
+    /// True when a link into the domain has no delay floor at all — e.g.
+    /// a batch scheduler shared with components outside the domain, whose
+    /// job-end events re-time the domain at the very instant they happen.
+    pub zero_coupled: bool,
+}
+
+impl Lookahead {
+    /// Lookahead of a domain whose only inbound links are pre-committed
+    /// wire messages with a one-way latency of at least `min_inbound`.
+    pub fn wire(min_inbound: SimDuration) -> Self {
+        Lookahead {
+            min_inbound,
+            zero_coupled: false,
+        }
+    }
+
+    /// Lookahead of a domain coupled to the outside at zero delay.
+    pub fn zero() -> Self {
+        Lookahead {
+            min_inbound: SimDuration::ZERO,
+            zero_coupled: true,
+        }
+    }
+
+    /// Fold two lookaheads: the combined domain is only as safe as its
+    /// weakest link.
+    pub fn fold(self, other: Lookahead) -> Lookahead {
+        Lookahead {
+            min_inbound: self.min_inbound.min(other.min_inbound),
+            zero_coupled: self.zero_coupled || other.zero_coupled,
+        }
+    }
+}
+
+/// One coordinator window over which domains may advance independently.
+#[derive(Debug, Clone, Copy)]
+pub struct Window {
+    pub now: SimTime,
+    pub deadline: SimTime,
+}
+
+impl Window {
+    pub fn new(now: SimTime, deadline: SimTime) -> Self {
+        Window { now, deadline }
+    }
+
+    /// The instant up to which every domain may advance without hearing
+    /// from any other domain.
+    ///
+    /// * All inbound events are committed before the window opens and every
+    ///   future inbound event pays `lookahead.min_inbound`, so a domain with
+    ///   positive lookahead is safe through the entire window.
+    /// * A zero-coupled domain has no such guarantee at any instant past
+    ///   `now`: the horizon degenerates and the caller must serialize.
+    pub fn horizon(&self, lookahead: Lookahead) -> SimTime {
+        if lookahead.zero_coupled {
+            self.now
+        } else {
+            self.deadline
+        }
+    }
+
+    /// Does the window admit any parallel progress at all under `lookahead`?
+    pub fn admits_parallelism(&self, lookahead: Lookahead) -> bool {
+        self.horizon(lookahead) > self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_lookahead_extends_horizon_to_the_window_end() {
+        let w = Window::new(SimTime::from_secs(10), SimTime::from_secs(500));
+        let la = Lookahead::wire(SimDuration::from_millis(12));
+        assert_eq!(w.horizon(la), SimTime::from_secs(500));
+        assert!(w.admits_parallelism(la));
+    }
+
+    #[test]
+    fn zero_lookahead_collapses_to_now() {
+        let w = Window::new(SimTime::from_secs(10), SimTime::from_secs(500));
+        let la = Lookahead::zero();
+        assert_eq!(w.horizon(la), SimTime::from_secs(10));
+        assert!(!w.admits_parallelism(la));
+    }
+
+    #[test]
+    fn fold_keeps_the_weakest_link() {
+        let a = Lookahead::wire(SimDuration::from_millis(40));
+        let b = Lookahead::wire(SimDuration::from_millis(3));
+        let folded = a.fold(b);
+        assert_eq!(folded.min_inbound, SimDuration::from_millis(3));
+        assert!(!folded.zero_coupled);
+        let z = folded.fold(Lookahead::zero());
+        assert!(z.zero_coupled);
+    }
+
+    #[test]
+    fn empty_window_admits_nothing() {
+        let w = Window::new(SimTime::from_secs(7), SimTime::from_secs(7));
+        assert!(!w.admits_parallelism(Lookahead::wire(SimDuration::from_secs(1))));
+    }
+}

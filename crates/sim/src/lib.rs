@@ -19,6 +19,10 @@
 //!   delivered through a [`FaultInjector`] handle that components consult at
 //!   their event boundaries. An empty plan is a guaranteed no-op.
 //! * [`metrics`] — summary statistics helpers for the benchmark harness.
+//! * [`domains`] / [`horizon`] — conservative parallel DES support: a
+//!   deterministic partition of component slots into lookahead domains, and
+//!   the lookahead/horizon derivation that proves how far each domain may
+//!   advance before the next barrier.
 //! * [`sweep`] — the parallel scenario-sweep runner: a fleet of
 //!   self-contained single-threaded jobs over a fixed worker pool, with
 //!   results in submission order (a parallel sweep is bit-identical to a
@@ -26,7 +30,9 @@
 
 pub mod component;
 pub mod dispatch;
+pub mod domains;
 pub mod faults;
+pub mod horizon;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
@@ -36,6 +42,8 @@ pub mod trace;
 
 pub use component::{drive, drive_until, Advance};
 pub use dispatch::{CacheStats, NextEventCache};
+pub use domains::{DomainPlan, DomainStats};
+pub use horizon::{Lookahead, Window};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultSpec};
 pub use queue::EventQueue;
 pub use rng::DetRng;

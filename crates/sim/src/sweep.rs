@@ -23,6 +23,31 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Minimum estimated simulation events per job for a parallel sweep to pay
+/// for itself. Below this, worker spawn + channel traffic costs more than
+/// the work it distributes (small scenarios showed
+/// `fig4_parallel_secs > fig4_serial_secs`), so [`sweep_estimated`] runs
+/// the reference serial path instead.
+pub const SWEEP_MIN_EVENTS_PER_JOB: u64 = 2_048;
+
+/// [`sweep`] with a min-work gate: callers pass an estimate of the
+/// simulation events one job will dispatch (any rough per-scenario figure —
+/// tasks x steps, or a measured count from a previous run), and jobs whose
+/// estimate falls below [`SWEEP_MIN_EVENTS_PER_JOB`] run inline regardless
+/// of `threads`. Results are identical either way; only wall-clock differs.
+pub fn sweep_estimated<F, R>(jobs: Vec<F>, threads: usize, est_events_per_job: u64) -> Vec<R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let effective = if est_events_per_job < SWEEP_MIN_EVENTS_PER_JOB {
+        1
+    } else {
+        threads
+    };
+    sweep(jobs, effective)
+}
+
 /// Run every job and return their results in submission order.
 ///
 /// With `threads <= 1` (or fewer than two jobs) the jobs run inline on the
@@ -121,5 +146,22 @@ mod tests {
     #[test]
     fn default_threads_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn tiny_jobs_sweep_serially_and_identically() {
+        let small = sweep_estimated(
+            (0..8u64).map(|s| move || busy(s)).collect::<Vec<_>>(),
+            8,
+            SWEEP_MIN_EVENTS_PER_JOB - 1,
+        );
+        let big = sweep_estimated(
+            (0..8u64).map(|s| move || busy(s)).collect::<Vec<_>>(),
+            8,
+            SWEEP_MIN_EVENTS_PER_JOB,
+        );
+        let reference = sweep((0..8u64).map(|s| move || busy(s)).collect::<Vec<_>>(), 1);
+        assert_eq!(small, reference);
+        assert_eq!(big, reference);
     }
 }
