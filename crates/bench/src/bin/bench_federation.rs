@@ -41,6 +41,21 @@
 //! federation advanced serially — with the committed trace byte-identical
 //! at every width (asserted unconditionally, gate or no gate).
 //!
+//! `--peak-throughput-gate <events/s>` exits non-zero when the GitHub-scale
+//! peak-day pass (a Zipf tenant population driving a diurnal arrival process
+//! through `submit_shell_batch`) sustains less than `<events/s>` dispatched
+//! events per wall-second.
+//!
+//! `--mem-gate <MiB>` exits non-zero when the peak-day pass's resident-set
+//! high-water exceeds `<MiB>` mebibytes — the guard that rolling traces,
+//! ID-dense tenant counters, and batched injection keep memory flat at a
+//! million tasks.
+//!
+//! `--sweep-min-events <n>` overrides the sweep min-work gate
+//! (`hpcci_sim::sweep::SWEEP_MIN_EVENTS_PER_JOB`) for the fig4 scaling pass;
+//! the bench logs whenever the gate forces a requested parallel sweep to run
+//! serially.
+//!
 //! `--profile` runs one instrumented event loop instead of the bench: each
 //! phase (build / submit / drive) is bracketed by an `hpcci-obs` span and a
 //! wall timer, and the per-phase sim/wall breakdown plus the rendered span
@@ -57,7 +72,7 @@ use hpcci::ci::{CacheMode, StepCache};
 use hpcci::correct::Federation;
 use hpcci::scenarios::{parse_durations, parsldock_scenario, parsldock_scenario_on, Scenario};
 use hpcci::scheduler::LocalProvider;
-use hpcci::sim::{drive, SimTime};
+use hpcci::sim::{drive, ArrivalProcess, SimTime, TenantMix, Workload};
 use hpcci_bench::sweep;
 use hpcci_obs::{Obs, ObsConfig};
 use parking_lot::Mutex;
@@ -265,13 +280,21 @@ fn combine(digests: &[u64]) -> u64 {
 
 /// Run the fig4 sweep over `threads` workers (1 = reference serial sweep).
 /// `est_events` is the per-scenario event estimate feeding the sweep's
-/// min-work gate: scenarios too small to amortize worker spawn run serially
-/// at every width. Returns (wall seconds, combined digest).
-fn fig4_sweep(reps: u64, threads: usize, est_events: u64) -> (f64, u64) {
+/// min-work gate (`min_events`, tunable via `--sweep-min-events`): scenarios
+/// too small to amortize worker spawn run serially at every width, and the
+/// degradation is logged rather than silent. Returns (wall seconds,
+/// combined digest).
+fn fig4_sweep(reps: u64, threads: usize, est_events: u64, min_events: u64) -> (f64, u64) {
     let start = Instant::now();
     let jobs: Vec<_> = (0..reps).map(|rep| move || fig4_rep(1000 + rep)).collect();
-    let digests = sweep::sweep_estimated(jobs, threads, est_events);
-    (start.elapsed().as_secs_f64(), combine(&digests))
+    let outcome = sweep::sweep_estimated_with(jobs, threads, est_events, min_events);
+    if outcome.gated_serial {
+        eprintln!(
+            "fig4 sweep: min-work gate forced SERIAL at {threads} requested worker(s) \
+             (est {est_events} events/job < gate {min_events})"
+        );
+    }
+    (start.elapsed().as_secs_f64(), combine(&outcome.results))
 }
 
 /// Probe one fig4 scenario for its dispatched-event count — the estimate
@@ -324,6 +347,105 @@ fn parallel_des_run(n_endpoints: usize, n_tasks: usize, workers: usize) -> DesSa
         domains: cloud.domain_count(),
         barriers: stats.barriers,
         stalls: stats.stalls,
+    }
+}
+
+/// Seed of the peak-day workload. Fixed so the pass is a pure function of
+/// its size parameters and the trajectory rows stay comparable across PRs.
+const PEAK_SEED: u64 = 0x6174_6c61_7370_6565;
+
+/// One GitHub-scale peak-day measurement.
+struct PeakSample {
+    tasks: u64,
+    repos: u32,
+    users: u32,
+    /// Events dispatched by the cloud's event loop over the whole day.
+    events: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    /// Resident-set high-water over the run, in bytes.
+    rss_high_bytes: u64,
+    /// Repos that received at least one push.
+    active_repos: u64,
+    /// Arrival count of the hottest repo (the Zipf head).
+    hot_repo_arrivals: u64,
+    /// Virtual time the modelled day spanned, in seconds.
+    sim_secs: u64,
+}
+
+/// Resident-set size from `/proc/self/statm` (field 1, resident pages).
+/// Pages are assumed 4 KiB — true on every target this bench runs on.
+/// Returns 0 where procfs is unavailable; the mem gate then degrades to a
+/// no-op rather than failing spuriously.
+fn rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| s.split_whitespace().nth(1)?.parse::<u64>().ok())
+        .map(|pages| pages * 4096)
+        .unwrap_or(0)
+}
+
+/// The peak-day pass: a Zipf-distributed tenant population (`users` users
+/// over `repos` repos) pushing through a diurnal arrival process, injected
+/// into the cloud in batched waves via `submit_shell_batch` and drained to
+/// quiescence wave by wave. The trace runs in rolling mode so its memory is
+/// O(cap) rather than O(tasks); tenant attribution uses the ID-dense
+/// sharded counters, so per-entity cost is exactly one `u64`.
+fn peak_day_run(n_endpoints: usize, n_tasks: u64, repos: u32, users: u32) -> PeakSample {
+    let (mut cloud, token, endpoint_ids) = build_bench_cloud(n_endpoints, Obs::disabled());
+    cloud.trace.set_rolling(65_536);
+    // Mean gap chosen so a million arrivals span one modelled day.
+    let workload = Workload::new(ArrivalProcess::Diurnal {
+        mean_gap_us: 86_400,
+        day_secs: 86_400,
+        peak_pct: 100,
+    })
+    .arrivals(n_tasks)
+    .tenants(TenantMix::new(users, repos).zipf_x100(110));
+    let mut arrivals = workload.arrival_gen(PEAK_SEED);
+    let mut tenants = workload.tenant_model();
+    let mut trng = workload.tenant_rng(PEAK_SEED);
+
+    const WAVE: usize = 32_768;
+    let mut submitted = 0u64;
+    let mut rss_high = rss_bytes();
+    let start = Instant::now();
+    while submitted < n_tasks {
+        let n = WAVE.min((n_tasks - submitted) as usize);
+        let now = cloud.now();
+        let times = arrivals.arrival_times(n, now);
+        // Attribute each arrival to a (user, repo) and shard repos over the
+        // endpoints; within a bucket the instants stay time-ordered because
+        // the arrival stream is monotone.
+        let mut buckets: Vec<Vec<SimTime>> = vec![Vec::new(); n_endpoints];
+        for &at in &times {
+            let (_user, repo) = tenants.sample(&mut trng);
+            buckets[repo as usize % n_endpoints].push(at);
+        }
+        for (i, bucket) in buckets.iter().enumerate() {
+            if !bucket.is_empty() {
+                cloud
+                    .submit_shell_batch(&token, &endpoint_ids[i], "work", now, bucket)
+                    .expect("batch submit");
+            }
+        }
+        cloud.drain_to_quiescence();
+        submitted += n as u64;
+        rss_high = rss_high.max(rss_bytes());
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let events = cloud.events_dispatched();
+    PeakSample {
+        tasks: submitted,
+        repos,
+        users,
+        events,
+        wall_secs,
+        events_per_sec: events as f64 / wall_secs,
+        rss_high_bytes: rss_high,
+        active_repos: tenants.repo_arrivals.active(),
+        hot_repo_arrivals: tenants.repo_arrivals.hottest().1,
+        sim_secs: cloud.now().as_micros() / 1_000_000,
     }
 }
 
@@ -380,6 +502,22 @@ fn main() {
         .position(|a| a == "--des-gate")
         .and_then(|i| args.get(i + 1))
         .map(|v| v.parse().expect("--des-gate takes a speedup factor"));
+    let peak_throughput_gate: Option<f64> = args
+        .iter()
+        .position(|a| a == "--peak-throughput-gate")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--peak-throughput-gate takes events/s"));
+    let mem_gate_mib: Option<u64> = args
+        .iter()
+        .position(|a| a == "--mem-gate")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--mem-gate takes mebibytes"));
+    let sweep_min_events: u64 = args
+        .iter()
+        .position(|a| a == "--sweep-min-events")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("--sweep-min-events takes an event count"))
+        .unwrap_or(sweep::SWEEP_MIN_EVENTS_PER_JOB);
 
     let (endpoints, tasks, samples, reps) = if smoke { (4, 64, 3, 8) } else { (16, 2048, 7, 24) };
 
@@ -456,7 +594,7 @@ fn main() {
     let cores = sweep::default_threads();
     const WIDTHS: [usize; 4] = [1, 2, 4, 8];
     let est_events = fig4_events_estimate();
-    let sweep_gated_serial = est_events < sweep::SWEEP_MIN_EVENTS_PER_JOB;
+    let sweep_gated_serial = est_events < sweep_min_events;
     hpcci_bench::section(&format!(
         "fig4 sweep ({reps} reps) — scaling across {WIDTHS:?} workers ({cores} core(s))"
     ));
@@ -472,7 +610,7 @@ fn main() {
     let mut scaling_secs = Vec::new();
     let mut serial_digest = 0u64;
     for (i, &w) in WIDTHS.iter().enumerate() {
-        let (secs, digest) = fig4_sweep(reps, w, est_events);
+        let (secs, digest) = fig4_sweep(reps, w, est_events, sweep_min_events);
         if i == 0 {
             serial_digest = digest;
         } else {
@@ -541,6 +679,42 @@ fn main() {
     println!("speedup at 4 workers      {:>12.2}x", des_speedup_4w);
     println!("trace digest              {des_digest:#018x} (byte-identical at every width)");
 
+    // GitHub-scale peak day: a Zipf tenant population driving a diurnal
+    // arrival process into the cloud through batched wave injection, with the
+    // trace rolling so memory stays flat. The smoke sizing (100k tasks over
+    // 1k repos) is CI's guard; the full sizing models a million pushes over
+    // ten thousand repos in one virtual day.
+    let (peak_tasks, peak_repos, peak_users) = if smoke {
+        (100_000u64, 1_000u32, 5_000u32)
+    } else {
+        (1_000_000u64, 10_000u32, 50_000u32)
+    };
+    hpcci_bench::section(&format!(
+        "peak day — {peak_tasks} tasks over {peak_repos} repos / {peak_users} users (diurnal, zipf 1.1)"
+    ));
+    let peak = peak_day_run(endpoints, peak_tasks, peak_repos, peak_users);
+    println!("tasks driven              {:>12}", peak.tasks);
+    println!("events dispatched         {:>12}", peak.events);
+    println!("wall                      {:>12.3} s", peak.wall_secs);
+    println!("event throughput          {:>12.0} events/s", peak.events_per_sec);
+    println!(
+        "rss high-water            {:>12.1} MiB",
+        peak.rss_high_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "active repos              {:>12} / {}",
+        peak.active_repos, peak.repos
+    );
+    println!(
+        "hottest repo arrivals     {:>12}  ({:.1}% of all pushes)",
+        peak.hot_repo_arrivals,
+        100.0 * peak.hot_repo_arrivals as f64 / peak.tasks as f64
+    );
+    println!(
+        "virtual day span          {:>12.1} h",
+        peak.sim_secs as f64 / 3600.0
+    );
+
     // Cold-vs-warm incremental CI: a Record pass populates a shared step
     // cache (executing everything), then a Replay pass over the same seeds
     // serves every step from the cache. Both must be bit-identical to the
@@ -588,6 +762,11 @@ fn main() {
          \"des_speedup_4w\": {des_speedup_4w:.2}, \"des_events\": {des_events}, \
          \"des_domains\": {des_domains}, \"des_barriers_4w\": {des_barriers}, \
          \"des_stalls_4w\": {des_stalls}, \
+         \"peak_tasks\": {peak_tasks}, \"peak_repos\": {peak_repos}, \
+         \"peak_users\": {peak_users}, \"peak_events\": {peak_events}, \
+         \"peak_events_per_sec\": {peak_eps:.0}, \"peak_rss_bytes\": {peak_rss}, \
+         \"peak_wall_secs\": {peak_wall:.4}, \"peak_active_repos\": {peak_active}, \
+         \"peak_hot_repo_arrivals\": {peak_hot}, \"peak_sim_secs\": {peak_sim}, \
          \"cache_cold_secs\": {cold_secs:.4}, \"cache_warm_secs\": {warm_secs:.4}, \
          \"cache_speedup\": {cache_speedup:.2}, \"cache_hits\": {hits}, \
          \"cache_misses\": {misses}, \"artifact_logical_bytes\": {logical}, \
@@ -603,6 +782,16 @@ fn main() {
         des_domains = des_4w.domains,
         des_barriers = des_4w.barriers,
         des_stalls = des_4w.stalls,
+        peak_tasks = peak.tasks,
+        peak_repos = peak.repos,
+        peak_users = peak.users,
+        peak_events = peak.events,
+        peak_eps = peak.events_per_sec,
+        peak_rss = peak.rss_high_bytes,
+        peak_wall = peak.wall_secs,
+        peak_active = peak.active_repos,
+        peak_hot = peak.hot_repo_arrivals,
+        peak_sim = peak.sim_secs,
         trace_events = last.trace_events,
         string_allocs = last.string_allocs,
         allocs_saved = last.allocs_saved,
@@ -669,6 +858,33 @@ fn main() {
             std::process::exit(1);
         }
         println!("throughput gate ok: peak {peak:.0} >= {gate:.0} events/s");
+    }
+
+    if let Some(gate) = peak_throughput_gate {
+        if peak.events_per_sec < gate {
+            eprintln!(
+                "peak throughput gate FAILED: peak-day pass sustained {:.0} events/s, \
+                 below the {gate:.0} events/s floor",
+                peak.events_per_sec
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "peak throughput gate ok: {:.0} >= {gate:.0} events/s",
+            peak.events_per_sec
+        );
+    }
+
+    if let Some(gate) = mem_gate_mib {
+        let high_mib = peak.rss_high_bytes / (1024 * 1024);
+        if high_mib > gate {
+            eprintln!(
+                "mem gate FAILED: peak-day resident high-water {high_mib} MiB exceeds \
+                 the {gate} MiB budget"
+            );
+            std::process::exit(1);
+        }
+        println!("mem gate ok: {high_mib} MiB <= {gate} MiB");
     }
 
     // A parallel speedup needs parallel hardware: below 4 cores both

@@ -19,7 +19,9 @@ use hpcci_faas::{
 use hpcci_obs::{MetricsSnapshot, Obs, ObsConfig, RunReport};
 use hpcci_provenance::EnvironmentCapture;
 use hpcci_scheduler::{LocalProvider, SlurmProvider};
-use hpcci_sim::{Advance, FaultInjector, FaultPlan, SimDuration, SimTime, Trace};
+use hpcci_sim::{
+    Advance, ArrivalGen, FaultInjector, FaultPlan, SimDuration, SimTime, Trace, Workload,
+};
 use hpcci_vcs::{HostingService, RepoEvent};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -194,6 +196,7 @@ pub struct FederationBuilder {
     obs: ObsConfig,
     step_cache: Option<(StepCache, CacheMode)>,
     workers: usize,
+    workload: Option<Workload>,
 }
 
 impl FederationBuilder {
@@ -239,13 +242,24 @@ impl FederationBuilder {
         self
     }
 
+    /// Attach a traffic [`Workload`]: a typed arrival process plus a tenant
+    /// mix, replacing per-driver gap/burstiness knobs. The federation only
+    /// *stores* the workload — drivers pull a seeded [`ArrivalGen`] via
+    /// [`Federation::arrival_gen`], so the arrival stream is pinned by the
+    /// world seed exactly like every other stochastic component.
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
     pub fn build(self) -> Federation {
-        let fed = Federation::build_parts(
+        let mut fed = Federation::build_parts(
             self.seed,
             self.plan.map(FaultInjector::new),
             Obs::new(self.obs),
             self.step_cache,
         );
+        fed.workload = self.workload;
         fed.cloud.lock().set_workers(self.workers);
         fed
     }
@@ -269,6 +283,8 @@ pub struct Federation {
     world_seed: u64,
     injector: Option<FaultInjector>,
     obs: Obs,
+    /// Traffic model attached at build time (see [`FederationBuilder::workload`]).
+    workload: Option<Workload>,
 }
 
 impl Federation {
@@ -280,6 +296,7 @@ impl Federation {
             obs: ObsConfig::disabled(),
             step_cache: None,
             workers: 1,
+            workload: None,
         }
     }
 
@@ -325,6 +342,7 @@ impl Federation {
             world_seed: seed,
             injector,
             obs,
+            workload: None,
         }
     }
 
@@ -334,6 +352,20 @@ impl Federation {
     /// digests so a digest can never be compared across worlds.
     pub fn world_seed(&self) -> u64 {
         self.world_seed
+    }
+
+    /// The traffic model attached at build time, if any.
+    pub fn workload(&self) -> Option<&Workload> {
+        self.workload.as_ref()
+    }
+
+    /// A seeded arrival generator for the attached workload: forked from the
+    /// world seed under the canonical traffic label, so the gap stream is
+    /// byte-identical to the legacy per-driver sampler with the same seed —
+    /// and identical across worker widths, which never touch RNG streams.
+    /// `None` when the federation was built without a workload.
+    pub fn arrival_gen(&self) -> Option<ArrivalGen> {
+        self.workload.as_ref().map(|w| w.arrival_gen(self.world_seed))
     }
 
     /// Total simulation events the cloud has dispatched so far — the

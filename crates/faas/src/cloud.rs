@@ -136,6 +136,15 @@ impl EndpointRegistration {
 }
 
 enum InFlight {
+    /// A scheduled future submission (see [`CloudService::submit_shell_at`]):
+    /// validated up front, accepted — task id, `task.submit` trace record,
+    /// delivery leg — when its arrival instant is reached, so ids stay dense
+    /// in arrival order no matter how far ahead callers schedule.
+    Submit {
+        identity: Identity,
+        endpoint: EndpointId,
+        command: String,
+    },
     Deliver {
         task: TaskId,
         identity: Identity,
@@ -210,6 +219,10 @@ pub struct CloudService {
     tasks_submitted: u64,
     tasks_completed: u64,
     events_dispatched: u64,
+    /// Scheduled-but-not-yet-accepted [`InFlight::Submit`] events. A pending
+    /// submission mutates global state (task table, id counter) when it
+    /// fires, so parallel windows are deferred until the backlog drains.
+    pending_submits: u64,
     /// Worker-thread budget for conservative parallel windows; 1 = serial.
     workers: usize,
     /// Cached lookahead-domain partition (invalidated on registration and on
@@ -251,6 +264,7 @@ impl CloudService {
             fault_aware: false,
             recheck_faults: false,
             obs: Obs::disabled(),
+            pending_submits: 0,
             tasks_submitted: 0,
             tasks_completed: 0,
             events_dispatched: 0,
@@ -335,7 +349,11 @@ impl CloudService {
     /// events to amortize the per-window spawn + merge cost, and a horizon
     /// that actually admits parallel progress.
     fn parallel_window_ok(&self, t: SimTime) -> bool {
-        self.wire.len() >= PARALLEL_MIN_WIRE
+        // Pending scheduled submissions allocate task ids and mutate the
+        // global task table when they fire; windows containing them advance
+        // serially so the committed order is the arrival order at any width.
+        self.pending_submits == 0
+            && self.wire.len() >= PARALLEL_MIN_WIRE
             && Window::new(self.now, t).admits_parallelism(self.domain_lookahead)
     }
 
@@ -521,6 +539,58 @@ impl CloudService {
         shell_cmd: &str,
         now: SimTime,
     ) -> Result<TaskId, FaasError> {
+        let identity = self.validate_shell(token, endpoint, shell_cmd, now)?;
+        Ok(self.accept(identity, endpoint, shell_cmd.to_string(), now))
+    }
+
+    /// Schedule a shell submission for a future arrival instant. Validation
+    /// (auth, endpoint, payload, ownership) happens now, at `now`; acceptance
+    /// — task id, `task.submit` record, delivery leg — happens when the event
+    /// loop reaches `submit_at`, so ids and the trace stay in arrival order.
+    /// The workhorse behind [`Self::submit_shell_batch`]; prefer the batch
+    /// form when injecting many arrivals for one identity.
+    pub fn submit_shell_at(
+        &mut self,
+        token: &hpcci_auth::AccessToken,
+        endpoint: &EndpointId,
+        shell_cmd: &str,
+        now: SimTime,
+        submit_at: SimTime,
+    ) -> Result<(), FaasError> {
+        let identity = self.validate_shell(token, endpoint, shell_cmd, now)?;
+        self.push_submit(identity, endpoint, shell_cmd.to_string(), now, submit_at);
+        Ok(())
+    }
+
+    /// Batched arrival injection: validate once, then schedule one submission
+    /// of `shell_cmd` per instant in `arrivals`. This is the workload
+    /// engine's path into the cloud — a wave of tens of thousands of arrivals
+    /// costs one auth check and one wheel push per arrival, not a full
+    /// validation stack each. Returns the number of submissions scheduled.
+    pub fn submit_shell_batch(
+        &mut self,
+        token: &hpcci_auth::AccessToken,
+        endpoint: &EndpointId,
+        shell_cmd: &str,
+        now: SimTime,
+        arrivals: &[SimTime],
+    ) -> Result<u64, FaasError> {
+        let identity = self.validate_shell(token, endpoint, shell_cmd, now)?;
+        for &at in arrivals {
+            self.push_submit(identity.clone(), endpoint, shell_cmd.to_string(), now, at);
+        }
+        Ok(arrivals.len() as u64)
+    }
+
+    /// The validation stack of [`Self::submit_shell`], factored out so the
+    /// scheduled-submission paths run exactly the same checks.
+    fn validate_shell(
+        &mut self,
+        token: &hpcci_auth::AccessToken,
+        endpoint: &EndpointId,
+        shell_cmd: &str,
+        now: SimTime,
+    ) -> Result<Identity, FaasError> {
         let identity = self.authenticate(token, now)?;
         let ep = self
             .slots
@@ -532,7 +602,31 @@ impl CloudService {
         }
         self.check_payload(shell_cmd.len())?;
         self.check_owner(ep, &identity)?;
-        Ok(self.accept(identity, endpoint, shell_cmd.to_string(), now))
+        Ok(identity)
+    }
+
+    fn push_submit(
+        &mut self,
+        identity: Identity,
+        endpoint: &EndpointId,
+        command: String,
+        now: SimTime,
+        submit_at: SimTime,
+    ) {
+        self.pending_submits += 1;
+        self.wire.push(
+            submit_at.max(now),
+            InFlight::Submit {
+                identity,
+                endpoint: endpoint.clone(),
+                command,
+            },
+        );
+    }
+
+    /// Scheduled submissions not yet accepted by the event loop.
+    pub fn pending_submits(&self) -> u64 {
+        self.pending_submits
     }
 
     /// Submit a pre-registered function (the action's `function_uuid` input).
@@ -748,6 +842,14 @@ impl CloudService {
     /// Handle one due wire event (shared by both advance paths).
     fn handle_wire_event(&mut self, at: SimTime, event: InFlight) {
         match event {
+            InFlight::Submit { identity, endpoint, command } => {
+                // Acceptance pushes the delivery leg at `at + wan_latency`;
+                // with a zero-latency endpoint that lands at this same
+                // instant and the drive loop picks it up on its next pass
+                // through the same step, before any later-time event.
+                self.pending_submits -= 1;
+                self.accept(identity, &endpoint, command, at);
+            }
             InFlight::Deliver { task, identity, command } => {
                 // Resolve the slot by borrowed name — no `EndpointId` clone
                 // on the per-task hot path; only the unknown-endpoint error
@@ -1062,6 +1164,58 @@ mod tests {
         // Trace captured the full lifecycle.
         assert_eq!(s.cloud.trace.of_kind("task.submit").count(), 1);
         assert_eq!(s.cloud.trace.of_kind("task.done").count(), 1);
+    }
+
+    #[test]
+    fn scheduled_batch_matches_interactive_submission() {
+        use hpcci_sim::Advance as _;
+        let arrivals: Vec<SimTime> =
+            [3u64, 3, 7, 20, 41].iter().map(|&s| SimTime::from_secs(s)).collect();
+        // Interactive reference: advance to each instant and submit there.
+        let mut a = setup(None);
+        for &at in &arrivals {
+            a.cloud.advance_to(at);
+            a.cloud.submit_shell(&a.token, &a.endpoint, "tox", at).unwrap();
+        }
+        a.cloud.drain_to_quiescence();
+        // Scheduled: validate once, push every arrival up front.
+        let mut b = setup(None);
+        let n = b
+            .cloud
+            .submit_shell_batch(&b.token, &b.endpoint, "tox", SimTime::ZERO, &arrivals)
+            .unwrap();
+        assert_eq!(n, arrivals.len() as u64);
+        assert_eq!(b.cloud.pending_submits(), n);
+        assert_eq!(b.cloud.task_count(), 0, "acceptance is deferred to arrival");
+        b.cloud.drain_to_quiescence();
+        assert_eq!(b.cloud.pending_submits(), 0);
+        assert_eq!(b.cloud.task_count(), arrivals.len());
+        for id in 1..=arrivals.len() as u64 {
+            assert!(b.cloud.task_finished(TaskId(id)).unwrap());
+        }
+        assert_eq!(
+            a.cloud.trace.rolling_digest(),
+            b.cloud.trace.rolling_digest(),
+            "scheduled arrivals replay the interactive trace byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn scheduled_submission_validates_up_front() {
+        let mut s = setup(Some(vec![FunctionId(1)]));
+        // Shell is disallowed on this endpoint: the error surfaces at
+        // scheduling time, not when the arrival instant is reached.
+        assert!(matches!(
+            s.cloud.submit_shell_at(
+                &s.token,
+                &s.endpoint,
+                "tox",
+                SimTime::ZERO,
+                SimTime::from_secs(5)
+            ),
+            Err(FaasError::ShellNotAllowed)
+        ));
+        assert_eq!(s.cloud.pending_submits(), 0);
     }
 
     #[test]

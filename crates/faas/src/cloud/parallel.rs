@@ -298,6 +298,11 @@ impl CloudService {
             (0..plan.len()).map(|_| DomainBatch::default()).collect();
         for (at, event) in incoming.drain(..) {
             match event {
+                InFlight::Submit { .. } => {
+                    // `parallel_window_ok` requires `pending_submits == 0`,
+                    // so no scheduled submission can be on the wire here.
+                    unreachable!("scheduled submissions drain before parallel windows open")
+                }
                 InFlight::Deliver { task, identity, command } => {
                     let name = self.tasks[task.0 as usize - 1].endpoint.as_str();
                     let slot = self

@@ -1,0 +1,201 @@
+//! Deterministic fixed-capacity reservoir samples.
+//!
+//! The log-bucketed [`crate::histogram::Histogram`] already holds O(1) state
+//! per series, but its quantiles are bucket estimates. A [`Reservoir`] keeps
+//! a bounded uniform sample of the raw values instead (Vitter's Algorithm R
+//! over a self-contained SplitMix64 stream), so million-task runs get
+//! *exact-sample* quantiles for a fixed memory budget:
+//!
+//! * while `seen <= capacity` the reservoir holds **every** observation, so
+//!   its quantiles are exact order statistics — on small runs a streaming
+//!   snapshot is identical to one computed from the full value list (the
+//!   property the workload-engine proptests pin);
+//! * past capacity each new value replaces a deterministically-chosen slot
+//!   with probability `capacity / seen`, keeping a uniform sample;
+//! * the replacement stream is seeded from a fixed constant, never from wall
+//!   clock or OS entropy, so two runs feeding identical sequences hold
+//!   byte-identical reservoirs.
+
+/// Default number of retained samples per series (8 KiB of `u64`s).
+pub const RESERVOIR_CAPACITY: usize = 1024;
+
+/// Fixed seed of the replacement stream. Any constant works; what matters is
+/// that it is compiled in, so reservoirs are pure functions of their inputs.
+const RESERVOIR_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A bounded, deterministic uniform sample of a `u64` series, with exact
+/// count/sum/min/max over everything ever observed.
+#[derive(Clone, Debug)]
+pub struct Reservoir {
+    samples: Vec<u64>,
+    capacity: usize,
+    seen: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// SplitMix64 state of the replacement stream.
+    state: u64,
+}
+
+impl Default for Reservoir {
+    fn default() -> Self {
+        Reservoir::with_capacity(RESERVOIR_CAPACITY)
+    }
+}
+
+impl Reservoir {
+    pub fn new() -> Self {
+        Reservoir::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Self {
+        Reservoir {
+            samples: Vec::new(),
+            capacity: capacity.max(1),
+            seen: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            state: RESERVOIR_SEED,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64: one add, two xorshift-multiplies.
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.seen += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if self.samples.len() < self.capacity {
+            self.samples.push(value);
+            return;
+        }
+        // Algorithm R: keep the new value with probability capacity / seen.
+        let j = self.next_u64() % self.seen;
+        if (j as usize) < self.capacity {
+            self.samples[j as usize] = value;
+        }
+    }
+
+    /// Observations ever recorded.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Samples currently retained (`min(seen, capacity)`).
+    pub fn kept(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Does the reservoir still hold every observation (so quantiles are
+    /// exact order statistics rather than sampled estimates)?
+    pub fn exact(&self) -> bool {
+        self.seen as usize <= self.capacity
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation ever seen (0 when empty) — exact, not sampled.
+    pub fn min(&self) -> u64 {
+        if self.seen == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation ever seen — exact, not sampled.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The retained samples, unsorted, in slot order.
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Quantile over the retained sample: the value of rank
+    /// `ceil(kept * q / 100)` (1-based) in sorted order, `q` in `0..=100`.
+    /// Exact while [`Reservoir::exact`]; a uniform-sample estimate after.
+    pub fn quantile(&self, q: u64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len() as u64;
+        let rank = (n * q).div_ceil(100).clamp(1, n);
+        sorted[(rank - 1) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_runs_are_exact() {
+        let mut r = Reservoir::with_capacity(16);
+        let values = [40u64, 3, 99, 12, 7, 56];
+        for v in values {
+            r.observe(v);
+        }
+        assert!(r.exact());
+        assert_eq!(r.seen(), 6);
+        assert_eq!(r.kept(), 6);
+        assert_eq!(r.sum(), values.iter().sum::<u64>());
+        assert_eq!((r.min(), r.max()), (3, 99));
+        // Exact order statistics: sorted = [3, 7, 12, 40, 56, 99].
+        assert_eq!(r.quantile(0), 3);
+        assert_eq!(r.quantile(50), 12);
+        assert_eq!(r.quantile(100), 99);
+    }
+
+    #[test]
+    fn overflow_keeps_a_bounded_deterministic_sample() {
+        let run = || {
+            let mut r = Reservoir::with_capacity(64);
+            for i in 0..10_000u64 {
+                r.observe(i % 997);
+            }
+            r
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.exact());
+        assert_eq!(a.kept(), 64);
+        assert_eq!(a.seen(), 10_000);
+        assert_eq!(a.samples(), b.samples(), "replacement stream is deterministic");
+        assert_eq!(a.quantile(50), b.quantile(50));
+        // Exact aggregates survive the sampling.
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 996);
+        // The uniform sample lands its median in the right neighborhood.
+        let p50 = a.quantile(50);
+        assert!((200..800).contains(&p50), "implausible sampled median {p50}");
+    }
+
+    #[test]
+    fn empty_reservoir_is_all_zeros() {
+        let r = Reservoir::new();
+        assert_eq!((r.seen(), r.kept()), (0, 0));
+        assert_eq!((r.min(), r.max(), r.sum()), (0, 0, 0));
+        assert_eq!(r.quantile(50), 0);
+        assert!(r.exact());
+    }
+}

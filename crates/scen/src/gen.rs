@@ -11,7 +11,7 @@
 
 use crate::spec::{
     CacheModeDecl, ChaosSpec, EndpointDecl, EndpointKindDecl, GenProvenance, ScenarioSpec,
-    SiteSpec, TemplateDecl, TrafficSpec, UserSpec, WorkloadKind, WorkloadSpec,
+    SiteSpec, TemplateDecl, TrafficProcess, TrafficSpec, UserSpec, WorkloadKind, WorkloadSpec,
 };
 use hpcci_sim::DetRng;
 
@@ -57,6 +57,15 @@ pub struct GenConfig {
     pub chaos_count_max: u32,
     /// Max generated source files in the synthetic repo (min is 1).
     pub repo_files_max: u32,
+    /// Percent chance a scenario's traffic follows a Poisson process instead
+    /// of the bursty default. All three process knobs default to 0, consume
+    /// no RNG, and stamp no provenance at 0 — so pre-existing fleets and the
+    /// pinned fixtures are byte-identical to before the knobs existed.
+    pub poisson_pct: u32,
+    /// Percent chance of a diurnal (24-hour-curve) arrival process.
+    pub diurnal_pct: u32,
+    /// Percent chance of a replayed-trace arrival process.
+    pub trace_pct: u32,
 }
 
 impl Default for GenConfig {
@@ -80,6 +89,9 @@ impl Default for GenConfig {
             fault_pct: 30,
             chaos_count_max: 3,
             repo_files_max: 6,
+            poisson_pct: 0,
+            diurnal_pct: 0,
+            trace_pct: 0,
         }
     }
 }
@@ -87,7 +99,7 @@ impl Default for GenConfig {
 impl GenConfig {
     /// `name=value` provenance lines, in fixed knob order.
     pub fn knobs(&self) -> Vec<String> {
-        vec![
+        let mut knobs = vec![
             format!("sites_min={}", self.sites_min),
             format!("sites_max={}", self.sites_max),
             format!("endpoints_per_site_max={}", self.endpoints_per_site_max),
@@ -106,7 +118,19 @@ impl GenConfig {
             format!("fault_pct={}", self.fault_pct),
             format!("chaos_count_max={}", self.chaos_count_max),
             format!("repo_files_max={}", self.repo_files_max),
-        ]
+        ];
+        // Zero-default knobs are stamped only when set, so documents from
+        // configs predating them render byte-identically.
+        if self.poisson_pct > 0 {
+            knobs.push(format!("poisson_pct={}", self.poisson_pct));
+        }
+        if self.diurnal_pct > 0 {
+            knobs.push(format!("diurnal_pct={}", self.diurnal_pct));
+        }
+        if self.trace_pct > 0 {
+            knobs.push(format!("trace_pct={}", self.trace_pct));
+        }
+        knobs
     }
 }
 
@@ -216,11 +240,32 @@ impl ScenarioGen {
             missing_dependency: false,
         };
 
-        let traffic = TrafficSpec {
+        let mut traffic = TrafficSpec {
             pushes: rng.range_u64(1, c.pushes_max as u64 + 1) as u32,
             gap_secs: rng.range_u64(c.gap_secs_min, c.gap_secs_max + 1),
             burstiness_pct: rng.range_u64(0, c.burstiness_max_pct as u64 + 1) as u32,
+            process: TrafficProcess::Bursty,
         };
+        // Process sampling consumes RNG only when a process knob is set, so
+        // default-config generation draws the exact historical stream.
+        if c.poisson_pct + c.diurnal_pct + c.trace_pct > 0 {
+            let roll = rng.range_u64(0, 100) as u32;
+            traffic.process = if roll < c.poisson_pct {
+                TrafficProcess::Poisson
+            } else if roll < c.poisson_pct + c.diurnal_pct {
+                TrafficProcess::Diurnal {
+                    peak_pct: rng.range_u64(10, 91) as u32,
+                }
+            } else if roll < c.poisson_pct + c.diurnal_pct + c.trace_pct {
+                let len = rng.range_u64(2, 7) as usize;
+                let ceiling = c.gap_secs_max.saturating_mul(1_000_000).max(2);
+                TrafficProcess::Trace {
+                    gaps_us: (0..len).map(|_| rng.range_u64(1_000_000, ceiling)).collect(),
+                }
+            } else {
+                TrafficProcess::Bursty
+            };
+        }
 
         let cache = if rng.chance(c.cache_record_pct as f64 / 100.0) {
             CacheModeDecl::Record
@@ -306,6 +351,38 @@ mod tests {
                 base.generate(i).digest(),
                 tweaked.generate(i).digest(),
                 "provenance must track knob values (index {i})"
+            );
+        }
+    }
+
+    #[test]
+    fn process_knobs_are_inert_at_zero_and_sampled_when_set() {
+        // Default config: no process key is ever sampled or rendered — the
+        // stream (and every fixture pinned against it) is the pre-knob one.
+        let plain = ScenarioGen::new(11);
+        for spec in plain.fleet(8) {
+            assert_eq!(spec.traffic.process, TrafficProcess::Bursty);
+            assert!(!spec.to_toml().contains("process ="));
+        }
+        // All three knobs on: the fleet exercises every process, every spec
+        // still validates and round-trips (including the trace_us array).
+        let cfg = GenConfig {
+            poisson_pct: 30,
+            diurnal_pct: 30,
+            trace_pct: 30,
+            ..Default::default()
+        };
+        let mixed = ScenarioGen::with_config(11, cfg);
+        let fleet = mixed.fleet(48);
+        for spec in &fleet {
+            spec.validate().expect("generated spec validates");
+            let parsed = crate::spec::ScenarioSpec::from_toml(&spec.to_toml()).expect("parses");
+            assert_eq!(&parsed, spec);
+        }
+        for kind in ["poisson", "diurnal", "trace"] {
+            assert!(
+                fleet.iter().any(|s| s.traffic.process.kind() == kind),
+                "no {kind} scenario in 48 draws"
             );
         }
     }

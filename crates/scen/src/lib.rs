@@ -41,6 +41,6 @@ pub use run::{
 };
 pub use spec::{
     CacheModeDecl, ChaosSpec, EndpointDecl, EndpointKindDecl, FaultDecl, FaultKindDecl,
-    GenProvenance, ScenarioSpec, SiteSpec, SpecError, TemplateDecl, TrafficSpec, UserSpec,
-    WorkloadKind, WorkloadSpec, SCHEMA_VERSION,
+    GenProvenance, ScenarioSpec, SiteSpec, SpecError, TemplateDecl, TrafficProcess, TrafficSpec,
+    UserSpec, WorkloadKind, WorkloadSpec, SCHEMA_VERSION,
 };

@@ -12,7 +12,7 @@ use correct_core::Federation;
 use hpcci_cas::{Digest, DigestBuilder};
 use hpcci_ci::{CacheMode, CacheStats, RunStatus, StepCache};
 use hpcci_faas::{TaskId, TaskState};
-use hpcci_sim::{DetRng, SimDuration};
+use hpcci_sim::{ArrivalGen, DetRng, SimDuration};
 use std::fmt::Write as _;
 
 /// How [`run_spec_with`] configures the step cache.
@@ -104,7 +104,9 @@ pub fn run_spec_workers(
     cache: CacheSetup,
     workers: usize,
 ) -> Result<ScenarioOutcome, SpecError> {
-    let mut builder = Federation::builder(spec.seed).workers(workers);
+    let mut builder = Federation::builder(spec.seed)
+        .workers(workers)
+        .workload(spec.traffic.workload());
     let plan = spec.fault_plan();
     if !plan.is_empty() {
         builder = builder.faults(plan);
@@ -129,28 +131,34 @@ pub fn run_spec_workers(
 }
 
 /// Advance virtual time and fire trigger rounds per the traffic spec.
+///
+/// Gaps come from the federation's [`ArrivalGen`] — the workload attached by
+/// [`run_spec_workers`] — which forks the world seed under the same label
+/// the historical inline sampler used, so pre-workload digests are
+/// unchanged.
 fn drive_traffic(s: &mut BuiltScenario, spec: &ScenarioSpec) {
-    let mut rng = DetRng::seed_from_u64(spec.seed).fork("scen-traffic");
+    let mut arrivals = s
+        .fed
+        .arrival_gen()
+        .expect("run_spec_workers always attaches the spec's workload");
     let reviewer = spec.user.login.clone();
     for round in 0..spec.traffic.pushes {
         if round > 0 {
-            let gap = next_gap_us(&mut rng, &spec.traffic);
+            let gap = arrivals.next_gap_us();
             s.fed.world().sleep(SimDuration::from_micros(gap));
         }
         let _ = s.trigger_round(&reviewer);
     }
 }
 
-/// The virtual gap before the next round: an eighth of the nominal gap in a
-/// burst, the nominal gap plus up to 25% jitter otherwise. All integer
-/// arithmetic over a seed-forked stream, so traffic is byte-reproducible.
-fn next_gap_us(rng: &mut DetRng, traffic: &TrafficSpec) -> u64 {
-    let base = traffic.gap_secs.saturating_mul(1_000_000).max(8);
-    if rng.chance(traffic.burstiness_pct as f64 / 100.0) {
-        base / 8
-    } else {
-        base + rng.range_u64(0, base / 4 + 1)
-    }
+/// The legacy free-floating gap sampler.
+#[deprecated(
+    since = "0.8.0",
+    note = "use `TrafficSpec::workload()` + `Federation::arrival_gen()` (or \
+            `ArrivalGen::bursty_gap_us`) instead"
+)]
+pub fn next_gap_us(rng: &mut DetRng, traffic: &TrafficSpec) -> u64 {
+    ArrivalGen::bursty_gap_us(rng, traffic.gap_secs, traffic.burstiness_pct)
 }
 
 fn status_str(status: RunStatus) -> &'static str {

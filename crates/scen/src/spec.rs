@@ -138,6 +138,37 @@ impl Default for WorkloadSpec {
     }
 }
 
+/// Which arrival process shapes the gaps between trigger rounds. `Bursty`
+/// is the historical sampler (and the implied process of every spec written
+/// before this key existed); the others lower onto the corresponding
+/// [`hpcci_sim::ArrivalProcess`] variants with `gap_secs` as the mean gap.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub enum TrafficProcess {
+    /// Jittered fixed gap with a burst chance — the legacy sampler,
+    /// bit-compatible with specs that never mention `process`.
+    #[default]
+    Bursty,
+    /// Memoryless exponential gaps with mean `gap_secs`.
+    Poisson,
+    /// Poisson modulated by a 24-hour rate curve; `peak_pct` scales how far
+    /// the curve swings from the flat mean (0 = flat, 100 = full GitHub-day
+    /// amplitude).
+    Diurnal { peak_pct: u32 },
+    /// Replay recorded inter-arrival gaps (µs), cycling when exhausted.
+    Trace { gaps_us: Vec<u64> },
+}
+
+impl TrafficProcess {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TrafficProcess::Bursty => "bursty",
+            TrafficProcess::Poisson => "poisson",
+            TrafficProcess::Diurnal { .. } => "diurnal",
+            TrafficProcess::Trace { .. } => "trace",
+        }
+    }
+}
+
 /// How pushes arrive over virtual time.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TrafficSpec {
@@ -146,8 +177,11 @@ pub struct TrafficSpec {
     /// Nominal virtual gap between rounds, in seconds.
     pub gap_secs: u64,
     /// Percent chance a round arrives in a burst (an eighth of the nominal
-    /// gap) instead of after the full jittered gap.
+    /// gap) instead of after the full jittered gap. Only the bursty process
+    /// reads this.
     pub burstiness_pct: u32,
+    /// The arrival process (see [`TrafficProcess`]); absent key = `Bursty`.
+    pub process: TrafficProcess,
 }
 
 impl Default for TrafficSpec {
@@ -156,7 +190,38 @@ impl Default for TrafficSpec {
             pushes: 1,
             gap_secs: 300,
             burstiness_pct: 0,
+            process: TrafficProcess::Bursty,
         }
+    }
+}
+
+impl TrafficSpec {
+    /// Lower onto the typed engine process. The bursty arm reproduces the
+    /// legacy gap arithmetic bit-for-bit; the others use `gap_secs` as the
+    /// mean with the same `max(8)` µs floor the legacy sampler applied.
+    pub fn arrival_process(&self) -> hpcci_sim::ArrivalProcess {
+        let mean_gap_us = self.gap_secs.saturating_mul(1_000_000).max(8);
+        match &self.process {
+            TrafficProcess::Bursty => hpcci_sim::ArrivalProcess::Bursty {
+                gap_secs: self.gap_secs,
+                burstiness_pct: self.burstiness_pct,
+            },
+            TrafficProcess::Poisson => hpcci_sim::ArrivalProcess::Poisson { mean_gap_us },
+            TrafficProcess::Diurnal { peak_pct } => hpcci_sim::ArrivalProcess::Diurnal {
+                mean_gap_us,
+                day_secs: 86_400,
+                peak_pct: *peak_pct,
+            },
+            TrafficProcess::Trace { gaps_us } => hpcci_sim::ArrivalProcess::Trace {
+                gaps_us: gaps_us.clone(),
+            },
+        }
+    }
+
+    /// The full workload this traffic block declares (process + round count),
+    /// ready for `FederationBuilder::workload`.
+    pub fn workload(&self) -> hpcci_sim::Workload {
+        hpcci_sim::Workload::new(self.arrival_process()).arrivals(self.pushes as u64)
     }
 }
 
@@ -465,6 +530,17 @@ impl ScenarioSpec {
         if self.traffic.pushes == 0 {
             return Err(SpecError("traffic declares zero pushes".into()));
         }
+        match &self.traffic.process {
+            TrafficProcess::Diurnal { peak_pct } if *peak_pct > 100 => {
+                return Err(SpecError(format!(
+                    "diurnal traffic peak_pct {peak_pct} exceeds 100"
+                )));
+            }
+            TrafficProcess::Trace { gaps_us } if gaps_us.is_empty() => {
+                return Err(SpecError("trace traffic declares no gaps".into()));
+            }
+            _ => {}
+        }
         Ok(())
     }
 
@@ -553,6 +629,23 @@ impl ScenarioSpec {
         let _ = writeln!(w, "pushes = {}", self.traffic.pushes);
         let _ = writeln!(w, "gap_secs = {}", self.traffic.gap_secs);
         let _ = writeln!(w, "burstiness_pct = {}", self.traffic.burstiness_pct);
+        // The bursty default renders exactly the three historical lines so
+        // pre-process specs (and the pinned fixtures) stay byte-identical.
+        match &self.traffic.process {
+            TrafficProcess::Bursty => {}
+            TrafficProcess::Poisson => {
+                let _ = writeln!(w, "process = \"poisson\"");
+            }
+            TrafficProcess::Diurnal { peak_pct } => {
+                let _ = writeln!(w, "process = \"diurnal\"");
+                let _ = writeln!(w, "peak_pct = {peak_pct}");
+            }
+            TrafficProcess::Trace { gaps_us } => {
+                let _ = writeln!(w, "process = \"trace\"");
+                let gaps: Vec<String> = gaps_us.iter().map(|g| g.to_string()).collect();
+                let _ = writeln!(w, "trace_us = [{}]", gaps.join(", "));
+            }
+        }
 
         let _ = writeln!(w, "\n[cache]");
         let _ = writeln!(w, "mode = {}", quote(self.cache.as_str()));
@@ -709,13 +802,32 @@ impl ScenarioSpec {
         };
 
         let traffic = match root.opt_table("traffic") {
-            Some(t) => TrafficSpec {
-                pushes: t.u32_of("pushes").map_err(|m| err("[traffic]", m))?,
-                gap_secs: t.u64_of("gap_secs").map_err(|m| err("[traffic]", m))?,
-                burstiness_pct: t
-                    .u32_of("burstiness_pct")
-                    .map_err(|m| err("[traffic]", m))?,
-            },
+            Some(t) => {
+                let process = match t.str_or("process", "bursty") {
+                    "bursty" => TrafficProcess::Bursty,
+                    "poisson" => TrafficProcess::Poisson,
+                    "diurnal" => TrafficProcess::Diurnal {
+                        peak_pct: t.u32_or("peak_pct", 60),
+                    },
+                    "trace" => TrafficProcess::Trace {
+                        gaps_us: t.u64_array_of("trace_us").map_err(|m| err("[traffic]", m))?,
+                    },
+                    other => {
+                        return Err(err(
+                            "[traffic]",
+                            format!("unknown process `{other}` (bursty|poisson|diurnal|trace)"),
+                        ))
+                    }
+                };
+                TrafficSpec {
+                    pushes: t.u32_of("pushes").map_err(|m| err("[traffic]", m))?,
+                    gap_secs: t.u64_of("gap_secs").map_err(|m| err("[traffic]", m))?,
+                    burstiness_pct: t
+                        .u32_of("burstiness_pct")
+                        .map_err(|m| err("[traffic]", m))?,
+                    process,
+                }
+            }
             None => TrafficSpec::default(),
         };
 
@@ -938,6 +1050,43 @@ mod tests {
         let mut spec = ScenarioSpec::minimal("bad3", 1);
         spec.workload.failing = spec.workload.tests + 1;
         assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    fn traffic_processes_round_trip_and_legacy_form_is_unchanged() {
+        // Legacy three-key form parses as bursty and renders byte-identically.
+        let spec = ScenarioSpec::minimal("legacy", 5);
+        assert_eq!(spec.traffic.process, TrafficProcess::Bursty);
+        let text = spec.to_toml();
+        assert!(text.contains("\n[traffic]\npushes = "));
+        assert!(!text.contains("process ="));
+        assert_eq!(ScenarioSpec::from_toml(&text).unwrap(), spec);
+
+        // Each typed process round-trips through the canonical rendering.
+        for process in [
+            TrafficProcess::Poisson,
+            TrafficProcess::Diurnal { peak_pct: 40 },
+            TrafficProcess::Trace {
+                gaps_us: vec![1_000_000, 30_000_000, 250],
+            },
+        ] {
+            let mut spec = ScenarioSpec::minimal("typed", 5);
+            spec.traffic.process = process.clone();
+            spec.validate().expect("typed traffic validates");
+            let text = spec.to_toml();
+            assert!(text.contains(&format!("process = \"{}\"", process.kind())));
+            let parsed = ScenarioSpec::from_toml(&text).expect("parses");
+            assert_eq!(parsed, spec);
+            assert_eq!(parsed.to_toml(), text);
+        }
+
+        // Validation bounds: empty traces and >100% peaks are rejected.
+        let mut bad = ScenarioSpec::minimal("bad-trace", 5);
+        bad.traffic.process = TrafficProcess::Trace { gaps_us: vec![] };
+        assert!(bad.validate().is_err());
+        let mut bad = ScenarioSpec::minimal("bad-peak", 5);
+        bad.traffic.process = TrafficProcess::Diurnal { peak_pct: 101 };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

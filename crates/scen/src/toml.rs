@@ -152,6 +152,20 @@ impl Table {
         }
     }
 
+    pub fn u64_array_of(&self, key: &str) -> Result<Vec<u64>, String> {
+        match self.get(key) {
+            Some(Item::Value(Value::Array(items))) => items
+                .iter()
+                .map(|v| match v {
+                    Value::Int(i) => Ok(*i),
+                    _ => Err(format!("array `{key}` has a non-integer element")),
+                })
+                .collect(),
+            Some(_) => Err(format!("key `{key}` is not an array")),
+            None => Err(format!("missing key `{key}`")),
+        }
+    }
+
     fn insert_value(&mut self, key: &str, value: Value) -> Result<(), String> {
         if self.get(key).is_some() {
             return Err(format!("duplicate key `{key}`"));

@@ -39,6 +39,7 @@ pub mod rng;
 pub mod sweep;
 pub mod time;
 pub mod trace;
+pub mod workload;
 
 pub use component::{drive, drive_until, Advance};
 pub use dispatch::{CacheStats, NextEventCache};
@@ -49,3 +50,6 @@ pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{Interner, IntoSym, Sym, Trace, TraceAllocStats, TraceEvent};
+pub use workload::{
+    ArrivalGen, ArrivalProcess, ShardedCounts, TenantMix, TenantModel, Workload,
+};

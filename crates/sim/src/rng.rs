@@ -9,6 +9,7 @@
 /// A deterministic RNG stream. Two `DetRng`s built from the same seed yield
 /// identical sequences; [`DetRng::fork`] derives an independent child stream
 /// so components can consume randomness without perturbing each other.
+#[derive(Clone, Debug)]
 pub struct DetRng {
     /// xoshiro256++ state.
     s: [u64; 4],

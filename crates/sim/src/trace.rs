@@ -242,7 +242,18 @@ pub struct Trace {
     events: Vec<TraceEvent>,
     interner: Interner,
     static_syms: u64,
+    /// Opt-in rolling cap: when set, the oldest half of the log is folded
+    /// into `fold_hash` and dropped whenever the live window reaches the
+    /// cap, so a million-task run holds O(cap) events instead of O(run).
+    cap: Option<usize>,
+    /// Events folded out of the live window so far.
+    folded: u64,
+    /// Running FNV-1a digest over the rendered lines of folded events.
+    fold_hash: u64,
 }
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 impl Trace {
     pub fn new() -> Self {
@@ -274,6 +285,57 @@ impl Trace {
             kind,
             detail: detail.into(),
         });
+        if let Some(cap) = self.cap {
+            if self.events.len() >= cap.max(2) {
+                self.fold_oldest(cap.max(2) / 2);
+            }
+        }
+    }
+
+    /// Switch this trace into rolling mode with a live window of at most
+    /// `cap` events: once the window fills, the oldest half is folded into a
+    /// running digest (see [`Trace::rolling_digest`]) and dropped, bounding
+    /// memory for million-task runs. Folding is a pure function of the
+    /// recorded lines, so two identical runs fold to identical digests.
+    ///
+    /// Rolling traces are for leaf drivers (benchmarks, soak runs) that
+    /// never [`Trace::merge`] the log into another trace; the golden-trace
+    /// and parallel-DES paths keep the default unbounded mode.
+    pub fn set_rolling(&mut self, cap: usize) {
+        self.cap = Some(cap.max(2));
+        if self.fold_hash == 0 {
+            self.fold_hash = FNV_OFFSET;
+        }
+    }
+
+    /// Events folded out of the live window so far (0 outside rolling mode).
+    pub fn folded(&self) -> u64 {
+        self.folded
+    }
+
+    /// Total events ever recorded: folded plus still live.
+    pub fn recorded(&self) -> u64 {
+        self.folded + self.events.len() as u64
+    }
+
+    /// FNV-1a digest over the rendered lines of every folded event, then
+    /// every live event — a deterministic fingerprint of the whole log that
+    /// is insensitive to where the fold boundaries happened to land.
+    pub fn rolling_digest(&self) -> u64 {
+        let mut h = if self.fold_hash == 0 { FNV_OFFSET } else { self.fold_hash };
+        for e in &self.events {
+            h = fold_line(h, e);
+        }
+        h
+    }
+
+    fn fold_oldest(&mut self, n: usize) {
+        let n = n.min(self.events.len());
+        for e in &self.events[..n] {
+            self.fold_hash = fold_line(self.fold_hash, e);
+        }
+        self.folded += n as u64;
+        self.events.drain(..n);
     }
 
     pub fn events(&self) -> &[TraceEvent] {
@@ -369,6 +431,17 @@ impl Trace {
         }
         out
     }
+}
+
+/// Fold one event's rendered line (with trailing newline) into an FNV-1a
+/// accumulator — the same bytes [`Trace::render`] would have contributed.
+fn fold_line(mut h: u64, e: &TraceEvent) -> u64 {
+    for b in e.to_string().as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= b'\n' as u64;
+    h.wrapping_mul(FNV_PRIME)
 }
 
 #[cfg(test)]
@@ -492,6 +565,35 @@ mod tests {
             (Sym::Shared(x), Sym::Shared(y)) => assert!(Arc::ptr_eq(x, y)),
             other => panic!("expected shared syms, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn rolling_mode_bounds_memory_and_keeps_a_stable_digest() {
+        let fill = |rolling: Option<usize>| {
+            let mut t = Trace::new();
+            if let Some(cap) = rolling {
+                t.set_rolling(cap);
+            }
+            for i in 0..1_000u64 {
+                t.record(SimTime::from_micros(i), "faas.cloud", "task.submit", format!("tid={i}"));
+            }
+            t
+        };
+        let bounded = fill(Some(64));
+        assert!(bounded.len() < 64, "live window stays under the cap");
+        assert_eq!(bounded.recorded(), 1_000);
+        assert_eq!(bounded.folded() + bounded.len() as u64, 1_000);
+        // The rolling digest covers the whole log and is independent of
+        // where the fold boundaries landed.
+        let unbounded = fill(None);
+        assert_eq!(unbounded.len(), 1_000);
+        assert_eq!(unbounded.folded(), 0);
+        assert_eq!(bounded.rolling_digest(), unbounded.rolling_digest());
+        assert_eq!(bounded.rolling_digest(), fill(Some(16)).rolling_digest());
+        // And it actually depends on the contents.
+        let mut other = fill(Some(64));
+        other.record(SimTime::from_secs(9), "faas.cloud", "task.submit", "tid=x");
+        assert_ne!(other.rolling_digest(), bounded.rolling_digest());
     }
 
     #[test]

@@ -752,10 +752,21 @@ fn scenario_knob_perturbations_change_digests() {
         ("fault_pct", |c| c.fault_pct += 1),
         ("chaos_count_max", |c| c.chaos_count_max += 1),
         ("repo_files_max", |c| c.repo_files_max += 1),
+        ("poisson_pct", |c| c.poisson_pct += 1),
+        ("diurnal_pct", |c| c.diurnal_pct += 1),
+        ("trace_pct", |c| c.trace_pct += 1),
     ];
+    // Count against a config with every knob set nonzero: the process knobs
+    // are omitted from provenance at their 0 default, by design.
+    let all_set = GenConfig {
+        poisson_pct: 1,
+        diurnal_pct: 1,
+        trace_pct: 1,
+        ..Default::default()
+    };
     assert_eq!(
         mutators.len(),
-        GenConfig::default().knobs().len(),
+        all_set.knobs().len(),
         "a knob is missing its perturbation case"
     );
     for case in 0..CASES {
