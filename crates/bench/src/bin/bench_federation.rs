@@ -217,6 +217,103 @@ fn profile_run(n_endpoints: usize, n_tasks: usize) {
     println!("\nspan trace:\n{}", obs.span_trace().render());
 }
 
+/// `--profile`, peak-day edition: one instrumented peak-day pass with the
+/// wall clock split across the three phases each wave cycles through —
+/// tenant attribution (sampling the Zipf mix), batched submission, and the
+/// drain to quiescence — plus allocator counters when the bench is built
+/// with `--features count-allocs`. The phase totals are also recorded as
+/// `hpcci-obs` spans so the rendered span trace shows the sim-time extent
+/// of the modelled day.
+fn profile_peak_run(n_endpoints: usize, n_tasks: u64, repos: u32, users: u32) {
+    let obs = Obs::new(ObsConfig::enabled());
+    let total = Instant::now();
+
+    let wall = Instant::now();
+    let span = obs.span_start("peak.build", format!("{n_endpoints} endpoints"), SimTime::ZERO);
+    let (mut cloud, token, endpoint_ids) = build_bench_cloud(n_endpoints, Obs::disabled());
+    cloud.trace.set_rolling(65_536);
+    let workload = Workload::new(ArrivalProcess::Diurnal {
+        mean_gap_us: 86_400,
+        day_secs: 86_400,
+        peak_pct: 100,
+    })
+    .arrivals(n_tasks)
+    .tenants(TenantMix::new(users, repos).zipf_x100(110));
+    let mut arrivals = workload.arrival_gen(PEAK_SEED);
+    let mut tenants = workload.tenant_model();
+    let mut trng = workload.tenant_rng(PEAK_SEED);
+    obs.span_end(span, cloud.now());
+    let build_wall = wall.elapsed().as_secs_f64();
+
+    const WAVE: usize = 32_768;
+    let day_span = obs.span_start("peak.day", format!("{n_tasks} tasks"), cloud.now());
+    let allocs_before = hpcci_bench::alloc_count::snapshot();
+    let (mut sample_wall, mut submit_wall, mut drain_wall) = (0.0f64, 0.0f64, 0.0f64);
+    let mut submitted = 0u64;
+    while submitted < n_tasks {
+        let n = WAVE.min((n_tasks - submitted) as usize);
+        let now = cloud.now();
+
+        let wall = Instant::now();
+        let times = arrivals.arrival_times(n, now);
+        let mut buckets: Vec<Vec<SimTime>> = vec![Vec::new(); n_endpoints];
+        for &at in &times {
+            let (_user, repo) = tenants.sample(&mut trng);
+            buckets[repo as usize % n_endpoints].push(at);
+        }
+        sample_wall += wall.elapsed().as_secs_f64();
+
+        let wall = Instant::now();
+        for (i, bucket) in buckets.iter().enumerate() {
+            if !bucket.is_empty() {
+                cloud
+                    .submit_shell_batch(&token, &endpoint_ids[i], "work", now, bucket)
+                    .expect("batch submit");
+            }
+        }
+        submit_wall += wall.elapsed().as_secs_f64();
+
+        let wall = Instant::now();
+        cloud.drain_to_quiescence();
+        drain_wall += wall.elapsed().as_secs_f64();
+        submitted += n as u64;
+    }
+    let alloc_delta = hpcci_bench::alloc_count::snapshot()
+        .zip(allocs_before)
+        .map(|(now, before)| now.since(&before));
+    obs.span_end(day_span, cloud.now());
+
+    let total_wall = total.elapsed().as_secs_f64();
+    let events = cloud.events_dispatched();
+    hpcci_bench::section(&format!(
+        "profile (peak day) — {n_endpoints} endpoints, {n_tasks} tasks over {repos} repos"
+    ));
+    println!("{:<14}{:>12}  {:>7}", "phase", "wall s", "wall %");
+    for (name, secs) in [
+        ("build", build_wall),
+        ("attribute", sample_wall),
+        ("submit", submit_wall),
+        ("drain", drain_wall),
+    ] {
+        println!("{:<14}{:>12.6}  {:>6.1}%", name, secs, 100.0 * secs / total_wall);
+    }
+    println!("{:<14}{:>12.6}  {:>6.1}%", "total", total_wall, 100.0);
+    println!(
+        "events {:>10}   drain throughput {:>12.0} events/s",
+        events,
+        events as f64 / drain_wall
+    );
+    match alloc_delta {
+        Some(d) => println!(
+            "allocs/task {:>10.1}   alloc bytes/task {:>10.0}",
+            d.calls as f64 / n_tasks.max(1) as f64,
+            d.bytes as f64 / n_tasks.max(1) as f64,
+        ),
+        None => println!("allocs/task        n/a   (build with --features count-allocs)"),
+    }
+    println!("\nspan trace:\n{}", obs.span_trace().render());
+}
+
 /// Digest a finished fig4 scenario: fold the parsed per-test durations of
 /// every site artifact into an FNV-1a fragment.
 fn fig4_digest(s: &mut Scenario, runs: &[hpcci::ci::RunId]) -> u64 {
@@ -371,6 +468,14 @@ struct PeakSample {
     hot_repo_arrivals: u64,
     /// Virtual time the modelled day spanned, in seconds.
     sim_secs: u64,
+    /// FNV-1a over the rendered rolling-trace tail — the determinism surface
+    /// the smoke pass re-pins across back-to-back runs.
+    digest: u64,
+    /// Allocator calls per task over the whole pass (0 when the bench was
+    /// built without `--features count-allocs`).
+    allocs_per_task: f64,
+    /// Bytes requested from the allocator per task (0 without the feature).
+    alloc_bytes_per_task: f64,
 }
 
 /// Resident-set size from `/proc/self/statm` (field 1, resident pages).
@@ -409,6 +514,7 @@ fn peak_day_run(n_endpoints: usize, n_tasks: u64, repos: u32, users: u32) -> Pea
     const WAVE: usize = 32_768;
     let mut submitted = 0u64;
     let mut rss_high = rss_bytes();
+    let allocs_before = hpcci_bench::alloc_count::snapshot();
     let start = Instant::now();
     while submitted < n_tasks {
         let n = WAVE.min((n_tasks - submitted) as usize);
@@ -434,7 +540,14 @@ fn peak_day_run(n_endpoints: usize, n_tasks: u64, repos: u32, users: u32) -> Pea
         rss_high = rss_high.max(rss_bytes());
     }
     let wall_secs = start.elapsed().as_secs_f64();
+    let alloc_delta = hpcci_bench::alloc_count::snapshot()
+        .zip(allocs_before)
+        .map(|(now, before)| now.since(&before));
     let events = cloud.events_dispatched();
+    let mut digest = 0xcbf29ce484222325u64;
+    for b in cloud.trace.render().bytes() {
+        digest = (digest ^ b as u64).wrapping_mul(0x100000001b3);
+    }
     PeakSample {
         tasks: submitted,
         repos,
@@ -446,6 +559,13 @@ fn peak_day_run(n_endpoints: usize, n_tasks: u64, repos: u32, users: u32) -> Pea
         active_repos: tenants.repo_arrivals.active(),
         hot_repo_arrivals: tenants.repo_arrivals.hottest().1,
         sim_secs: cloud.now().as_micros() / 1_000_000,
+        digest,
+        allocs_per_task: alloc_delta
+            .map(|d| d.calls as f64 / submitted.max(1) as f64)
+            .unwrap_or(0.0),
+        alloc_bytes_per_task: alloc_delta
+            .map(|d| d.bytes as f64 / submitted.max(1) as f64)
+            .unwrap_or(0.0),
     }
 }
 
@@ -523,6 +643,12 @@ fn main() {
 
     if args.iter().any(|a| a == "--profile") {
         profile_run(endpoints, tasks);
+        let (peak_tasks, peak_repos, peak_users) = if smoke {
+            (100_000u64, 1_000u32, 5_000u32)
+        } else {
+            (1_000_000u64, 10_000u32, 50_000u32)
+        };
+        profile_peak_run(endpoints, peak_tasks, peak_repos, peak_users);
         return;
     }
 
@@ -714,6 +840,26 @@ fn main() {
         "virtual day span          {:>12.1} h",
         peak.sim_secs as f64 / 3600.0
     );
+    if hpcci_bench::alloc_count::enabled() {
+        println!("allocs per task           {:>12.1}", peak.allocs_per_task);
+        println!("alloc bytes per task      {:>12.0}", peak.alloc_bytes_per_task);
+    } else {
+        println!("allocs per task           {:>12}   (build with --features count-allocs)", "n/a");
+    }
+    println!("trace digest              {:#018x}", peak.digest);
+    if smoke {
+        // Smoke-mode determinism guard: the peak-day pass is a pure function
+        // of its parameters, so a second identical run must land on the same
+        // rolling-trace digest, event count, and virtual day span.
+        let again = peak_day_run(endpoints, peak_tasks, peak_repos, peak_users);
+        assert_eq!(
+            again.digest, peak.digest,
+            "back-to-back peak-day runs must render identical traces"
+        );
+        assert_eq!(again.events, peak.events, "event counts must match");
+        assert_eq!(again.sim_secs, peak.sim_secs, "virtual spans must match");
+        println!("determinism               {:>12}   (second run re-pinned the digest)", "ok");
+    }
 
     // Cold-vs-warm incremental CI: a Record pass populates a shared step
     // cache (executing everything), then a Replay pass over the same seeds
@@ -767,6 +913,9 @@ fn main() {
          \"peak_events_per_sec\": {peak_eps:.0}, \"peak_rss_bytes\": {peak_rss}, \
          \"peak_wall_secs\": {peak_wall:.4}, \"peak_active_repos\": {peak_active}, \
          \"peak_hot_repo_arrivals\": {peak_hot}, \"peak_sim_secs\": {peak_sim}, \
+         \"peak_allocs_per_task\": {peak_apt:.1}, \
+         \"peak_alloc_bytes_per_task\": {peak_abpt:.0}, \
+         \"peak_rss_bytes_per_task\": {peak_rss_pt:.0}, \
          \"cache_cold_secs\": {cold_secs:.4}, \"cache_warm_secs\": {warm_secs:.4}, \
          \"cache_speedup\": {cache_speedup:.2}, \"cache_hits\": {hits}, \
          \"cache_misses\": {misses}, \"artifact_logical_bytes\": {logical}, \
@@ -792,6 +941,9 @@ fn main() {
         peak_active = peak.active_repos,
         peak_hot = peak.hot_repo_arrivals,
         peak_sim = peak.sim_secs,
+        peak_apt = peak.allocs_per_task,
+        peak_abpt = peak.alloc_bytes_per_task,
+        peak_rss_pt = peak.rss_high_bytes as f64 / peak.tasks.max(1) as f64,
         trace_events = last.trace_events,
         string_allocs = last.string_allocs,
         allocs_saved = last.allocs_saved,

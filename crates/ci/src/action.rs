@@ -7,8 +7,9 @@
 //! keeps every run deterministic.
 
 use bytes::Bytes;
-use hpcci_sim::{SimDuration, SimTime};
+use hpcci_sim::{SimDuration, SimTime, Sym};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Advances the federation's virtual time. Implemented by whatever owns the
 /// full component set (see `correct-core`'s `Federation`). Actions call
@@ -56,17 +57,21 @@ impl WorldDriver for NullDriver {
 }
 
 /// Everything a step sees when it executes.
+///
+/// Identifier fields are interned [`Sym`]s and the env block is `Arc`-shared
+/// with the engine: building a context per step costs handle clones, not a
+/// copy of every string the run carries.
 pub struct StepContext<'a> {
     /// Repository the run belongs to, `"owner/name"`.
-    pub repo: String,
+    pub repo: Sym,
     /// Branch that triggered the run.
-    pub branch: String,
+    pub branch: Sym,
     /// Commit hash string of the run's snapshot.
-    pub commit: String,
+    pub commit: Sym,
     /// Resolved `with:` inputs (secrets/env already interpolated).
     pub inputs: BTreeMap<String, String>,
     /// Repository-level env vars visible to the run.
-    pub env: BTreeMap<String, String>,
+    pub env: Arc<BTreeMap<String, String>>,
     /// The virtual-world driver for blocking operations.
     pub driver: &'a mut dyn WorldDriver,
 }
@@ -152,7 +157,7 @@ mod tests {
             branch: "main".into(),
             commit: "abc".into(),
             inputs: inputs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
-            env: BTreeMap::new(),
+            env: Default::default(),
             driver,
         }
     }

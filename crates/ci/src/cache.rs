@@ -23,7 +23,7 @@
 //! test — replaying it would launder a transient fault into a permanent one.
 
 use crate::run::StepRun;
-use crate::workflow::{interpolate, StepAction, StepDef};
+use crate::workflow::{interpolate_cow, StepAction, StepDef};
 use hpcci_cas::{CasStore, Digest, DigestBuilder};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -70,14 +70,16 @@ impl StepKey {
         // The action in its fully interpolated form: what would actually run.
         match &step.action {
             StepAction::Run { command } => {
-                b = b.str_field("run", &interpolate(command, secrets, env_vars));
+                // `interpolate_cow` digests placeholder-free commands (the
+                // common case) straight from the definition — no temporary.
+                b = b.str_field("run", &interpolate_cow(command, secrets, env_vars));
             }
             StepAction::Uses { action, with } => {
                 b = b.str_field("uses", action);
                 for (k, v) in with {
                     b = b
                         .str_field("with-key", k)
-                        .str_field("with-val", &interpolate(v, secrets, env_vars));
+                        .str_field("with-val", &interpolate_cow(v, secrets, env_vars));
                 }
             }
             StepAction::UploadArtifact { name, from_step } => {

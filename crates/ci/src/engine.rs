@@ -8,32 +8,48 @@ use crate::error::CiError;
 use crate::run::{RunId, RunStatus, StepRun, WorkflowRun};
 use crate::runner::RunnerPool;
 use crate::secrets::{mask_secrets, SecretStore};
-use crate::workflow::{interpolate, StepAction, StepDef, TriggerEvent, WorkflowDef};
+use crate::workflow::{interpolate_cow, StepAction, StepDef, TriggerEvent, WorkflowDef};
 use hpcci_cas::Digest;
 use hpcci_obs::Obs;
-use hpcci_sim::{SimDuration, SimTime};
+use hpcci_sim::{Interner, SimDuration, SimTime, Sym};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// A recurring schedule derived from `on: schedule` triggers.
 #[derive(Debug, Clone)]
 struct Schedule {
-    repo: String,
-    workflow: String,
+    repo: Sym,
+    workflow: Sym,
     period: SimDuration,
     next_fire: SimTime,
 }
 
 /// The CI service.
+///
+/// ## Allocation discipline
+///
+/// The engine sits on the full push→run→step→task path, so its per-run state
+/// follows the same diet as the event loop: hot identifiers (repo, workflow,
+/// job, step, reviewer, endpoint names) are interned [`Sym`]s deduplicated by
+/// the engine's [`Interner`]; maps are keyed by `Sym` and probed with plain
+/// `&str` (no per-lookup allocation); runs live in a dense arena `Vec`
+/// indexed by [`RunId`] rather than a `BTreeMap`; and workflow definitions
+/// are `Arc`-shared so instantiating a run never deep-clones a definition.
 pub struct CiEngine {
-    workflows: BTreeMap<String, Vec<WorkflowDef>>,
-    environments: BTreeMap<(String, String), Environment>,
-    env_vars: BTreeMap<String, BTreeMap<String, String>>,
+    workflows: BTreeMap<Sym, Vec<Arc<WorkflowDef>>>,
+    /// Environments nested by repo then name, so the per-job approval check
+    /// probes two small maps with borrowed keys instead of allocating a
+    /// `(String, String)` tuple per lookup.
+    environments: BTreeMap<Sym, BTreeMap<Sym, Environment>>,
+    /// Repo-level env blocks, `Arc`-shared with every run they configure.
+    env_vars: BTreeMap<Sym, Arc<BTreeMap<String, String>>>,
     pub secrets: SecretStore,
     pub runners: RunnerPool,
     pub artifacts: ArtifactStore,
     actions: BTreeMap<String, Arc<dyn Action>>,
-    runs: BTreeMap<RunId, WorkflowRun>,
+    /// Run arena: `RunId(n)` lives at index `n - 1`. Ids are handed out
+    /// densely from 1, so the arena has no holes and lookup is an index.
+    runs: Vec<WorkflowRun>,
     /// Runs ready to execute, with the earliest time execution may begin
     /// (wait timers).
     ready: VecDeque<(RunId, SimTime)>,
@@ -48,7 +64,24 @@ pub struct CiEngine {
     /// Software-stack fingerprints keyed by endpoint name (`"*"` is the
     /// fallback for steps that name no endpoint). Part of every step key:
     /// a package upgrade at a site must invalidate that site's entries.
-    stack_fingerprints: BTreeMap<String, Digest>,
+    stack_fingerprints: BTreeMap<Sym, Digest>,
+    /// Deduplicates every hot identifier the engine stores.
+    interner: Interner,
+    /// Engine-local metric counters, flushed in one batch by
+    /// [`CiEngine::harvest_metrics`]. Bumping a `u64` per run/step replaces
+    /// a registry lock + map probe on the trigger and execution paths.
+    counters: CiCounters,
+}
+
+/// See [`CiEngine::harvest_metrics`].
+#[derive(Debug, Default, Clone, Copy)]
+struct CiCounters {
+    runs_total: u64,
+    step_cache_hits: u64,
+    step_cache_misses: u64,
+    step_cache_uncacheable: u64,
+    artifact_logical_bytes: u64,
+    artifact_stored_bytes: u64,
 }
 
 impl Default for CiEngine {
@@ -67,7 +100,7 @@ impl CiEngine {
             runners: RunnerPool::with_hosted_defaults(),
             artifacts: ArtifactStore::new(),
             actions: BTreeMap::new(),
-            runs: BTreeMap::new(),
+            runs: Vec::new(),
             ready: VecDeque::new(),
             schedules: Vec::new(),
             next_run: 0,
@@ -76,12 +109,33 @@ impl CiEngine {
             cache_mode: CacheMode::Off,
             cache_salt: Digest::NONE,
             stack_fingerprints: BTreeMap::new(),
+            interner: Interner::new(),
+            counters: CiCounters::default(),
         }
     }
 
     /// Attach an observability handle (run telemetry and artifact accounting).
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Publish the engine-local counters to the attached [`Obs`] handle.
+    /// Counter metrics batch through here (the federation calls it when it
+    /// snapshots); only histogram/span series record inline.
+    pub fn harvest_metrics(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let c = &self.counters;
+        self.obs.set_counter("ci.runs_total", c.runs_total);
+        self.obs.set_counter("ci.step_cache_hits", c.step_cache_hits);
+        self.obs.set_counter("ci.step_cache_misses", c.step_cache_misses);
+        self.obs
+            .set_counter("ci.step_cache_uncacheable", c.step_cache_uncacheable);
+        self.obs
+            .set_counter("ci.artifact_logical_bytes", c.artifact_logical_bytes);
+        self.obs
+            .set_counter("ci.artifact_stored_bytes", c.artifact_stored_bytes);
     }
 
     /// Install a step-result cache. The artifact store is re-pointed at the
@@ -118,7 +172,8 @@ impl CiEngine {
     /// Register (or refresh) the software-stack fingerprint for an endpoint
     /// name, `"*"` for the global fallback.
     pub fn set_stack_fingerprint(&mut self, endpoint: &str, digest: Digest) {
-        self.stack_fingerprints.insert(endpoint.to_string(), digest);
+        let key = self.interner.intern(endpoint);
+        self.stack_fingerprints.insert(key, digest);
     }
 
     /// The currently registered stack fingerprint for an endpoint name.
@@ -133,50 +188,60 @@ impl CiEngine {
 
     /// Install a workflow file for a repository.
     pub fn add_workflow(&mut self, repo: &str, workflow: WorkflowDef) {
+        let repo = self.interner.intern(repo);
         for t in &workflow.on {
             if let TriggerEvent::Schedule { period_secs } = t {
                 self.schedules.push(Schedule {
-                    repo: repo.to_string(),
-                    workflow: workflow.name.clone(),
+                    repo: repo.clone(),
+                    workflow: self.interner.intern(&workflow.name),
                     period: SimDuration::from_secs(*period_secs),
                     next_fire: SimTime::ZERO + SimDuration::from_secs(*period_secs),
                 });
             }
         }
-        self.workflows.entry(repo.to_string()).or_default().push(workflow);
+        self.workflows.entry(repo).or_default().push(Arc::new(workflow));
     }
 
     /// Define a deployment environment for a repository.
     pub fn add_environment(&mut self, repo: &str, env: Environment) {
-        self.environments.insert((repo.to_string(), env.name.clone()), env);
+        let repo = self.interner.intern(repo);
+        let name = self.interner.intern(&env.name);
+        self.environments.entry(repo).or_default().insert(name, env);
     }
 
     pub fn environment(&self, repo: &str, name: &str) -> Result<&Environment, CiError> {
         self.environments
-            .get(&(repo.to_string(), name.to_string()))
+            .get(repo)
+            .and_then(|envs| envs.get(name))
             .ok_or_else(|| CiError::UnknownEnvironment(name.to_string()))
     }
 
     /// Repository-level env var (`env:` block).
     pub fn set_env_var(&mut self, repo: &str, key: &str, value: &str) {
-        self.env_vars
-            .entry(repo.to_string())
-            .or_default()
+        let repo = self.interner.intern(repo);
+        Arc::make_mut(self.env_vars.entry(repo).or_default())
             .insert(key.to_string(), value.to_string());
     }
 
     pub fn run(&self, id: RunId) -> Result<&WorkflowRun, CiError> {
-        self.runs.get(&id).ok_or(CiError::UnknownRun(id))
+        id.0
+            .checked_sub(1)
+            .and_then(|i| self.runs.get(i as usize))
+            .ok_or(CiError::UnknownRun(id))
+    }
+
+    fn run_mut(&mut self, id: RunId) -> Option<&mut WorkflowRun> {
+        id.0.checked_sub(1).and_then(|i| self.runs.get_mut(i as usize))
     }
 
     pub fn runs(&self) -> impl Iterator<Item = &WorkflowRun> {
-        self.runs.values()
+        self.runs.iter()
     }
 
     /// Runs currently blocked on an approval.
     pub fn awaiting_approval(&self) -> Vec<RunId> {
         self.runs
-            .values()
+            .iter()
             .filter(|r| r.status == RunStatus::AwaitingApproval)
             .map(|r| r.id)
             .collect()
@@ -195,19 +260,21 @@ impl CiEngine {
         commit: &str,
         now: SimTime,
     ) -> Result<Vec<RunId>, CiError> {
-        let matching: Vec<String> = self
+        // Matching defs are collected as Arc clones (not name re-lookups):
+        // no per-push allocation, and instantiation skips a second search.
+        let matching: Vec<Arc<WorkflowDef>> = self
             .workflows
             .get(repo)
             .map(|list| {
                 list.iter()
                     .filter(|w| w.on.iter().any(|t| t.matches_push(branch)))
-                    .map(|w| w.name.clone())
+                    .cloned()
                     .collect()
             })
             .unwrap_or_default();
         matching
             .into_iter()
-            .map(|w| self.instantiate(repo, &w, branch, commit, now))
+            .map(|w| self.instantiate_def(repo, &w, branch, commit, now))
             .collect()
     }
 
@@ -219,19 +286,19 @@ impl CiEngine {
         commit: &str,
         now: SimTime,
     ) -> Result<Vec<RunId>, CiError> {
-        let matching: Vec<String> = self
+        let matching: Vec<Arc<WorkflowDef>> = self
             .workflows
             .get(repo)
             .map(|list| {
                 list.iter()
                     .filter(|w| w.on.iter().any(|t| matches!(t, TriggerEvent::PullRequest)))
-                    .map(|w| w.name.clone())
+                    .cloned()
                     .collect()
             })
             .unwrap_or_default();
         matching
             .into_iter()
-            .map(|w| self.instantiate(repo, &w, head_branch, commit, now))
+            .map(|w| self.instantiate_def(repo, &w, head_branch, commit, now))
             .collect()
     }
 
@@ -244,24 +311,23 @@ impl CiEngine {
         commit: &str,
         now: SimTime,
     ) -> Result<RunId, CiError> {
-        let exists = self
+        let def = self
             .workflows
             .get(repo)
-            .map(|list| list.iter().any(|w| w.name == workflow))
-            .unwrap_or(false);
-        if !exists {
-            return Err(CiError::UnknownWorkflow {
+            .and_then(|list| list.iter().find(|w| w.name == workflow))
+            .cloned()
+            .ok_or_else(|| CiError::UnknownWorkflow {
                 repo: repo.to_string(),
                 workflow: workflow.to_string(),
-            });
-        }
-        self.instantiate(repo, workflow, branch, commit, now)
+            })?;
+        self.instantiate_def(repo, &def, branch, commit, now)
     }
 
     /// Fire due schedules; returns `(repo, workflow)` pairs the caller should
     /// `dispatch` with the current head commit (the engine does not know the
-    /// repository contents).
-    pub fn due_schedules(&mut self, now: SimTime) -> Vec<(String, String)> {
+    /// repository contents). The pairs are interned symbol clones — firing a
+    /// schedule allocates nothing.
+    pub fn due_schedules(&mut self, now: SimTime) -> Vec<(Sym, Sym)> {
         let mut fired = Vec::new();
         for s in &mut self.schedules {
             while s.next_fire <= now {
@@ -272,7 +338,7 @@ impl CiEngine {
         fired
     }
 
-    fn workflow_def(&self, repo: &str, name: &str) -> Result<&WorkflowDef, CiError> {
+    fn workflow_def(&self, repo: &str, name: &str) -> Result<&Arc<WorkflowDef>, CiError> {
         self.workflows
             .get(repo)
             .and_then(|list| list.iter().find(|w| w.name == name))
@@ -282,23 +348,22 @@ impl CiEngine {
             })
     }
 
-    fn instantiate(
+    fn instantiate_def(
         &mut self,
         repo: &str,
-        workflow: &str,
+        def: &Arc<WorkflowDef>,
         branch: &str,
         commit: &str,
         now: SimTime,
     ) -> Result<RunId, CiError> {
-        let def = self.workflow_def(repo, workflow)?;
         // Validate job graph and environment references up front.
         def.job_order().map_err(|(job, needs)| CiError::BadJobDependency { job, needs })?;
         let mut needs_approval = false;
+        let repo_envs = self.environments.get(repo);
         for job in &def.jobs {
             if let Some(env_name) = &job.environment {
-                let env = self
-                    .environments
-                    .get(&(repo.to_string(), env_name.clone()))
+                let env = repo_envs
+                    .and_then(|envs| envs.get(env_name.as_str()))
                     .ok_or_else(|| CiError::UnknownEnvironment(env_name.clone()))?;
                 if !env.branch_allowed(branch) {
                     return Err(CiError::BranchNotAllowed {
@@ -316,26 +381,28 @@ impl CiEngine {
         } else {
             RunStatus::Queued
         };
-        self.runs.insert(
+        // Repo, workflow and branch names repeat across runs — intern them.
+        // Commits are unique per push: a standalone `Sym` keeps them out of
+        // the intern table so it stays bounded by the identifier population.
+        let run = WorkflowRun {
             id,
-            WorkflowRun {
-                id,
-                repo: repo.to_string(),
-                workflow: workflow.to_string(),
-                branch: branch.to_string(),
-                commit: commit.to_string(),
-                status,
-                triggered_at: now,
-                started_at: None,
-                ended_at: None,
-                approved_by: None,
-                steps: Vec::new(),
-            },
-        );
+            repo: self.interner.intern(repo),
+            workflow: self.interner.intern(&def.name),
+            branch: self.interner.intern(branch),
+            commit: Sym::from(commit),
+            status,
+            triggered_at: now,
+            started_at: None,
+            ended_at: None,
+            approved_by: None,
+            steps: Vec::new(),
+        };
+        debug_assert_eq!(self.runs.len() as u64 + 1, id.0, "dense run arena");
+        self.runs.push(run);
         if status == RunStatus::Queued {
             self.ready.push_back((id, now));
         }
-        self.obs.inc("ci.runs_total");
+        self.counters.runs_total += 1;
         Ok(id)
     }
 
@@ -346,17 +413,18 @@ impl CiEngine {
     /// Approve an awaiting run. `reviewer` must be a required reviewer of
     /// *every* approval-gated environment the run's jobs target.
     pub fn approve(&mut self, id: RunId, reviewer: &str, now: SimTime) -> Result<(), CiError> {
-        let run = self.runs.get(&id).ok_or(CiError::UnknownRun(id))?;
+        let run = self.run(id)?;
         if run.status != RunStatus::AwaitingApproval {
             return Err(CiError::NotAwaitingApproval(id));
         }
-        let def = self.workflow_def(&run.repo, &run.workflow)?;
+        let repo = run.repo.clone();
+        let def = self.workflow_def(&repo, &run.workflow)?;
+        let repo_envs = self.environments.get(repo.as_str());
         let mut max_wait = SimDuration::ZERO;
         for job in &def.jobs {
             if let Some(env_name) = &job.environment {
-                let env = self
-                    .environments
-                    .get(&(run.repo.clone(), env_name.clone()))
+                let env = repo_envs
+                    .and_then(|envs| envs.get(env_name.as_str()))
                     .ok_or_else(|| CiError::UnknownEnvironment(env_name.clone()))?;
                 if env.requires_approval() && !env.is_required_reviewer(reviewer) {
                     return Err(CiError::NotARequiredReviewer {
@@ -367,23 +435,26 @@ impl CiEngine {
                 max_wait = max_wait.max(env.wait_timer);
             }
         }
-        let run = self.runs.get_mut(&id).expect("looked up above");
+        let approved_by = self.interner.intern(reviewer);
+        let run = self.run_mut(id).expect("looked up above");
         run.status = RunStatus::Queued;
-        run.approved_by = Some(reviewer.to_string());
+        run.approved_by = Some(approved_by);
         self.ready.push_back((id, now + max_wait));
         Ok(())
     }
 
     /// Reject an awaiting run.
     pub fn reject(&mut self, id: RunId, reviewer: &str) -> Result<(), CiError> {
-        let run = self.runs.get(&id).ok_or(CiError::UnknownRun(id))?;
+        let run = self.run(id)?;
         if run.status != RunStatus::AwaitingApproval {
             return Err(CiError::NotAwaitingApproval(id));
         }
-        let def = self.workflow_def(&run.repo, &run.workflow)?;
+        let repo = run.repo.clone();
+        let def = self.workflow_def(&repo, &run.workflow)?;
+        let repo_envs = self.environments.get(repo.as_str());
         for job in &def.jobs {
             if let Some(env_name) = &job.environment {
-                if let Some(env) = self.environments.get(&(run.repo.clone(), env_name.clone())) {
+                if let Some(env) = repo_envs.and_then(|envs| envs.get(env_name.as_str())) {
                     if env.requires_approval() && !env.is_required_reviewer(reviewer) {
                         return Err(CiError::NotARequiredReviewer {
                             run: id,
@@ -393,7 +464,7 @@ impl CiEngine {
                 }
             }
         }
-        let run = self.runs.get_mut(&id).expect("looked up above");
+        let run = self.run_mut(id).expect("looked up above");
         run.status = RunStatus::Rejected;
         Ok(())
     }
@@ -419,9 +490,10 @@ impl CiEngine {
 
     fn execute_run(&mut self, id: RunId, driver: &mut dyn WorldDriver) {
         let (repo, workflow, branch, commit) = {
-            let run = self.runs.get_mut(&id).expect("queued run exists");
+            let run = self.run_mut(id).expect("queued run exists");
             run.status = RunStatus::Running;
             run.started_at = Some(driver.now());
+            // Interned handles: four pointer bumps, not four string copies.
             (
                 run.repo.clone(),
                 run.workflow.clone(),
@@ -429,21 +501,26 @@ impl CiEngine {
                 run.commit.clone(),
             )
         };
+        // `Arc` clone — instantiating the run never deep-copies the def.
         let def = self
             .workflow_def(&repo, &workflow)
             .expect("validated at instantiation")
             .clone();
-        let span = self.obs.span_start(
+        let span = self.obs.span_start_with(
             "ci.run",
-            format!("{repo}/{workflow} {id}"),
+            || format!("{repo}/{workflow} {id}"),
             driver.now(),
         );
-        let org = repo.split('/').next().unwrap_or(&repo).to_string();
-        let repo_env_vars = self.env_vars.get(&repo).cloned().unwrap_or_default();
+        let org = repo.split('/').next().unwrap_or(&repo);
+        let repo_env_vars = self
+            .env_vars
+            .get(repo.as_str())
+            .cloned()
+            .unwrap_or_default();
         let mask_values = self.secrets.all_values();
 
         let order = def.job_order().expect("validated at instantiation");
-        let mut failed_jobs: Vec<String> = Vec::new();
+        let mut failed_jobs: Vec<&str> = Vec::new();
         let mut run_failed = false;
         let mut steps_acc: Vec<StepRun> = Vec::new();
         let cache = match self.cache_mode {
@@ -455,18 +532,19 @@ impl CiEngine {
         let mut chain = self.cache_salt;
 
         for job in order {
-            if job.needs.iter().any(|n| failed_jobs.contains(n)) {
-                failed_jobs.push(job.id.clone());
+            if job.needs.iter().any(|n| failed_jobs.contains(&n.as_str())) {
+                failed_jobs.push(&job.id);
                 continue;
             }
+            let job_sym = self.interner.intern(&job.id);
             let runner = match self.runners.select(&job.runs_on) {
                 Ok(r) => r.clone(),
                 Err(e) => {
                     run_failed = true;
-                    failed_jobs.push(job.id.clone());
+                    failed_jobs.push(&job.id);
                     let rec = StepRun {
-                        job: job.id.clone(),
-                        step: "<runner>".to_string(),
+                        job: job_sym,
+                        step: Sym::Static("<runner>"),
                         success: false,
                         stdout: String::new(),
                         stderr: e.to_string(),
@@ -482,12 +560,13 @@ impl CiEngine {
                 }
             };
             driver.sleep(runner.startup);
-            let secrets = self.secrets.resolve(&org, &repo, job.environment.as_deref());
+            let secrets = self.secrets.resolve(org, &repo, job.environment.as_deref());
             // Everything keying-related is gated on a live cache: with
             // `CacheMode::Off` no label, key, digest, or chain work runs.
             let runner_label = cache.as_ref().map(|_| runner.cache_label());
             let mut job_failed = false;
             for step in &job.steps {
+                let step_sym = self.interner.intern(&step.id);
                 let key = runner_label.as_ref().map(|label| {
                     StepKey::derive(
                         &commit,
@@ -509,7 +588,7 @@ impl CiEngine {
                     if let (Some(cache), Some(key)) = (&cache, &key) {
                         if let Some(hit) = cache.lookup(key) {
                             cache.note_hit();
-                            self.obs.inc("ci.step_cache_hits");
+                            self.counters.step_cache_hits += 1;
                             self.obs.observe("ci.step_replay_us", hit.duration_us);
                             let started = driver.now();
                             driver.sleep(SimDuration::from_micros(hit.duration_us));
@@ -521,8 +600,8 @@ impl CiEngine {
                             }
                             let success = hit.success;
                             let rec = StepRun {
-                                job: job.id.clone(),
-                                step: step.id.clone(),
+                                job: job_sym.clone(),
+                                step: step_sym.clone(),
                                 success,
                                 stdout: hit.stdout,
                                 stderr: hit.stderr,
@@ -560,8 +639,8 @@ impl CiEngine {
                     }
                 }
                 let rec = StepRun {
-                    job: job.id.clone(),
-                    step: step.id.clone(),
+                    job: job_sym.clone(),
+                    step: step_sym,
                     success,
                     stdout: mask_secrets(&result.stdout, &mask_values),
                     stderr: mask_secrets(&result.stderr, &mask_values),
@@ -575,10 +654,10 @@ impl CiEngine {
                         // token refresh reflects that moment's infrastructure,
                         // not the code — never cache it.
                         cache.note_uncacheable();
-                        self.obs.inc("ci.step_cache_uncacheable");
+                        self.counters.step_cache_uncacheable += 1;
                     } else {
                         cache.note_miss();
-                        self.obs.inc("ci.step_cache_misses");
+                        self.counters.step_cache_misses += 1;
                         cache.record(
                             key,
                             CachedStep {
@@ -609,13 +688,13 @@ impl CiEngine {
                 }
             }
             if job_failed {
-                failed_jobs.push(job.id.clone());
+                failed_jobs.push(&job.id);
                 run_failed = true;
             }
         }
 
         self.obs.span_end(span, driver.now());
-        let run = self.runs.get_mut(&id).expect("still exists");
+        let run = self.run_mut(id).expect("still exists");
         run.steps = steps_acc;
         run.ended_at = Some(driver.now());
         run.status = if run_failed { RunStatus::Failure } else { RunStatus::Success };
@@ -632,8 +711,8 @@ impl CiEngine {
     ) -> Digest {
         if let StepAction::Uses { with, .. } = &step.action {
             if let Some(raw) = with.get("endpoint_uuid") {
-                let endpoint = interpolate(raw, secrets, env_vars);
-                if let Some(d) = self.stack_fingerprints.get(&endpoint) {
+                let endpoint = interpolate_cow(raw, secrets, env_vars);
+                if let Some(d) = self.stack_fingerprints.get(endpoint.as_ref()) {
                     return *d;
                 }
             }
@@ -658,8 +737,8 @@ impl CiEngine {
             (Some(b), Some(c)) => c.stats().stored_bytes - b,
             _ => len,
         };
-        self.obs.add("ci.artifact_logical_bytes", len);
-        self.obs.add("ci.artifact_stored_bytes", stored);
+        self.counters.artifact_logical_bytes += len;
+        self.counters.artifact_stored_bytes += stored;
         (digest, len)
     }
 
@@ -667,18 +746,18 @@ impl CiEngine {
     fn execute_step(
         &mut self,
         step: &StepDef,
-        repo: &str,
-        branch: &str,
-        commit: &str,
+        repo: &Sym,
+        branch: &Sym,
+        commit: &Sym,
         secrets: &BTreeMap<String, String>,
-        env_vars: &BTreeMap<String, String>,
+        env_vars: &Arc<BTreeMap<String, String>>,
         prior_steps: &[StepRun],
         driver: &mut dyn WorldDriver,
     ) -> crate::action::StepResult {
         use crate::action::StepResult;
         match &step.action {
             StepAction::Run { command } => {
-                let cmd = interpolate(command, secrets, env_vars);
+                let cmd = interpolate_cow(command, secrets, env_vars);
                 // The runner-side shell: commands cost a base latency and
                 // fail only when explicitly told to (tests exercise the
                 // control flow, not a shell implementation).
@@ -695,12 +774,12 @@ impl CiEngine {
                 };
                 let inputs: BTreeMap<String, String> = with
                     .iter()
-                    .map(|(k, v)| (k.clone(), interpolate(v, secrets, env_vars)))
+                    .map(|(k, v)| (k.clone(), interpolate_cow(v, secrets, env_vars).into_owned()))
                     .collect();
                 let mut ctx = StepContext {
-                    repo: repo.to_string(),
-                    branch: branch.to_string(),
-                    commit: commit.to_string(),
+                    repo: repo.clone(),
+                    branch: branch.clone(),
+                    commit: commit.clone(),
                     inputs,
                     env: env_vars.clone(),
                     driver,
@@ -708,7 +787,7 @@ impl CiEngine {
                 implementation.run(&mut ctx)
             }
             StepAction::UploadArtifact { name, from_step } => {
-                let Some(source) = prior_steps.iter().find(|s| s.step == *from_step) else {
+                let Some(source) = prior_steps.iter().find(|s| s.step == from_step.as_str()) else {
                     return StepResult::fail(format!("upload-artifact: no prior step `{from_step}`"));
                 };
                 let mut content = source.stdout.clone();
@@ -980,7 +1059,8 @@ mod tests {
         assert!(e.due_schedules(SimTime::from_secs(3599)).is_empty());
         let due = e.due_schedules(SimTime::from_secs(7200));
         assert_eq!(due.len(), 2, "two periods elapsed");
-        assert_eq!(due[0], ("globus-labs/app".to_string(), "nightly".to_string()));
+        assert_eq!(due[0].0, "globus-labs/app");
+        assert_eq!(due[0].1, "nightly");
         // Next poll fires nothing until the next period.
         assert!(e.due_schedules(SimTime::from_secs(7200)).is_empty());
     }
@@ -1017,5 +1097,88 @@ mod tests {
         e.execute_ready(&mut driver);
         let run = e.run(id).unwrap();
         assert!(run.started_at.unwrap() >= SimTime::from_secs(310), "wait timer honored");
+    }
+
+    fn gated_workflow(env: &str) -> WorkflowDef {
+        WorkflowDef::new("hpc-ci")
+            .on_event(TriggerEvent::push_any())
+            .with_job(
+                JobDef::new("remote")
+                    .with_environment(env)
+                    .with_step(StepDef::run("s", "run tests")),
+            )
+    }
+
+    #[test]
+    fn awaiting_approval_tracks_gate_lifecycle() {
+        let mut e = engine_with_workflow(gated_workflow("anvil"));
+        e.add_environment(
+            "globus-labs/app",
+            Environment::new("anvil").with_reviewer("vhayot"),
+        );
+        let a = e.on_push("globus-labs/app", "main", "c1", SimTime::ZERO).unwrap()[0];
+        let b = e.on_push("globus-labs/app", "main", "c2", SimTime::from_secs(1)).unwrap()[0];
+        assert_eq!(e.awaiting_approval(), vec![a, b]);
+
+        e.approve(a, "vhayot", SimTime::from_secs(2)).unwrap();
+        assert_eq!(e.awaiting_approval(), vec![b], "approved run left the gate");
+
+        e.reject(b, "vhayot").unwrap();
+        assert!(e.awaiting_approval().is_empty(), "rejected run left the gate");
+        assert_eq!(e.run(b).unwrap().status, RunStatus::Rejected);
+    }
+
+    /// Every identifier the approval path stores and every byte the run
+    /// renders must be unchanged by interning: the strings below are the
+    /// contract the golden traces (and scenario transcripts) pin.
+    #[test]
+    fn approval_identifiers_pinned_across_interning() {
+        let mut e = engine_with_workflow(gated_workflow("anvil-vhayot"));
+        e.add_environment(
+            "globus-labs/app",
+            Environment::new("anvil-vhayot").with_reviewer("vhayot"),
+        );
+        let id = e.on_push("globus-labs/app", "main", "abc123", SimTime::ZERO).unwrap()[0];
+        e.approve(id, "vhayot", SimTime::from_secs(5)).unwrap();
+        let mut driver = NullDriver::new();
+        e.execute_ready(&mut driver);
+
+        let run = e.run(id).unwrap();
+        assert_eq!(run.repo.as_str(), "globus-labs/app");
+        assert_eq!(run.workflow.as_str(), "hpc-ci");
+        assert_eq!(run.branch.as_str(), "main");
+        assert_eq!(run.commit.as_str(), "abc123");
+        assert_eq!(run.approved_by.as_deref(), Some("vhayot"));
+        assert_eq!(run.badge(), "[hpc-ci | passing]");
+        assert_eq!(
+            run.full_log(),
+            "### remote/s [ok]\n$ run tests\nok\n",
+            "rendered log bytes must not move under interning"
+        );
+    }
+
+    /// Scheduled firing returns interned pairs that dispatch cleanly and
+    /// re-arm: the dispatch → execute → full_log chain is pinned byte-wise.
+    #[test]
+    fn due_schedule_pairs_dispatch_and_render_identically() {
+        let wf = WorkflowDef::new("nightly")
+            .on_event(TriggerEvent::Schedule { period_secs: 3600 })
+            .with_job(JobDef::new("j").with_step(StepDef::run("s", "pytest -q")));
+        let mut e = engine_with_workflow(wf);
+        let due = e.due_schedules(SimTime::from_secs(3600));
+        assert_eq!(due.len(), 1);
+        let (repo, workflow) = &due[0];
+        let id = e
+            .dispatch(repo, workflow, "main", "headsha", SimTime::from_secs(3600))
+            .unwrap();
+        let mut driver = NullDriver::new();
+        driver.now = SimTime::from_secs(3600);
+        e.execute_ready(&mut driver);
+        let run = e.run(id).unwrap();
+        assert_eq!(run.status, RunStatus::Success);
+        assert_eq!(run.workflow.as_str(), "nightly");
+        assert_eq!(run.full_log(), "### j/s [ok]\n$ pytest -q\nok\n");
+        // Firing again inside the same period yields nothing.
+        assert!(e.due_schedules(SimTime::from_secs(3600)).is_empty());
     }
 }

@@ -1,8 +1,9 @@
 //! Workflow runs: instantiated workflows with per-step results and logs.
 
-use hpcci_sim::SimTime;
+use hpcci_sim::{SimTime, Sym};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// Run identifier, unique per CI service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -35,10 +36,14 @@ impl RunStatus {
 }
 
 /// Result of one executed step.
+///
+/// Job and step ids are interned [`Sym`]s: a workflow's ids repeat across
+/// every run it triggers, so each `StepRun` holds a shared handle instead of
+/// its own `String` pair.
 #[derive(Debug, Clone)]
 pub struct StepRun {
-    pub job: String,
-    pub step: String,
+    pub job: Sym,
+    pub step: Sym,
     pub success: bool,
     /// Secret-masked stdout.
     pub stdout: String,
@@ -50,18 +55,23 @@ pub struct StepRun {
 }
 
 /// One instantiated workflow run.
+///
+/// Hot identifiers (repo, workflow, branch, reviewer) are interned — ten
+/// thousand runs of the same workflow share four allocations, not forty
+/// thousand. The commit id is a standalone [`Sym`] (unique per push, so
+/// interning it would only grow the intern table).
 #[derive(Debug, Clone)]
 pub struct WorkflowRun {
     pub id: RunId,
-    pub repo: String,
-    pub workflow: String,
-    pub branch: String,
-    pub commit: String,
+    pub repo: Sym,
+    pub workflow: Sym,
+    pub branch: Sym,
+    pub commit: Sym,
     pub status: RunStatus,
     pub triggered_at: SimTime,
     pub started_at: Option<SimTime>,
     pub ended_at: Option<SimTime>,
-    pub approved_by: Option<String>,
+    pub approved_by: Option<Sym>,
     pub steps: Vec<StepRun>,
 }
 
@@ -88,12 +98,13 @@ impl WorkflowRun {
     pub fn full_log(&self) -> String {
         let mut out = String::new();
         for s in &self.steps {
-            out.push_str(&format!(
-                "### {}/{} [{}]\n",
+            let _ = writeln!(
+                out,
+                "### {}/{} [{}]",
                 s.job,
                 s.step,
                 if s.success { "ok" } else { "FAILED" }
-            ));
+            );
             if !s.stdout.is_empty() {
                 out.push_str(&s.stdout);
                 if !s.stdout.ends_with('\n') {

@@ -238,6 +238,21 @@ pub fn interpolate(
     secrets: &BTreeMap<String, String>,
     env: &BTreeMap<String, String>,
 ) -> String {
+    interpolate_cow(template, secrets, env).into_owned()
+}
+
+/// [`interpolate`] without the unconditional allocation: templates with no
+/// `${{` placeholder — the overwhelming majority of step commands on the
+/// run-execution path — are returned as a borrow. Only templates that
+/// actually substitute build a fresh `String`.
+pub fn interpolate_cow<'a>(
+    template: &'a str,
+    secrets: &BTreeMap<String, String>,
+    env: &BTreeMap<String, String>,
+) -> std::borrow::Cow<'a, str> {
+    if !template.contains("${{") {
+        return std::borrow::Cow::Borrowed(template);
+    }
     let mut out = String::with_capacity(template.len());
     let mut rest = template;
     while let Some(start) = rest.find("${{") {
@@ -245,7 +260,7 @@ pub fn interpolate(
         let after = &rest[start + 3..];
         let Some(end) = after.find("}}") else {
             out.push_str(&rest[start..]);
-            return out;
+            return std::borrow::Cow::Owned(out);
         };
         let expr = after[..end].trim();
         if let Some(name) = expr.strip_prefix("secrets.") {
@@ -260,7 +275,7 @@ pub fn interpolate(
         rest = &after[end + 2..];
     }
     out.push_str(rest);
-    out
+    std::borrow::Cow::Owned(out)
 }
 
 #[cfg(test)]

@@ -35,10 +35,13 @@ fn is_infra(msg: &str) -> bool {
     msg.contains("infrastructure:") || msg.contains("is stopped")
 }
 
-fn fnv(s: &str) -> u64 {
+/// FNV-1a over `"{a}:{b}"` without materializing the joined string. Byte
+/// order matches the historical `fnv(&format!("{a}:{b}"))`, so jitter
+/// streams (and therefore traces) are unchanged.
+fn fnv_pair(a: &str, b: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in s.bytes() {
-        h ^= b as u64;
+    for byte in a.bytes().chain(std::iter::once(b':')).chain(b.bytes()) {
+        h ^= byte as u64;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
     h
@@ -290,7 +293,7 @@ impl Action for CorrectAction {
             .map(EndpointId)
             .collect();
         let backoff = SimDuration::from_secs(inputs.retry_backoff_secs.max(1));
-        let jitter_seed = fnv(&format!("{}:{}", ctx.commit, inputs.endpoint_uuid));
+        let jitter_seed = fnv_pair(&ctx.commit, &inputs.endpoint_uuid);
 
         // 3. Clone the repository at the remote site.
         if !inputs.skip_clone {
@@ -415,7 +418,7 @@ mod tests {
             branch: "main".into(),
             commit: "c".into(),
             inputs: BTreeMap::new(),
-            env: BTreeMap::new(),
+            env: Default::default(),
             driver: &mut driver,
         };
         let r = action.run(&mut ctx);
@@ -441,7 +444,7 @@ mod tests {
             branch: "main".into(),
             commit: "c".into(),
             inputs,
-            env: BTreeMap::new(),
+            env: Default::default(),
             driver: &mut driver,
         };
         let r = action.run(&mut ctx);

@@ -795,6 +795,7 @@ impl Federation {
     /// ([`MetricsSnapshot::to_json`] / [`MetricsSnapshot::to_prometheus`]).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.cloud.lock().harvest_metrics();
+        self.engine.harvest_metrics();
         if self.obs.is_enabled() {
             let injected = self.fault_trace().of_kind("fault.inject").count() as u64;
             self.obs.set_counter("faults.injected", injected);
@@ -844,10 +845,10 @@ impl Federation {
             });
         RunReport {
             run: record.id.0,
-            repo: record.repo.clone(),
-            workflow: record.workflow.clone(),
-            branch: record.branch.clone(),
-            commit: record.commit.clone(),
+            repo: record.repo.to_string(),
+            workflow: record.workflow.to_string(),
+            branch: record.branch.to_string(),
+            commit: record.commit.to_string(),
             status: status.to_string(),
             triggered_at_us: record.triggered_at.as_micros(),
             started_at_us: record.started_at.map(|t| t.as_micros()),

@@ -69,8 +69,8 @@ pub fn archive_run(
             container: None,
         };
         ro.add_execution(ExecutionRecord {
-            repo: run.repo.clone(),
-            commit: run.commit.clone(),
+            repo: run.repo.to_string(),
+            commit: run.commit.to_string(),
             command: format!("{}/{}", step.job, step.step),
             environment,
             ran_as: step.outputs.get("ran_as").cloned().unwrap_or_default(),
@@ -100,8 +100,8 @@ pub fn provenance_entries(
         .of_run(run.id, now)
         .into_iter()
         .map(|artifact| CacheEntry {
-            pipeline: run.workflow.clone(),
-            dataset: run.repo.clone(),
+            pipeline: run.workflow.to_string(),
+            dataset: run.repo.to_string(),
             task_id: format!("{}", run.id),
             location: format!("ci://artifacts/{}/{}", run.id, artifact.name),
             at_us: run.triggered_at.as_micros(),

@@ -140,15 +140,19 @@ enum InFlight {
     /// validated up front, accepted — task id, `task.submit` trace record,
     /// delivery leg — when its arrival instant is reached, so ids stay dense
     /// in arrival order no matter how far ahead callers schedule.
+    ///
+    /// Validation resolved the endpoint to its slot and interned the command,
+    /// so a wave of scheduled arrivals shares one `Arc<Identity>` and one
+    /// command allocation instead of cloning strings per arrival.
     Submit {
-        identity: Identity,
-        endpoint: EndpointId,
-        command: String,
+        identity: Arc<Identity>,
+        slot: usize,
+        command: Sym,
     },
     Deliver {
         task: TaskId,
-        identity: Identity,
-        command: String,
+        identity: Arc<Identity>,
+        slot: usize,
     },
     Return {
         task: TaskId,
@@ -189,6 +193,9 @@ pub struct CloudService {
     slot_ids: Vec<EndpointId>,
     /// Cache slot → interned `faas.ep.{id}` trace component.
     slot_syms: Vec<Sym>,
+    /// Cache slot → interned plain endpoint name (shared by every task
+    /// record targeting the endpoint).
+    slot_name_syms: Vec<Sym>,
     /// Slots in endpoint-name order — the order the pre-index exhaustive
     /// scan advanced and collected endpoints in. Rebuilt on registration.
     ordered_slots: Vec<usize>,
@@ -255,6 +262,7 @@ impl CloudService {
             slots: BTreeMap::new(),
             slot_ids: Vec::new(),
             slot_syms: Vec::new(),
+            slot_name_syms: Vec::new(),
             ordered_slots: Vec::new(),
             slot_rank: Vec::new(),
             due_scratch: Vec::new(),
@@ -461,6 +469,7 @@ impl CloudService {
                 let slot = self.cache.register();
                 self.slot_ids.push(eid.clone());
                 self.slot_syms.push(self.trace.intern(&format!("faas.ep.{id}")));
+                self.slot_name_syms.push(self.trace.intern(id));
                 self.slots.insert(eid.clone(), slot);
                 // A new name shifts ranks: rebuild the name-order walk list
                 // (registration is rare; the hot loop only reads these).
@@ -539,8 +548,9 @@ impl CloudService {
         shell_cmd: &str,
         now: SimTime,
     ) -> Result<TaskId, FaasError> {
-        let identity = self.validate_shell(token, endpoint, shell_cmd, now)?;
-        Ok(self.accept(identity, endpoint, shell_cmd.to_string(), now))
+        let (identity, slot) = self.validate_shell(token, endpoint, shell_cmd, now)?;
+        let command = self.trace.intern(shell_cmd);
+        Ok(self.accept(&Arc::new(identity), slot, command, now))
     }
 
     /// Schedule a shell submission for a future arrival instant. Validation
@@ -557,8 +567,9 @@ impl CloudService {
         now: SimTime,
         submit_at: SimTime,
     ) -> Result<(), FaasError> {
-        let identity = self.validate_shell(token, endpoint, shell_cmd, now)?;
-        self.push_submit(identity, endpoint, shell_cmd.to_string(), now, submit_at);
+        let (identity, slot) = self.validate_shell(token, endpoint, shell_cmd, now)?;
+        let command = self.trace.intern(shell_cmd);
+        self.push_submit(Arc::new(identity), slot, command, now, submit_at);
         Ok(())
     }
 
@@ -575,9 +586,11 @@ impl CloudService {
         now: SimTime,
         arrivals: &[SimTime],
     ) -> Result<u64, FaasError> {
-        let identity = self.validate_shell(token, endpoint, shell_cmd, now)?;
+        let (identity, slot) = self.validate_shell(token, endpoint, shell_cmd, now)?;
+        let identity = Arc::new(identity);
+        let command = self.trace.intern(shell_cmd);
         for &at in arrivals {
-            self.push_submit(identity.clone(), endpoint, shell_cmd.to_string(), now, at);
+            self.push_submit(identity.clone(), slot, command.clone(), now, at);
         }
         Ok(arrivals.len() as u64)
     }
@@ -590,26 +603,26 @@ impl CloudService {
         endpoint: &EndpointId,
         shell_cmd: &str,
         now: SimTime,
-    ) -> Result<Identity, FaasError> {
+    ) -> Result<(Identity, usize), FaasError> {
         let identity = self.authenticate(token, now)?;
-        let ep = self
+        let slot = *self
             .slots
             .get(endpoint)
-            .map(|&slot| &self.endpoints[slot])
             .ok_or_else(|| FaasError::UnknownEndpoint(endpoint.0.clone()))?;
+        let ep = &self.endpoints[slot];
         if !ep.shell_allowed() {
             return Err(FaasError::ShellNotAllowed);
         }
         self.check_payload(shell_cmd.len())?;
         self.check_owner(ep, &identity)?;
-        Ok(identity)
+        Ok((identity, slot))
     }
 
     fn push_submit(
         &mut self,
-        identity: Identity,
-        endpoint: &EndpointId,
-        command: String,
+        identity: Arc<Identity>,
+        slot: usize,
+        command: Sym,
         now: SimTime,
         submit_at: SimTime,
     ) {
@@ -618,7 +631,7 @@ impl CloudService {
             submit_at.max(now),
             InFlight::Submit {
                 identity,
-                endpoint: endpoint.clone(),
+                slot,
                 command,
             },
         );
@@ -640,18 +653,18 @@ impl CloudService {
     ) -> Result<TaskId, FaasError> {
         let identity = self.authenticate(token, now)?;
         let f = self.function(function)?.clone();
-        let ep = self
+        let slot = *self
             .slots
             .get(endpoint)
-            .map(|&slot| &self.endpoints[slot])
             .ok_or_else(|| FaasError::UnknownEndpoint(endpoint.0.clone()))?;
+        let ep = &self.endpoints[slot];
         if !ep.function_allowed(function) {
             return Err(FaasError::FunctionNotAllowed(function));
         }
         self.check_payload(args.len())?;
         self.check_owner(ep, &identity)?;
-        let command = f.command_line(args);
-        Ok(self.accept(identity, endpoint, command, now))
+        let command = self.trace.intern(&f.command_line(args));
+        Ok(self.accept(&Arc::new(identity), slot, command, now))
     }
 
     fn authenticate(
@@ -686,40 +699,44 @@ impl CloudService {
 
     fn accept(
         &mut self,
-        identity: Identity,
-        endpoint: &EndpointId,
-        command: String,
+        identity: &Arc<Identity>,
+        slot: usize,
+        command: Sym,
         now: SimTime,
     ) -> TaskId {
         self.next_task += 1;
         self.tasks_submitted += 1;
         let id = TaskId(self.next_task);
         debug_assert_eq!(id.0 as usize, self.tasks.len() + 1, "ids are dense");
+        let endpoint_name = self.slot_name_syms[slot].clone();
         self.tasks.push(Task {
             id,
             submitter: identity.id,
-            endpoint: endpoint.0.clone(),
+            endpoint: endpoint_name,
             command: command.clone(),
             submitted_at: now,
             state: TaskState::Submitted { at: now },
         });
-        let latency = self.endpoints[self.slots[endpoint]].wan_latency();
+        let latency = self.endpoints[slot].wan_latency();
+        let endpoint_name = &self.slot_name_syms[slot];
         // `{id} -> {endpoint}: {command}`, hand-built: byte-identical to the
-        // `format!` it replaces, without per-field formatter dispatch.
-        let mut detail = String::with_capacity(27 + endpoint.0.len() + command.len());
+        // `format!` it replaces, without per-field formatter dispatch. The
+        // buffer is recycled from a folded-out event when one is available.
+        let mut detail = self.trace.detail_buf();
+        detail.reserve(27 + endpoint_name.len() + command.len());
         id.write_label(&mut detail);
         detail.push_str(" -> ");
-        detail.push_str(&endpoint.0);
+        detail.push_str(endpoint_name);
         detail.push_str(": ");
         detail.push_str(&command);
         self.trace.record(now, "faas.cloud", "task.submit", detail);
-        let clear = self.wire_clear_at(&endpoint.0, now);
+        let clear = self.wire_clear_at(self.slot_name_syms[slot].as_str(), now);
         self.wire.push(
             clear + latency,
             InFlight::Deliver {
                 task: id,
-                identity,
-                command,
+                identity: identity.clone(),
+                slot,
             },
         );
         id
@@ -820,17 +837,10 @@ impl CloudService {
             }
             let latency = ep.wan_latency();
             for (task, output) in finished.drain(..) {
-                self.trace.record(
-                    now,
-                    "faas.cloud",
-                    "task.returning",
-                    {
-                        let mut d = String::with_capacity(35);
-                        task.write_label(&mut d);
-                        d.push_str(" from endpoint");
-                        d
-                    },
-                );
+                let mut d = self.trace.detail_buf();
+                task.write_label(&mut d);
+                d.push_str(" from endpoint");
+                self.trace.record(now, "faas.cloud", "task.returning", d);
                 // No injector on this path: the wire is never partitioned.
                 self.wire.push(now + latency, InFlight::Return { task, output });
             }
@@ -842,41 +852,31 @@ impl CloudService {
     /// Handle one due wire event (shared by both advance paths).
     fn handle_wire_event(&mut self, at: SimTime, event: InFlight) {
         match event {
-            InFlight::Submit { identity, endpoint, command } => {
+            InFlight::Submit { identity, slot, command } => {
                 // Acceptance pushes the delivery leg at `at + wan_latency`;
                 // with a zero-latency endpoint that lands at this same
                 // instant and the drive loop picks it up on its next pass
                 // through the same step, before any later-time event.
                 self.pending_submits -= 1;
-                self.accept(identity, &endpoint, command, at);
+                self.accept(&identity, slot, command, at);
             }
-            InFlight::Deliver { task, identity, command } => {
-                // Resolve the slot by borrowed name — no `EndpointId` clone
-                // on the per-task hot path; only the unknown-endpoint error
-                // path (cold) allocates.
-                let endpoint_name = &self.tasks[task.0 as usize - 1].endpoint;
-                let slot = self.slots.get(endpoint_name.as_str()).copied();
-                let component = match slot {
-                    Some(s) => self.slot_syms[s].clone(),
-                    None => {
-                        let endpoint_name = &self.tasks[task.0 as usize - 1].endpoint;
-                        self.trace.intern(&format!("faas.ep.{endpoint_name}"))
-                    }
-                };
-                let mut detail = String::with_capacity(21);
+            InFlight::Deliver { task, identity, slot } => {
+                // The slot rode along from acceptance (registrations are
+                // never removed), so delivery needs no name lookup; the
+                // command is shared with the task record.
+                let component = self.slot_syms[slot].clone();
+                let command = self.tasks[task.0 as usize - 1].command.clone();
+                let mut detail = self.trace.detail_buf();
                 task.write_label(&mut detail);
                 self.trace
                     .record(at, component.clone(), "task.deliver", detail);
-                let result = match slot.map(|s| &mut self.endpoints[s]) {
-                    Some(EndpointRegistration::Single(e)) => e.enqueue(task, &command, at),
-                    Some(EndpointRegistration::Multi(m)) => m.enqueue(task, &identity, &command, at),
-                    None => Err(FaasError::UnknownEndpoint(self.tasks[task.0 as usize - 1].endpoint.clone())),
+                let result = match &mut self.endpoints[slot] {
+                    EndpointRegistration::Single(e) => e.enqueue(task, &command, at),
+                    EndpointRegistration::Multi(m) => m.enqueue(task, &identity, &command, at),
                 };
-                if let Some(s) = slot {
-                    self.cache.mark_dirty(s);
-                    if !self.fault_aware {
-                        self.touched.push(s);
-                    }
+                self.cache.mark_dirty(slot);
+                if !self.fault_aware {
+                    self.touched.push(slot);
                 }
                 let record = &mut self.tasks[task.0 as usize - 1];
                 let transition = match result {
@@ -898,9 +898,8 @@ impl CloudService {
             InFlight::Return { task, output } => {
                 // `{task} ran_as={} node={} ok={}`, hand-built (see
                 // `TaskId::write_label`); byte-identical to the `format!`.
-                let mut detail = String::with_capacity(
-                    42 + output.ran_as.len() + output.node.len(),
-                );
+                let mut detail = self.trace.detail_buf();
+                detail.reserve(42 + output.ran_as.len() + output.node.len());
                 task.write_label(&mut detail);
                 detail.push_str(" ran_as=");
                 detail.push_str(&output.ran_as);

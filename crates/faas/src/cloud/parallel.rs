@@ -49,8 +49,8 @@ pub(super) struct WindowDeliver {
     pub at: SimTime,
     pub slot: usize,
     pub task: TaskId,
-    pub identity: Identity,
-    pub command: String,
+    pub identity: Arc<Identity>,
+    pub command: Sym,
 }
 
 /// The deliveries one domain must apply during the window, in wire order.
@@ -303,13 +303,8 @@ impl CloudService {
                     // so no scheduled submission can be on the wire here.
                     unreachable!("scheduled submissions drain before parallel windows open")
                 }
-                InFlight::Deliver { task, identity, command } => {
-                    let name = self.tasks[task.0 as usize - 1].endpoint.as_str();
-                    let slot = self
-                        .slots
-                        .get(name)
-                        .copied()
-                        .expect("submission validated the endpoint");
+                InFlight::Deliver { task, identity, slot } => {
+                    let command = self.tasks[task.0 as usize - 1].command.clone();
                     replay.push(at, Replay::Deliver { task, slot });
                     batches[plan.domain_of(slot)].delivers.push(WindowDeliver {
                         at,

@@ -15,7 +15,7 @@ use hpcci_auth::{HighAssurancePolicy, IdentityId};
 use hpcci_cluster::{Cred, NodeRole, UserAccount};
 use hpcci_obs::Obs;
 use hpcci_scheduler::{BlockId, BlockState, ExecutionProvider, LocalProvider, SlurmProvider};
-use hpcci_sim::{Advance, DetRng, EventQueue, FaultInjector, SimDuration, SimTime};
+use hpcci_sim::{Advance, DetRng, EventQueue, FaultInjector, SimDuration, SimTime, Sym};
 use std::collections::{BTreeSet, VecDeque};
 
 /// The provider variants an endpoint can provision workers through.
@@ -121,7 +121,9 @@ impl EndpointConfig {
 
 struct QueuedTask {
     id: TaskId,
-    command: String,
+    /// Interned: the cloud hands us the already-shared `Sym`, so queueing a
+    /// task is allocation-free even at million-task rates.
+    command: Sym,
 }
 
 struct Completion {
@@ -149,9 +151,15 @@ pub struct Endpoint {
     /// the block first turns active to observe provisioning latency.
     provision_pending: Option<SimTime>,
     /// Cached resolution of `config.local_user` at the site, paired with its
-    /// credentials. Revalidated (by comparison, not by cloning) on every
-    /// task start, so account changes at the site are still observed.
-    exec_identity: Option<(UserAccount, Cred)>,
+    /// credentials and the interned username every task output shares.
+    /// Revalidated (by comparison, not by cloning) on every task start, so
+    /// account changes at the site are still observed.
+    exec_identity: Option<(UserAccount, Cred, Sym)>,
+    /// Cached node identity for the current block: `(block, role, hostname,
+    /// speed)`. Node identity is fixed for a block's lifetime, so the pump
+    /// resolves it once per block instead of once per pump — and tasks share
+    /// the interned hostname instead of cloning a `String` each.
+    node_cache: Option<(BlockId, NodeRole, Sym, f64)>,
 }
 
 impl Endpoint {
@@ -172,6 +180,7 @@ impl Endpoint {
             obs: Obs::disabled(),
             provision_pending: None,
             exec_identity: None,
+            node_cache: None,
         }
     }
 
@@ -219,12 +228,13 @@ impl Endpoint {
     pub fn force_crash(&mut self, now: SimTime) {
         let component = format!("faas.ep.{}", self.config.name);
         let mut lost = 0usize;
+        let ran_as = Sym::from(self.config.local_user.as_str());
         let crashed = |started: SimTime| TaskOutput {
             stdout: String::new(),
             stderr: "infrastructure: endpoint worker crashed".to_string(),
             result: Err("infrastructure: endpoint worker crashed".to_string()),
-            ran_as: self.config.local_user.clone(),
-            node: "-".to_string(),
+            ran_as: ran_as.clone(),
+            node: Sym::Static("-"),
             started,
             ended: now,
         };
@@ -275,7 +285,12 @@ impl Endpoint {
     }
 
     /// Accept a task for execution.
-    pub fn enqueue(&mut self, id: TaskId, command: &str, now: SimTime) -> Result<(), FaasError> {
+    pub fn enqueue(
+        &mut self,
+        id: TaskId,
+        command: impl Into<Sym>,
+        now: SimTime,
+    ) -> Result<(), FaasError> {
         if self.crash_due(now) {
             self.force_crash(now);
             return Err(FaasError::Infrastructure(format!(
@@ -289,7 +304,7 @@ impl Endpoint {
         self.catch_up(now);
         self.queue.push_back(QueuedTask {
             id,
-            command: command.to_string(),
+            command: command.into(),
         });
         if self.block.is_none() {
             // Lazy provisioning: the first task requests the worker block.
@@ -405,25 +420,31 @@ impl Endpoint {
             return;
         }
         // Node identity and speed are fixed for the lifetime of the block;
-        // resolve them once per pump rather than once per task.
-        let (node_hostname, node_speed) = {
-            let runtime = self.site.lock();
-            match role {
-                NodeRole::Login => (
-                    runtime
-                        .site
-                        .login_node()
-                        .map(|n| n.hostname.clone())
-                        .unwrap_or_else(|| "login".to_string()),
-                    runtime.site.login_node().map(|n| n.cpu_speed).unwrap_or(1.0),
-                ),
-                NodeRole::Compute => (
-                    nodes
-                        .first()
-                        .and_then(|id| runtime.site.node(*id).ok().map(|n| n.hostname.clone()))
-                        .unwrap_or_else(|| format!("{}-compute", runtime.site.id)),
-                    1.0,
-                ),
+        // resolve them once per block (interned) rather than once per pump.
+        let (node_hostname, node_speed) = match &self.node_cache {
+            Some((b, r, sym, speed)) if *b == block && *r == role => (sym.clone(), *speed),
+            _ => {
+                let runtime = self.site.lock();
+                let (hostname, speed) = match role {
+                    NodeRole::Login => (
+                        runtime
+                            .site
+                            .login_node()
+                            .map(|n| n.hostname.clone())
+                            .unwrap_or_else(|| "login".to_string()),
+                        runtime.site.login_node().map(|n| n.cpu_speed).unwrap_or(1.0),
+                    ),
+                    NodeRole::Compute => (
+                        nodes
+                            .first()
+                            .and_then(|id| runtime.site.node(*id).ok().map(|n| n.hostname.clone()))
+                            .unwrap_or_else(|| format!("{}-compute", runtime.site.id)),
+                        1.0,
+                    ),
+                };
+                let sym = Sym::from(hostname.as_str());
+                self.node_cache = Some((block, role, sym.clone(), speed));
+                (sym, speed)
             }
         };
         while self.busy_workers < self.config.workers {
@@ -436,8 +457,9 @@ impl Endpoint {
                 Ok(a) => {
                     // Revalidate the cached identity against the live site
                     // account; only a changed account pays the clone.
-                    if self.exec_identity.as_ref().map(|(acc, _)| acc) != Some(a) {
-                        self.exec_identity = Some((a.clone(), Cred::of(a)));
+                    if self.exec_identity.as_ref().map(|(acc, _, _)| acc) != Some(a) {
+                        let ran_as = Sym::from(a.username.as_str());
+                        self.exec_identity = Some((a.clone(), Cred::of(a), ran_as));
                     }
                 }
                 Err(e) => {
@@ -447,8 +469,8 @@ impl Endpoint {
                         stdout: String::new(),
                         stderr: e.to_string(),
                         result: Err(e.to_string()),
-                        ran_as: self.config.local_user.clone(),
-                        node: "unknown".to_string(),
+                        ran_as: Sym::from(self.config.local_user.as_str()),
+                        node: Sym::Static("unknown"),
                         started,
                         ended: started,
                     };
@@ -456,7 +478,7 @@ impl Endpoint {
                     continue;
                 }
             }
-            let (account, cred) = self.exec_identity.as_ref().expect("validated above");
+            let (account, cred, ran_as) = self.exec_identity.as_ref().expect("validated above");
             let outcome = runtime.execute(
                 &task.command,
                 account,
@@ -477,7 +499,7 @@ impl Endpoint {
                 stdout: outcome.stdout,
                 stderr: outcome.stderr,
                 result: outcome.result,
-                ran_as: account.username.clone(),
+                ran_as: ran_as.clone(),
                 node: node_hostname.clone(),
                 started,
                 ended,

@@ -20,7 +20,7 @@ use crate::task::{TaskId, TaskOutput};
 use hpcci_auth::{HighAssurancePolicy, Identity, IdentityMapping};
 use hpcci_obs::Obs;
 use hpcci_scheduler::{LocalProvider, SlurmProvider};
-use hpcci_sim::{Advance, FaultInjector, NextEventCache, SimDuration, SimTime};
+use hpcci_sim::{Advance, FaultInjector, NextEventCache, SimDuration, SimTime, Sym};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// How the template provisions task workers.
@@ -344,9 +344,10 @@ impl MultiUserEndpoint {
         &mut self,
         id: TaskId,
         identity: &Identity,
-        command: &str,
+        command: impl Into<Sym>,
         now: SimTime,
     ) -> Result<(), FaasError> {
+        let command: Sym = command.into();
         if let Some(inj) = &self.injector {
             if inj.crash_due(&self.name, now) {
                 self.crash_all(now);
@@ -369,7 +370,7 @@ impl MultiUserEndpoint {
         self.audit_log.push((id, identity.username.clone(), local_user.clone()));
         let pair = self.ueps.get_mut(&local_user).expect("forked above");
         self.cache.mark_dirty(pair.slot);
-        if self.template.routes_to_login(command) {
+        if self.template.routes_to_login(&command) {
             pair.login.enqueue(id, command, now)
         } else {
             pair.task.enqueue(id, command, now)

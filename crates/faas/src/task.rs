@@ -2,7 +2,7 @@
 
 use bytes::Bytes;
 use hpcci_auth::IdentityId;
-use hpcci_sim::{SimDuration, SimTime};
+use hpcci_sim::{SimDuration, SimTime, Sym};
 use std::fmt;
 
 /// Task identifier.
@@ -49,9 +49,11 @@ pub struct TaskOutput {
     /// only return stdout/stderr — a limitation §7.4 discusses).
     pub result: Result<Bytes, String>,
     /// Local account the task actually ran as — the auditable identity link.
-    pub ran_as: String,
-    /// Hostname of the executing node.
-    pub node: String,
+    /// Interned: a run's tasks share a handful of account names, so each
+    /// output holds a shared `Sym` instead of its own `String`.
+    pub ran_as: Sym,
+    /// Hostname of the executing node (interned, like `ran_as`).
+    pub node: Sym,
     pub started: SimTime,
     pub ended: SimTime,
 }
@@ -104,10 +106,12 @@ pub struct Task {
     pub id: TaskId,
     /// The identity that submitted the task.
     pub submitter: IdentityId,
-    /// Target endpoint name.
-    pub endpoint: String,
-    /// The resolved command line the endpoint will execute.
-    pub command: String,
+    /// Target endpoint name. Interned — a million-task arena shares one
+    /// allocation per endpoint instead of holding a million `String`s.
+    pub endpoint: Sym,
+    /// The resolved command line the endpoint will execute (interned; CI
+    /// workloads repeat a small set of command lines).
+    pub command: Sym,
     /// When the cloud accepted the task (start of the latency clock; the
     /// `Submitted` state is transient but this timestamp survives the
     /// lifecycle for end-to-end latency accounting).

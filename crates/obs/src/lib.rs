@@ -157,6 +157,21 @@ impl Obs {
         inner.lock().span_start(name, detail, at)
     }
 
+    /// [`Obs::span_start`] with a lazily built detail string: disabled
+    /// handles never invoke `detail`, so hot paths pay nothing for the
+    /// formatting. Use this whenever the detail needs a `format!`.
+    pub fn span_start_with(
+        &self,
+        name: impl IntoSym,
+        detail: impl FnOnce() -> String,
+        at: SimTime,
+    ) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::NONE;
+        };
+        inner.lock().span_start(name, detail(), at)
+    }
+
     /// Close a span. Ignores [`SpanId::NONE`].
     pub fn span_end(&self, id: SpanId, at: SimTime) {
         let Some(inner) = &self.inner else { return };

@@ -7,12 +7,12 @@
 //! identities, and cache statistics.
 
 use crate::compile::BuiltScenario;
-use crate::spec::{CacheModeDecl, ScenarioSpec, SpecError, TrafficSpec};
+use crate::spec::{CacheModeDecl, ScenarioSpec, SpecError};
 use correct_core::Federation;
 use hpcci_cas::{Digest, DigestBuilder};
 use hpcci_ci::{CacheMode, CacheStats, RunStatus, StepCache};
 use hpcci_faas::{TaskId, TaskState};
-use hpcci_sim::{ArrivalGen, DetRng, SimDuration};
+use hpcci_sim::SimDuration;
 use std::fmt::Write as _;
 
 /// How [`run_spec_with`] configures the step cache.
@@ -151,16 +151,6 @@ fn drive_traffic(s: &mut BuiltScenario, spec: &ScenarioSpec) {
     }
 }
 
-/// The legacy free-floating gap sampler.
-#[deprecated(
-    since = "0.8.0",
-    note = "use `TrafficSpec::workload()` + `Federation::arrival_gen()` (or \
-            `ArrivalGen::bursty_gap_us`) instead"
-)]
-pub fn next_gap_us(rng: &mut DetRng, traffic: &TrafficSpec) -> u64 {
-    ArrivalGen::bursty_gap_us(rng, traffic.gap_secs, traffic.burstiness_pct)
-}
-
 fn status_str(status: RunStatus) -> &'static str {
     match status {
         RunStatus::AwaitingApproval => "awaiting-approval",
@@ -249,7 +239,7 @@ fn collect(
         }
         summaries.push(RunSummary {
             id: run.id.0,
-            workflow: run.workflow.clone(),
+            workflow: run.workflow.to_string(),
             status: run.status,
             failure_kind,
         });
@@ -266,7 +256,7 @@ fn collect(
             match cloud.task_state(TaskId(id)) {
                 Ok(TaskState::Done(out)) => tasks.push(TaskIdentity {
                     task: id,
-                    ran_as: out.ran_as.clone(),
+                    ran_as: out.ran_as.to_string(),
                     rejected: false,
                     detail: String::new(),
                 }),

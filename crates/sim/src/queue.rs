@@ -105,6 +105,9 @@ pub struct EventQueue<E> {
     next_min: Option<u64>,
     next_seq: u64,
     len: usize,
+    /// Spare slot vector rotated through cascades so refiling a slot never
+    /// drops (and later re-grows) its heap allocation.
+    cascade_scratch: Vec<(u64, E)>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -126,6 +129,7 @@ impl<E> EventQueue<E> {
             next_min: None,
             next_seq: 0,
             len: 0,
+            cascade_scratch: Vec::new(),
         }
     }
 
@@ -252,18 +256,24 @@ impl<E> EventQueue<E> {
             // Cascade: advance the cursor to this slot's window and refile
             // its entries one level (or more) down. Lower levels are empty —
             // `t` is the minimum — so refiling into them preserves order.
-            let entries = std::mem::take(&mut self.levels[level][slot]);
+            // Rotate the slot's vector through the scratch spare so the
+            // allocation survives the refile instead of being dropped.
+            let mut entries = std::mem::replace(
+                &mut self.levels[level][slot],
+                std::mem::take(&mut self.cascade_scratch),
+            );
             self.occupied[level] &= !(1 << slot);
             let shift = SLOT_BITS * level as u32;
             let span_mask = !((1u64 << (shift + SLOT_BITS)) - 1);
             self.cursor = (self.cursor & span_mask) | ((slot as u64) << shift);
-            for (at, e) in entries {
+            for (at, e) in entries.drain(..) {
                 debug_assert!(at >= self.cursor);
                 let (l, s) = self.locate(at);
                 debug_assert!(l < level, "cascade must move entries down");
                 self.levels[l][s].push((at, e));
                 self.occupied[l] |= 1 << s;
             }
+            self.cascade_scratch = entries;
         }
     }
 

@@ -94,6 +94,36 @@ impl std::hash::Hash for Sym {
     }
 }
 
+impl std::borrow::Borrow<str> for Sym {
+    /// Lets `Sym`-keyed maps be probed with a plain `&str` — no temporary
+    /// `Sym` (and no allocation) per lookup. Sound because `Eq`/`Ord`/`Hash`
+    /// are all by content, exactly like `str`'s.
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<&str> for Sym {
+    /// A standalone shared symbol — one allocation, no interner. For cold
+    /// paths and tests; hot paths should intern once and clone the `Sym`.
+    fn from(s: &str) -> Sym {
+        Sym::Shared(Arc::from(s))
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Sym {
+        Sym::Shared(Arc::from(s))
+    }
+}
+
+impl From<&Sym> for Sym {
+    /// Cheap: clones the handle (a pointer bump for `Shared`), never the text.
+    fn from(s: &Sym) -> Sym {
+        s.clone()
+    }
+}
+
 /// Deduplicating string cache: each distinct name is allocated once and
 /// every subsequent intern of the same text reuses the `Arc`.
 #[derive(Debug, Default, Clone)]
@@ -250,6 +280,14 @@ pub struct Trace {
     folded: u64,
     /// Running FNV-1a digest over the rendered lines of folded events.
     fold_hash: u64,
+    /// Scratch line buffer for folding — rendering a folded event reuses
+    /// this allocation instead of `to_string()`-ing per event.
+    fold_scratch: String,
+    /// Detail buffers recycled from folded events (rolling mode only): hot
+    /// recorders take one via [`Trace::detail_buf`], build the detail in
+    /// place, and hand it back through [`Trace::record`], so steady-state
+    /// detail strings stop allocating once the window has filled once.
+    detail_pool: Vec<String>,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -265,6 +303,15 @@ impl Trace {
     /// it to every subsequent [`Trace::record`] for free.
     pub fn intern(&mut self, s: &str) -> Sym {
         self.interner.intern(s)
+    }
+
+    /// An empty `String` for building the next event's detail in: recycled
+    /// from a folded-out event when one is available (rolling mode), fresh
+    /// otherwise. Passing the built string to [`Trace::record`] moves it
+    /// into the event, so the buffer's capacity keeps cycling through the
+    /// window instead of being reallocated per event.
+    pub fn detail_buf(&mut self) -> String {
+        self.detail_pool.pop().unwrap_or_default()
     }
 
     /// Append an event.
@@ -323,19 +370,24 @@ impl Trace {
     /// is insensitive to where the fold boundaries happened to land.
     pub fn rolling_digest(&self) -> u64 {
         let mut h = if self.fold_hash == 0 { FNV_OFFSET } else { self.fold_hash };
+        let mut line = String::new();
         for e in &self.events {
-            h = fold_line(h, e);
+            h = fold_line(h, e, &mut line);
         }
         h
     }
 
     fn fold_oldest(&mut self, n: usize) {
         let n = n.min(self.events.len());
-        for e in &self.events[..n] {
-            self.fold_hash = fold_line(self.fold_hash, e);
+        let mut line = std::mem::take(&mut self.fold_scratch);
+        for mut e in self.events.drain(..n) {
+            self.fold_hash = fold_line(self.fold_hash, &e, &mut line);
+            // Recycle the detail allocation for a future `detail_buf` call.
+            e.detail.clear();
+            self.detail_pool.push(e.detail);
         }
+        self.fold_scratch = line;
         self.folded += n as u64;
-        self.events.drain(..n);
     }
 
     pub fn events(&self) -> &[TraceEvent] {
@@ -435,8 +487,13 @@ impl Trace {
 
 /// Fold one event's rendered line (with trailing newline) into an FNV-1a
 /// accumulator — the same bytes [`Trace::render`] would have contributed.
-fn fold_line(mut h: u64, e: &TraceEvent) -> u64 {
-    for b in e.to_string().as_bytes() {
+/// Renders through the caller's scratch buffer so folding a million events
+/// performs no per-event allocation.
+fn fold_line(mut h: u64, e: &TraceEvent, line: &mut String) -> u64 {
+    use std::fmt::Write;
+    line.clear();
+    write!(line, "{e}").expect("write! to String cannot fail");
+    for b in line.as_bytes() {
         h ^= *b as u64;
         h = h.wrapping_mul(FNV_PRIME);
     }

@@ -142,12 +142,11 @@ impl ArrivalGen {
         &self.process
     }
 
-    /// The historical bursty gap sampler, exposed so the deprecated
-    /// scenario-layer shim and the `Bursty` arm share one definition:
-    /// an eighth of the nominal gap in a burst, the nominal gap plus up to
-    /// 25% uniform jitter otherwise. Byte-compatible with the pre-engine
-    /// `next_gap_us` (same draw order, same integer arithmetic).
-    pub fn bursty_gap_us(rng: &mut DetRng, gap_secs: u64, burstiness_pct: u32) -> u64 {
+    /// The historical bursty gap sampler: an eighth of the nominal gap in a
+    /// burst, the nominal gap plus up to 25% uniform jitter otherwise.
+    /// Byte-compatible with the pre-engine scenario-layer sampler (same draw
+    /// order, same integer arithmetic).
+    fn bursty_gap_us(rng: &mut DetRng, gap_secs: u64, burstiness_pct: u32) -> u64 {
         let base = gap_secs.saturating_mul(1_000_000).max(8);
         if rng.chance(burstiness_pct as f64 / 100.0) {
             base / 8

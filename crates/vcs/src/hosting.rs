@@ -8,7 +8,7 @@
 use crate::object::WorkTree;
 use crate::repo::{Repository, VcsError};
 use crate::ObjectId;
-use hpcci_sim::SimTime;
+use hpcci_sim::{Interner, SimTime, Sym};
 use std::collections::BTreeMap;
 
 /// Pull-request number (per service, like GitHub's global-ish numbering).
@@ -41,22 +41,26 @@ pub struct PullRequest {
 }
 
 /// Repository events delivered to CI (webhooks).
+///
+/// Identifier fields are interned [`Sym`]s: a push to a repo the service has
+/// seen before emits a webhook without allocating a single name string,
+/// which is what keeps the push→run path flat under peak-day traffic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RepoEvent {
     Push {
-        repo: String,
-        branch: String,
+        repo: Sym,
+        branch: Sym,
         commit: ObjectId,
-        pusher: String,
+        pusher: Sym,
         at: SimTime,
     },
     PullRequestOpened {
-        repo: String,
+        repo: Sym,
         pr: PullRequestId,
         at: SimTime,
     },
     PullRequestMerged {
-        repo: String,
+        repo: Sym,
         pr: PullRequestId,
         commit: ObjectId,
         at: SimTime,
@@ -70,6 +74,9 @@ pub struct HostingService {
     prs: BTreeMap<PullRequestId, PullRequest>,
     events: Vec<RepoEvent>,
     next_pr: u64,
+    /// Shares one allocation per distinct repo/branch/pusher name across
+    /// every webhook the service ever emits.
+    interner: Interner,
 }
 
 impl HostingService {
@@ -115,10 +122,10 @@ impl HostingService {
         }
         let commit = repo.commit(branch, tree, author, message, at)?;
         self.events.push(RepoEvent::Push {
-            repo: full_name.to_string(),
-            branch: branch.to_string(),
+            repo: self.interner.intern(full_name),
+            branch: self.interner.intern(branch),
             commit,
-            pusher: author.to_string(),
+            pusher: self.interner.intern(author),
             at,
         });
         Ok(commit)
@@ -170,7 +177,7 @@ impl HostingService {
             },
         );
         self.events.push(RepoEvent::PullRequestOpened {
-            repo: base_repo.to_string(),
+            repo: self.interner.intern(base_repo),
             pr: id,
             at,
         });
@@ -228,7 +235,7 @@ impl HostingService {
         let stored = self.prs.get_mut(&id).expect("checked above");
         stored.state = PullRequestState::Merged;
         self.events.push(RepoEvent::PullRequestMerged {
-            repo: pr.base_repo.clone(),
+            repo: self.interner.intern(&pr.base_repo),
             pr: id,
             commit,
             at,

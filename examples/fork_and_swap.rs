@@ -40,7 +40,7 @@ fn record_of(fed: &Federation, run: hpcci::ci::RunId, repo: &str, site: &str) ->
     let handle = fed.site_by_name(site).unwrap();
     ExecutionRecord {
         repo: repo.to_string(),
-        commit: r.commit.clone(),
+        commit: r.commit.to_string(),
         command: "pytest tests/".to_string(),
         environment: EnvironmentCapture::of_site(&handle.shared.lock().site, None, None),
         ran_as: step.outputs["ran_as"].clone(),
