@@ -14,7 +14,7 @@ use hpcci_auth::{AuthService, Identity, Scope};
 use hpcci_obs::Obs;
 use hpcci_sim::{
     Advance, DomainPlan, DomainStats, EventQueue, FaultInjector, Lookahead, NextEventCache,
-    SimTime, Sym, Trace, Window,
+    SimDuration, SimTime, Sym, Trace, Window,
 };
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -239,11 +239,34 @@ pub struct CloudService {
     domain_lookahead: Lookahead,
     /// Barrier/stall/fallback counters for the parallel drive.
     domain_stats: DomainStats,
+    /// Adaptive min-work gate for parallel windows, re-derived per pooled
+    /// window from the measured coordinator overhead (starts at
+    /// [`PARALLEL_MIN_WIRE`]). Steers only the serial/parallel *choice*,
+    /// never the committed bytes.
+    min_wire: usize,
+    /// Adaptive pooled-window span (virtual µs), steered toward a target
+    /// committed-events-per-window batch size.
+    window_span_us: u64,
+    /// EWMA of per-window coordinator overhead (extraction + dispatch +
+    /// state-commit, excluding the barrier wait), wall nanoseconds.
+    window_overhead_ns: u64,
+    /// Threads spawned by pooled drains (domain workers + merge workers).
+    /// One pool per drain: this stays at `domains + 1` per drain no matter
+    /// how many windows run.
+    pool_spawns: u64,
+    /// High-water mark of trace-replay batches in flight on the merge
+    /// worker while the coordinator kept running.
+    pipeline_depth_max: u64,
+    /// Trace handbacks that had to wait on an unfinished replay batch.
+    merge_stalls: u64,
 }
 
-/// Below this many pending wire events a window is advanced serially: the
-/// per-window thread spawn + merge overhead outweighs the win.
-const PARALLEL_MIN_WIRE: usize = 64;
+/// Initial value of the adaptive min-work gate: below this many pending
+/// wire events a window is advanced serially, until a measured per-window
+/// overhead refines the break-even point (clamped to [8, 256]). The
+/// persistent pool cut per-window cost enough to start at 16 where the
+/// spawn-per-window engine needed 64.
+const PARALLEL_MIN_WIRE: usize = 16;
 
 impl CloudService {
     pub fn new(auth: Arc<Mutex<AuthService>>) -> Self {
@@ -280,6 +303,12 @@ impl CloudService {
             domain_plan: None,
             domain_lookahead: Lookahead::zero(),
             domain_stats: DomainStats::default(),
+            min_wire: PARALLEL_MIN_WIRE,
+            window_span_us: parallel::WINDOW_SPAN_INIT_US,
+            window_overhead_ns: 0,
+            pool_spawns: 0,
+            pipeline_depth_max: 0,
+            merge_stalls: 0,
         }
     }
 
@@ -301,6 +330,43 @@ impl CloudService {
     /// Counters describing the parallel drive so far.
     pub fn domain_stats(&self) -> &DomainStats {
         &self.domain_stats
+    }
+
+    /// Threads spawned by pooled drains so far: `domains + 1` (the merge
+    /// worker) per drain that ran at least one pooled window — never per
+    /// window. Run-dependent only in *when* pools were warranted, not in
+    /// any committed byte.
+    pub fn pool_spawns(&self) -> u64 {
+        self.pool_spawns
+    }
+
+    /// High-water mark of deferred trace-replay batches in flight on the
+    /// merge worker while the coordinator kept extracting/committing.
+    /// `>= 1` means the pipeline actually overlapped. Wall-dependent.
+    pub fn pipeline_depth_max(&self) -> u64 {
+        self.pipeline_depth_max
+    }
+
+    /// Trace handbacks that found the merge worker still applying a batch
+    /// (the coordinator had to stall). Wall-dependent.
+    pub fn merge_stalls(&self) -> u64 {
+        self.merge_stalls
+    }
+
+    /// EWMA of measured per-window coordinator overhead in wall
+    /// nanoseconds (extraction + dispatch + state-commit, excluding the
+    /// barrier wait). Zero until a pooled window has run. Wall-dependent.
+    pub fn window_overhead_ns(&self) -> u64 {
+        self.window_overhead_ns
+    }
+
+    /// Current value of the adaptive min-work gate: windows with fewer
+    /// pending wire events than this advance serially. Starts at 16 and is
+    /// re-derived from [`Self::window_overhead_ns`] after every pooled
+    /// window. Wall-dependent, but digest-neutral: it only picks *which*
+    /// engine advances a window, and both commit identical bytes.
+    pub fn parallel_min_wire(&self) -> usize {
+        self.min_wire
     }
 
     /// Number of lookahead domains the current federation partitions into
@@ -354,40 +420,39 @@ impl CloudService {
     }
 
     /// Dynamic eligibility for one window `[now, t]`: enough committed wire
-    /// events to amortize the per-window spawn + merge cost, and a horizon
-    /// that actually admits parallel progress.
+    /// events to amortize the per-window overhead (an adaptive gate, see
+    /// `adapt_window`), and a horizon that actually admits parallel
+    /// progress. Pending scheduled submissions are fine *when the folded
+    /// lookahead is positive*: each submit's induced delivery then lands
+    /// strictly after its arrival instant, so the coordinator pre-routes the
+    /// wave at extraction and replays acceptance — ids dense in arrival
+    /// order — at the barrier. Under zero `min_inbound` the induced leg
+    /// could land at the submit's own instant, which the one-generation
+    /// instant walk cannot order, so those windows stay serial.
     fn parallel_window_ok(&self, t: SimTime) -> bool {
-        // Pending scheduled submissions allocate task ids and mutate the
-        // global task table when they fire; windows containing them advance
-        // serially so the committed order is the arrival order at any width.
-        self.pending_submits == 0
-            && self.wire.len() >= PARALLEL_MIN_WIRE
+        (self.pending_submits == 0 || self.domain_lookahead.min_inbound > SimDuration::ZERO)
+            && self.wire.len() >= self.min_wire
             && Window::new(self.now, t).admits_parallelism(self.domain_lookahead)
     }
 
     /// Run the event loop to quiescence — until neither the wire nor any
-    /// endpoint holds a pending event — using parallel windows whenever the
-    /// federation and remaining work admit them. Leaves `now` at the last
-    /// committed instant (like the serial step loop it replaces), and
-    /// produces a committed trace byte-identical to that loop's at any
-    /// worker width.
+    /// endpoint holds a pending event — using pooled, pipelined parallel
+    /// windows whenever the federation and remaining work admit them.
+    /// Leaves `now` at the last committed instant (like the serial step
+    /// loop it replaces), and produces a committed trace byte-identical to
+    /// that loop's at any worker width.
     pub fn drain_to_quiescence(&mut self) -> SimTime {
-        loop {
-            if self.recheck_faults {
-                self.recheck_faults = false;
-                self.fault_aware =
-                    self.injector.is_some() || self.endpoints.iter().any(|ep| ep.has_injector());
-            }
-            if self.parallel_static_ok() && self.parallel_window_ok(SimTime::FAR_FUTURE) {
-                if let Some(last) = self.advance_window_parallel(SimTime::FAR_FUTURE) {
-                    self.now = last;
-                    continue;
-                }
-            }
-            if self.step_next(SimTime::FAR_FUTURE).is_none() {
-                break;
-            }
+        // Fault posture cannot change mid-drain (`endpoint_mut` escapes need
+        // `&mut self` back), so resolve it once up front.
+        if self.recheck_faults {
+            self.recheck_faults = false;
+            self.fault_aware =
+                self.injector.is_some() || self.endpoints.iter().any(|ep| ep.has_injector());
         }
+        if self.parallel_static_ok() {
+            return self.drain_pooled();
+        }
+        while self.step_next(SimTime::FAR_FUTURE).is_some() {}
         self.now
     }
 

@@ -103,9 +103,13 @@ impl DomainPlan {
 }
 
 /// Counters describing how the parallel drive behaved — harvested into the
-/// observability registry as the `sim.domain_*` series. All counts are
-/// deterministic: they depend on the event timeline, never on thread
-/// scheduling.
+/// observability registry as the `sim.domain_*` series. None of them ever
+/// influences a committed byte, but since the drive's window-sizing and
+/// min-work gates adapt to *measured wall-clock overhead*, the counts
+/// themselves are run-dependent: two same-seed executions may split the
+/// identical event timeline into different windows (different barrier /
+/// fallback tallies) while committing identical traces. Diagnostics, not
+/// invariants.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DomainStats {
     /// Parallel windows executed (each window ends at one barrier where the

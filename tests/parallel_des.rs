@@ -9,6 +9,10 @@
 //!   submissions, single- and multi-user endpoints) produce byte-identical
 //!   committed traces at worker widths 1/2/4/8, and the width-1 windowed
 //!   drain is itself byte-identical to the classic single-step loop;
+//! * peak-day-style *batched-submit* waves (arrival processes scheduled via
+//!   `submit_shell_batch`) stay byte-identical at every width while the
+//!   backlog itself engages parallel windows — the submit-aware extraction
+//!   added with the persistent pool (PR 10);
 //! * fault plans — endpoint crashes and WAN partitions landing on endpoints
 //!   in different domains — keep the traces identical at every width (the
 //!   cloud degrades to the exhaustive serial path so fault consult
@@ -185,6 +189,67 @@ fn parallel_trace_bit_identical_across_widths() {
     );
 }
 
+/// Peak-day-style batched-submit waves: arrival processes pre-scheduled
+/// through `submit_shell_batch` put `InFlight::Submit` events on the wire,
+/// and the submit-aware window extraction (PR 10) must pre-route them —
+/// acceptance on the coordinator, ids dense in arrival order — without
+/// perturbing a byte. At widths > 1 the batched backlog itself must engage
+/// parallel windows: the old `pending_submits == 0` gate is gone.
+#[test]
+fn batched_submit_waves_bit_identical_across_widths() {
+    let mut parallel_windows = 0u64;
+    for case in 0..CASES {
+        let mut rng = case_rng("batched_submit", case);
+        let shape = gen_shape(&mut rng);
+        // A generated arrival process: bursts of future arrivals, spread
+        // over minutes to hours of virtual time, round-robin over the
+        // endpoints — the peak-day submission pattern in miniature. Waves
+        // land unsorted (the wheel orders them) and include same-instant
+        // collisions across endpoints.
+        let n_arrivals = rng.range_u64(96, 400) as usize;
+        let horizon_us = rng.range_u64(30, 3_600) * 1_000_000;
+        let arrivals: Vec<SimTime> = (0..n_arrivals)
+            .map(|_| SimTime::from_micros(rng.range_u64(0, horizon_us)))
+            .collect();
+        let run = |workers: usize| {
+            let (mut cloud, token, ids) = build_cloud(&shape, workers);
+            let mut per_ep: Vec<Vec<SimTime>> = vec![Vec::new(); ids.len()];
+            for (i, &at) in arrivals.iter().enumerate() {
+                per_ep[i % ids.len()].push(at);
+            }
+            for (ep, wave) in ids.iter().zip(&per_ep) {
+                cloud
+                    .submit_shell_batch(&token, ep, "work", SimTime::ZERO, wave)
+                    .expect("schedule wave");
+            }
+            cloud.drain_to_quiescence();
+            (
+                cloud.trace.render(),
+                cloud.events_dispatched(),
+                cloud.domain_stats().barriers,
+            )
+        };
+        let (serial_trace, serial_events, _) = run(1);
+        for &w in &WIDTHS[1..] {
+            let (trace, events, barriers) = run(w);
+            assert_eq!(
+                serial_trace, trace,
+                "case {case}: width {w} diverged from serial under batched submits"
+            );
+            assert_eq!(
+                serial_events, events,
+                "case {case}: width {w} dispatched a different event count"
+            );
+            parallel_windows += barriers;
+        }
+    }
+    assert!(
+        parallel_windows > 0,
+        "no batched-submit case ever engaged a parallel window — \
+         the submit-aware gate tested nothing"
+    );
+}
+
 /// The width-1 windowed drain is byte-identical to the classic single-step
 /// loop it replaced.
 #[test]
@@ -259,6 +324,14 @@ fn fault_plans_stay_bit_identical_at_every_width() {
                 }
                 cloud.drain_to_quiescence();
             }
+            // Fault-aware federations must never partition — not even under
+            // the persistent pool: consult boundaries would move.
+            assert_eq!(
+                cloud.domain_stats().barriers,
+                0,
+                "width {workers}: fault plans force the serial fallback"
+            );
+            assert_eq!(cloud.pool_spawns(), 0, "width {workers}: no pool under faults");
             (cloud.trace.render(), injector.trace().render())
         };
         let serial = run(1);
